@@ -1,0 +1,79 @@
+"""Extension: classical tuner ablation under VarSaw (Section 5.1).
+
+The paper runs SPSA and ImFil "across all our evaluations".  With
+Nelder-Mead added, this bench tunes the same noisy H2-4 VarSaw instance
+with all three.  Expected shape: the noise-robust tuners (SPSA, ImFil)
+recover most of the start-to-ideal gap; Nelder-Mead improves but lags —
+the known simplex-collapse-under-shot-noise effect, which is exactly why
+Section 5.1 picks SPSA and ImFil in the first place.
+"""
+
+import os
+
+import numpy as np
+from conftest import fmt, print_table, run_once
+
+from repro.noise import SimulatorBackend, ibmq_mumbai_like
+from repro.optimizers import SPSA, ImFil, NelderMead
+from repro.vqe import run_vqe
+from repro.workloads import make_estimator, make_workload
+
+FULL = os.environ.get("REPRO_SCALE", "quick") == "full"
+ITERATIONS = 400 if FULL else 120
+
+
+def test_tuner_robustness(benchmark):
+    def experiment():
+        workload = make_workload("H2-4")
+        start = np.full(workload.ansatz.num_parameters, 0.1)
+        tuners = {
+            "SPSA": SPSA(seed=19),
+            "ImFil": ImFil(),
+            "NelderMead": NelderMead(initial_step=0.3),
+        }
+        rows = {}
+        for name, tuner in tuners.items():
+            backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=19)
+            estimator = make_estimator(
+                "varsaw", workload, backend, shots=512
+            )
+            start_energy = estimator.evaluate(start)
+            result = run_vqe(
+                estimator,
+                optimizer=tuner,
+                max_iterations=ITERATIONS,
+                initial_params=start,
+            )
+            rows[name] = {
+                "start": start_energy,
+                "energy": result.energy,
+                "evals": result.iterations,
+            }
+        rows["ideal"] = workload.ideal_energy
+        return rows
+
+    stats = run_once(benchmark, experiment)
+    ideal = stats.pop("ideal")
+    print_table(
+        f"Extension: tuner ablation, VarSaw on H2-4 "
+        f"({ITERATIONS} iterations; ideal {ideal:.2f})",
+        ["tuner", "start", "final energy"],
+        [
+            [name, fmt(row["start"], 3), fmt(row["energy"], 3)]
+            for name, row in stats.items()
+        ],
+    )
+    def progress(row):
+        return (row["start"] - row["energy"]) / (row["start"] - ideal)
+
+    # The paper's tuners (SPSA, ImFil) are noise-robust by design and
+    # dig most of the way toward the ideal.
+    assert progress(stats["SPSA"]) > 0.5
+    assert progress(stats["ImFil"]) > 0.5
+    # Nelder-Mead improves but lags on noisy objectives — the well-known
+    # simplex-collapse-under-shot-noise effect, and the reason Section
+    # 5.1 picks SPSA/ImFil.  We assert the direction, not parity.
+    assert progress(stats["NelderMead"]) > 0.0
+    assert stats["NelderMead"]["energy"] >= min(
+        stats["SPSA"]["energy"], stats["ImFil"]["energy"]
+    ) - 0.2

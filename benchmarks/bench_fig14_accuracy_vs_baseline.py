@@ -1,0 +1,86 @@
+"""Fig. 14: % of noisy-VQE inaccuracy mitigated by VarSaw + Global fraction.
+
+For each temporal workload, VarSaw and the noisy baseline tune for the
+same number of iterations; the bar is the share of the baseline's gap to
+the Ideal that VarSaw closes (paper: 13%-86%, mean 45%).  The secondary
+axis is the optimal fraction of Global executions (paper: ~0.01-0.1).
+"""
+
+from conftest import fmt, print_table
+
+from repro.analysis import (
+    optimal_parameters,
+    percent_inaccuracy_mitigated,
+    run_tuning,
+    scaled,
+)
+from repro.hamiltonian import molecule_keys
+from repro.noise import ibmq_mumbai_like
+from repro.workloads import make_workload
+
+QUICK_KEYS = ["LiH-6", "H2O-6", "CH4-6"]
+FULL_KEYS = molecule_keys(temporal_only=True)
+
+
+def test_fig14_accuracy_vs_baseline(benchmark):
+    keys = scaled(QUICK_KEYS, FULL_KEYS)
+    iterations = scaled(80, 2000)
+    shots = scaled(256, 1024)
+    device = ibmq_mumbai_like(scale=2.0)
+
+    warm = scaled(True, False)
+
+    def experiment():
+        rows = []
+        for key in keys:
+            workload = make_workload(key)
+            initial = (
+                optimal_parameters(workload, iterations=300)
+                if warm
+                else None
+            )
+            base = run_tuning(
+                "baseline", workload, max_iterations=iterations,
+                shots=shots, seed=14, device=device,
+                initial_params=initial,
+            )
+            var = run_tuning(
+                "varsaw", workload, max_iterations=iterations,
+                shots=shots, seed=14, device=device,
+                initial_params=initial,
+            )
+            rows.append(
+                {
+                    "key": key,
+                    "ideal": workload.ideal_energy,
+                    "baseline": base.energy,
+                    "varsaw": var.energy,
+                    "mitigated": percent_inaccuracy_mitigated(
+                        workload.ideal_energy, base.energy, var.energy
+                    ),
+                    "global_fraction": var.global_fraction,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
+    print_table(
+        f"Fig. 14: VarSaw vs noisy baseline over {scaled(80, 2000)} iterations",
+        ["workload", "ideal", "baseline", "VarSaw", "% mitigated",
+         "global fraction"],
+        [
+            [r["key"], fmt(r["ideal"]), fmt(r["baseline"]), fmt(r["varsaw"]),
+             fmt(r["mitigated"], 0), fmt(r["global_fraction"], 3)]
+            for r in rows
+        ],
+    )
+    mean = sum(r["mitigated"] for r in rows) / len(rows)
+    print(f"mean % mitigated: {mean:.0f}% (paper: 45%)")
+
+    # VarSaw improves on the baseline for most workloads and on average.
+    improved = [r for r in rows if r["mitigated"] > 0]
+    assert len(improved) >= len(rows) - 1
+    assert mean > 10
+    # Globals are sparse: far fewer than one per evaluation.
+    for r in rows:
+        assert r["global_fraction"] < 0.6, r["key"]

@@ -1,0 +1,48 @@
+"""Fig. 8: circuits executed per VQA iteration vs qubit count.
+
+Regenerates every curve: Traditional VQA (~Q^4), JigSaw+VQA (~Q^5), and
+VarSaw at sparsities k = 1, 0.1, 0.01, 0.001 (~Q..Q^4).  Asserts the
+orderings and the crossovers the figure shows.
+"""
+
+from conftest import print_table
+
+from repro.core import figure8_series, jigsaw_cost, traditional_cost, varsaw_cost
+
+QUBITS = [4, 10, 50, 100, 200, 500, 1000]
+SPARSITIES = (1.0, 0.1, 0.01, 0.001)
+
+
+def test_fig8_cost_scaling(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure8_series(qubit_counts=QUBITS, sparsities=SPARSITIES),
+        iterations=1,
+        rounds=1,
+    )
+    headers = ["Q"] + list(series)
+    rows = []
+    for i, q in enumerate(QUBITS):
+        rows.append(
+            [q] + [f"{series[label][i][1]:.3g}" for label in series]
+        )
+    print_table("Fig. 8: circuits per VQA iteration", headers, rows)
+
+    for q in QUBITS:
+        # JigSaw is the costliest curve everywhere.
+        assert jigsaw_cost(q) >= traditional_cost(q)
+        # Sparsity strictly orders the VarSaw family.
+        costs = [varsaw_cost(q, k) for k in SPARSITIES]
+        assert costs == sorted(costs, reverse=True)
+    # VarSaw k=1 overlaps Traditional at scale (the figure's overlap).
+    assert varsaw_cost(1000, 1.0) / traditional_cost(1000) < 1.01
+    # VarSaw is at least O(Q) below JigSaw.
+    assert jigsaw_cost(1000) / varsaw_cost(1000, 1.0) > 500
+    # High sparsity beats even the baseline (Section 3.3).
+    assert varsaw_cost(100, 0.001) < traditional_cost(100)
+    # Asymptotic slopes on the log-log plot.
+    slope = (
+        (jigsaw_cost(1000) / jigsaw_cost(500)) ** (1 / 1)  # ratio at 2x Q
+    )
+    assert 2**5 * 0.8 < slope < 2**5 * 1.2  # ~Q^5
+    slope_trad = traditional_cost(1000) / traditional_cost(500)
+    assert abs(slope_trad - 2**4) < 0.5  # ~Q^4

@@ -1,0 +1,80 @@
+"""Table 1: JigSaw's circuit-level mitigation at optimal parameters.
+
+The ansatz is tuned noise-free ("optimal parameters known from ideal
+simulation"), then evaluated under noise with and without JigSaw.  The
+paper's claim: JigSaw recovers most (>70%) of the measurement-error-
+induced energy inaccuracy for LiH, H2O, H2, and CH4.
+"""
+
+from conftest import fmt, print_table
+
+from repro.analysis import (
+    energy_at_params,
+    energy_error,
+    mean_energy_at_params,
+    optimal_parameters,
+    percent_inaccuracy_mitigated,
+    scaled,
+)
+from repro.noise import ibmq_mumbai_like
+from repro.workloads import make_workload
+
+WORKLOADS = ["LiH-6", "H2O-6", "H2-4", "CH4-6"]
+
+
+def test_table1_jigsaw_circuit_level(benchmark):
+    shots = scaled(2048, 8192)
+    trials = scaled(2, 5)
+    tune_iterations = scaled(300, 1500)
+    device = ibmq_mumbai_like(scale=2.0)
+
+    def experiment():
+        rows = []
+        for key in WORKLOADS:
+            workload = make_workload(key)
+            params = optimal_parameters(workload, iterations=tune_iterations)
+            # The noise-free energy *at these parameters* is the reference
+            # the noise-induced error is measured against (any residual
+            # tuning gap to the true ground state is common to every row).
+            ref = energy_at_params("ideal", workload, params)
+            common = dict(trials=trials, device=device, shots=shots)
+            noisy = mean_energy_at_params(
+                "baseline", workload, params, **common
+            )
+            jigsaw = mean_energy_at_params(
+                "jigsaw", workload, params, **common
+            )
+            rows.append(
+                {
+                    "key": key,
+                    "ground": workload.ideal_energy,
+                    "ref": ref,
+                    "noisy": noisy,
+                    "jigsaw": jigsaw,
+                    "recovered": percent_inaccuracy_mitigated(
+                        ref, noisy, jigsaw
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
+    print_table(
+        "Table 1: energies at optimal parameters (subset size 2)",
+        ["Workload", "Ground", "Ref@params", "Noisy VQE", "VQE+JigSaw",
+         "% recovered"],
+        [
+            [r["key"], fmt(r["ground"]), fmt(r["ref"]), fmt(r["noisy"]),
+             fmt(r["jigsaw"]), fmt(r["recovered"], 0)]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        # JigSaw lands strictly closer to the reference than the noisy run.
+        assert energy_error(r["jigsaw"], r["ref"]) < energy_error(
+            r["noisy"], r["ref"]
+        ), r["key"]
+    # Meaningful recovery on average (paper: >70%).
+    mean_recovered = sum(r["recovered"] for r in rows) / len(rows)
+    print(f"mean % inaccuracy recovered: {mean_recovered:.0f}%")
+    assert mean_recovered > 40

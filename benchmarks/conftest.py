@@ -1,0 +1,76 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure from the VarSaw paper:
+it runs the experiment (at quick scale by default, paper scale under
+``REPRO_SCALE=full``), prints the same rows/series the paper reports, and
+asserts the qualitative shape (who wins, orderings, crossovers).
+
+``pytest benchmarks/ --benchmark-only`` runs everything; pytest-benchmark
+records one timed round per experiment (experiments are minutes-long at
+full scale, so statistical repetition is deliberately disabled).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Every table printed by a benchmark is also appended here, so the
+#: regenerated figures survive even when pytest captures stdout (i.e.
+#: when the suite is run without ``-s``).
+RESULTS_FILE = pathlib.Path(__file__).resolve().parent.parent / (
+    "benchmark_results.txt"
+)
+
+
+def pytest_sessionstart(session):
+    """Start each benchmark session with a fresh results file."""
+    try:
+        RESULTS_FILE.write_text("")
+    except OSError:
+        pass
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned table to stdout and append it to RESULTS_FILE."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [f"\n=== {title} ==="]
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    text = "\n".join(lines)
+    print(text)
+    try:
+        with RESULTS_FILE.open("a") as handle:
+            handle.write(text + "\n")
+    except OSError:
+        pass
+
+
+def fmt(value, digits=2):
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,78 @@
+"""Placing and routing a VQE ansatz on the heavy-hex device.
+
+The paper's premise that subset circuits "map onto the physical qubits
+with highest measurement fidelity" runs through a compiler layer this
+library implements in :mod:`repro.layout`.  This example walks that
+layer end to end on the 27-qubit Mumbai-like device:
+
+1. pick a low-readout-error connected region for the ansatz,
+2. route each entanglement flavor through the coupling graph,
+3. show where a 2-qubit measurement subset lands versus the default.
+
+Usage::
+
+    python examples/heavy_hex_routing.py
+"""
+
+import numpy as np
+
+from repro.ansatz import ENTANGLEMENT_TYPES, EfficientSU2
+from repro.layout import (
+    best_measurement_placement,
+    noise_aware_layout,
+    noise_aware_path_layout,
+    route_circuit,
+)
+from repro.noise import ibmq_mumbai_like
+
+N_QUBITS = 6
+
+
+def main() -> None:
+    device = ibmq_mumbai_like()
+    coupling = device.coupling_map
+    readout = device.readout
+    print(f"Device: {device.name} — {coupling.n_qubits} qubits, "
+          f"{coupling.n_edges} couplings (heavy-hex)\n")
+
+    layout = noise_aware_layout(N_QUBITS, coupling, readout)
+    region = layout.physical_qubits()
+    mean_err = np.mean(
+        [readout.qubit_errors[q].mean_error for q in region]
+    )
+    print(f"Noise-aware region for a {N_QUBITS}-qubit ansatz: "
+          f"{sorted(region)} (mean readout error {mean_err:.3f})\n")
+
+    print(f"{'entanglement':<14}{'logical CX':<12}{'SWAPs':<8}"
+          f"{'native CX':<10}")
+    print("-" * 44)
+    for entanglement in ENTANGLEMENT_TYPES:
+        ansatz = EfficientSU2(N_QUBITS, reps=2, entanglement=entanglement)
+        bound = ansatz.bind(np.zeros(ansatz.num_parameters))
+        if entanglement == "full":
+            start = noise_aware_layout(N_QUBITS, coupling, readout)
+        else:
+            start = noise_aware_path_layout(N_QUBITS, coupling, readout)
+        routed = route_circuit(bound, coupling, start)
+        native = bound.num_two_qubit_gates + routed.overhead
+        print(f"{entanglement:<14}{bound.num_two_qubit_gates:<12}"
+              f"{routed.swaps_inserted:<8}{native:<10}")
+
+    placement = best_measurement_placement([0, 1], coupling, readout)
+    default_err = np.mean(
+        [readout.qubit_errors[q].mean_error for q in (0, 1)]
+    )
+    best_err = np.mean(
+        [readout.qubit_errors[p].mean_error for p in placement.values()]
+    )
+    print(
+        f"\n2-qubit subset measurement: default qubits (0, 1) read at "
+        f"{default_err:.3f};\nbest-qubit placement "
+        f"{dict(placement)} reads at {best_err:.3f} "
+        f"({default_err / best_err:.1f}x better) — JigSaw/VarSaw's "
+        f"subset-mapping benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

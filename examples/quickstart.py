@@ -1,0 +1,42 @@
+"""Quickstart: VQE on H2 with VarSaw measurement error mitigation.
+
+Runs the 4-qubit H2 molecule three ways on a noisy simulated device —
+unmitigated baseline, JigSaw, and VarSaw — and prints what each scheme
+achieves and what it costs in executed circuits.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import make_estimator, make_workload, run_vqe
+from repro.noise import SimulatorBackend, ibmq_mumbai_like
+
+
+def main() -> None:
+    workload = make_workload("H2-4")
+    device = ibmq_mumbai_like(scale=2.0)
+    print(f"Workload: {workload.key} "
+          f"({workload.n_qubits} qubits, "
+          f"{workload.hamiltonian.num_terms} Pauli terms)")
+    print(f"Exact ground-state energy: {workload.ideal_energy:.3f}\n")
+
+    for kind in ("baseline", "jigsaw", "varsaw"):
+        backend = SimulatorBackend(device, seed=7)
+        estimator = make_estimator(kind, workload, backend, shots=512)
+        result = run_vqe(estimator, max_iterations=150, seed=7)
+        error = abs(result.energy - workload.ideal_energy)
+        print(
+            f"{kind:>9}: energy = {result.energy:8.3f}   "
+            f"error = {error:6.3f}   "
+            f"circuits executed = {result.circuits_executed}"
+        )
+
+    print(
+        "\nVarSaw matches (or beats) JigSaw's mitigation while executing"
+        "\nfar fewer circuits — the paper's headline trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a from-scratch reproduction of VarSaw (ASPLOS 2023).
+
+VarSaw tailors JigSaw-style measurement error mitigation to Variational
+Quantum Algorithms by eliminating *spatial* redundancy across the
+Hamiltonian's Pauli-string measurement subsets and *temporal* redundancy
+across the iterative tuner's Global executions.
+
+Quick start::
+
+    from repro import make_workload, make_estimator, run_vqe
+    from repro.noise import SimulatorBackend
+
+    workload = make_workload("H2-4")
+    backend = SimulatorBackend(workload.device, seed=7)
+    estimator = make_estimator("varsaw", workload, backend, shots=512)
+    result = run_vqe(estimator, max_iterations=100, seed=7)
+    print(result.energy, "vs ideal", workload.ideal_energy)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — VarSaw itself (spatial + temporal + cost model).
+* :mod:`repro.mitigation` — JigSaw and matrix-based mitigation.
+* :mod:`repro.vqe`, :mod:`repro.optimizers` — the VQE stack.
+* :mod:`repro.circuits`, :mod:`repro.sim`, :mod:`repro.noise` — the
+  quantum execution substrate.
+* :mod:`repro.pauli`, :mod:`repro.hamiltonian`, :mod:`repro.ansatz` —
+  operators and circuits.
+* :mod:`repro.workloads`, :mod:`repro.analysis` — experiment harness.
+"""
+
+from .ansatz import EfficientSU2
+from .clifford import CliffordTableau, diagonalize_commuting
+from .core import GlobalScheduler, VarSawEstimator, varsaw_subset_plan
+from .hamiltonian import Hamiltonian, build_hamiltonian, ground_state_energy
+from .mitigation import JigSawEstimator, MatrixMitigator
+from .noise import SimulatorBackend, ibmq_mumbai_like
+from .pauli import PauliString
+from .qaoa import QAOAAnsatz, make_qaoa_workload, maxcut_hamiltonian
+from .trotter import evolve_exact, trotter_circuit
+from .vqe import BaselineEstimator, IdealEstimator, VQEResult, run_vqe
+from .workloads import make_estimator, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PauliString",
+    "Hamiltonian",
+    "build_hamiltonian",
+    "ground_state_energy",
+    "EfficientSU2",
+    "SimulatorBackend",
+    "ibmq_mumbai_like",
+    "BaselineEstimator",
+    "IdealEstimator",
+    "JigSawEstimator",
+    "MatrixMitigator",
+    "VarSawEstimator",
+    "GlobalScheduler",
+    "varsaw_subset_plan",
+    "run_vqe",
+    "VQEResult",
+    "make_workload",
+    "make_estimator",
+    "CliffordTableau",
+    "diagonalize_commuting",
+    "QAOAAnsatz",
+    "maxcut_hamiltonian",
+    "make_qaoa_workload",
+    "trotter_circuit",
+    "evolve_exact",
+    "__version__",
+]

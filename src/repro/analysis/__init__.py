@@ -1,0 +1,41 @@
+"""Metrics and experiment-scaling helpers."""
+
+from .experiments import (
+    TuningRun,
+    energy_at_params,
+    fixed_budget_runs,
+    mean_energy_at_params,
+    optimal_parameters,
+    run_tuning,
+)
+from .metrics import (
+    arithmetic_mean,
+    cost_reduction_ratio,
+    energy_error,
+    geometric_mean,
+    percent_inaccuracy_mitigated,
+)
+from .plotting import ascii_plot, sparkline
+from .statistics import TrialSummary, bootstrap_ci, summarize_trials
+from .scale import is_full_scale, scaled
+
+__all__ = [
+    "percent_inaccuracy_mitigated",
+    "energy_error",
+    "cost_reduction_ratio",
+    "geometric_mean",
+    "arithmetic_mean",
+    "is_full_scale",
+    "scaled",
+    "TuningRun",
+    "optimal_parameters",
+    "energy_at_params",
+    "mean_energy_at_params",
+    "run_tuning",
+    "fixed_budget_runs",
+    "ascii_plot",
+    "sparkline",
+    "TrialSummary",
+    "bootstrap_ci",
+    "summarize_trials",
+]

@@ -1,0 +1,27 @@
+"""Experiment scaling: quick (CI-sized) vs full (paper-sized) runs.
+
+Dynamic VQE experiments in the paper run up to 2000 tuner iterations and
+average over up to 10 seeds — hours of simulation.  Every benchmark in
+this repository therefore reads its iteration/shot/trial counts through
+:func:`scaled`, which picks the quick value unless the environment sets
+``REPRO_SCALE=full``.  The quick defaults are chosen so each experiment's
+qualitative shape (who wins, orderings, crossovers) is already stable.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["is_full_scale", "scaled"]
+
+_ENV_VAR = "REPRO_SCALE"
+
+
+def is_full_scale() -> bool:
+    """True when the environment requests paper-scale runs."""
+    return os.environ.get(_ENV_VAR, "quick").lower() == "full"
+
+
+def scaled(quick, full):
+    """Return ``full`` under ``REPRO_SCALE=full``, else ``quick``."""
+    return full if is_full_scale() else quick

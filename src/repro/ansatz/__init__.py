@@ -1,0 +1,5 @@
+"""Variational ansatz circuits."""
+
+from .efficient_su2 import ENTANGLEMENT_TYPES, EfficientSU2
+
+__all__ = ["EfficientSU2", "ENTANGLEMENT_TYPES"]

@@ -1,0 +1,78 @@
+"""ASCII circuit rendering.
+
+A small text drawer for docs, examples, and debugging — one row per
+qubit, gates placed left to right in dependency order::
+
+    q0: -[H]--●-------M
+    q1: ------X---●---M
+    q2: ----------X----
+
+Parameterized gates show their angle (or parameter name when unbound).
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .parameter import Parameter
+
+__all__ = ["draw"]
+
+
+def _gate_label(name: str, param) -> str:
+    if param is None:
+        return name.upper()
+    if isinstance(param, Parameter):
+        return f"{name.upper()}({param.name})"
+    return f"{name.upper()}({param:.3g})"
+
+
+def draw(circuit: Circuit) -> str:
+    """Render ``circuit`` as a multi-line ASCII string."""
+    n = circuit.n_qubits
+    columns: list[dict[int, str]] = []
+    level = [0] * n  # next free column per qubit
+
+    for ins in circuit.instructions:
+        column_index = max(level[q] for q in ins.qubits)
+        while len(columns) <= column_index:
+            columns.append({})
+        column = columns[column_index]
+        if ins.name == "cx":
+            control, target = ins.qubits
+            column[control] = "●"
+            column[target] = "X"
+        elif ins.name == "cz":
+            a, b = ins.qubits
+            column[a] = "●"
+            column[b] = "●"
+        elif ins.name == "swap":
+            a, b = ins.qubits
+            column[a] = "x"
+            column[b] = "x"
+        else:
+            label = _gate_label(ins.name, ins.param)
+            for q in ins.qubits:
+                column[q] = f"[{label}]"
+        for q in ins.qubits:
+            level[q] = column_index + 1
+
+    # Pad each column's cells to equal width.
+    widths = [
+        max((len(cell) for cell in column.values()), default=1)
+        for column in columns
+    ]
+    lines = []
+    label_width = len(f"q{n - 1}")
+    for q in range(n):
+        parts = [f"q{q}".ljust(label_width) + ": "]
+        for column, width in zip(columns, widths):
+            cell = column.get(q, "")
+            pad = width - len(cell)
+            parts.append(
+                "-" + cell + "-" * pad + "-"
+            )
+        if q in circuit.measured_qubits:
+            parts.append("=M")
+        lines.append("".join(parts).rstrip("-") if not circuit.measured_qubits
+                     else "".join(parts))
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,116 @@
+"""Gate definitions and unitary matrices.
+
+Every gate the library uses is listed in :data:`GATE_ARITY`.  Fixed gates
+have constant matrices in :data:`FIXED_GATES`; parameterized rotations are
+produced by :func:`rotation_matrix`.
+
+Conventions
+-----------
+* Matrices are little NumPy ``complex128`` arrays of shape ``(2^k, 2^k)``.
+* For multi-qubit gates the *first* listed qubit is the most significant bit
+  of the matrix index (control-first for CX/CZ).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "GATE_ARITY",
+    "FIXED_GATES",
+    "ROTATION_GATES",
+    "rotation_matrix",
+    "gate_matrix",
+    "is_rotation",
+]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+#: Constant-matrix gates, keyed by lowercase name.
+FIXED_GATES: dict[str, np.ndarray] = {
+    "i": I2,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "cx": CX,
+    "cz": CZ,
+    "swap": SWAP,
+}
+
+#: Single-parameter rotation gates.
+ROTATION_GATES = frozenset({"rx", "ry", "rz", "p"})
+
+#: Number of qubits each gate acts on.
+GATE_ARITY: dict[str, int] = {
+    **{name: int(math.log2(m.shape[0])) for name, m in FIXED_GATES.items()},
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+}
+
+
+def is_rotation(name: str) -> bool:
+    """True if ``name`` denotes a parameterized single-qubit rotation."""
+    return name in ROTATION_GATES
+
+
+def rotation_matrix(name: str, theta: float) -> np.ndarray:
+    """Return the 2x2 unitary for rotation gate ``name`` at angle ``theta``."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    if name == "rx":
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "ry":
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "rz":
+        return np.array(
+            [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]],
+            dtype=complex,
+        )
+    if name == "p":
+        return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+    raise ValueError(f"unknown rotation gate {name!r}")
+
+
+def gate_matrix(name: str, theta: float | None = None) -> np.ndarray:
+    """Return the unitary for any supported gate.
+
+    ``theta`` is required for rotation gates and must be ``None`` otherwise.
+    """
+    if name in FIXED_GATES:
+        if theta is not None:
+            raise ValueError(f"gate {name!r} takes no parameter")
+        return FIXED_GATES[name]
+    if name in ROTATION_GATES:
+        if theta is None:
+            raise ValueError(f"gate {name!r} requires a parameter")
+        return rotation_matrix(name, theta)
+    raise ValueError(f"unknown gate {name!r}")

@@ -1,0 +1,97 @@
+"""Symbolic circuit parameters.
+
+A :class:`Parameter` is a named placeholder used in rotation gates of a
+parameterized circuit (the VQA *ansatz*).  Parameters are bound to concrete
+float values with :meth:`repro.circuits.circuit.Circuit.bind`.
+
+Parameters compare and hash by name, so two ``Parameter("theta[3]")``
+instances are interchangeable.  This keeps circuits cheap to copy and makes
+binding a simple dict lookup.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Parameter", "ParameterVector"]
+
+
+class Parameter:
+    """A named symbolic parameter with an optional linear transform.
+
+    Supports the small amount of arithmetic an ansatz needs: negation and
+    multiplication / division by a constant.  ``coeff * value`` is applied at
+    bind time, so ``-theta`` or ``theta / 2`` can appear directly in a gate.
+    """
+
+    __slots__ = ("name", "coeff")
+
+    def __init__(self, name: str, coeff: float = 1.0):
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        self.name = name
+        self.coeff = float(coeff)
+
+    def bind(self, values: dict[str, float]) -> float:
+        """Resolve to a concrete float using ``values[self.name]``."""
+        if self.name not in values:
+            raise KeyError(f"no value bound for parameter {self.name!r}")
+        return self.coeff * float(values[self.name])
+
+    def __neg__(self) -> "Parameter":
+        return Parameter(self.name, -self.coeff)
+
+    def __mul__(self, other: float) -> "Parameter":
+        return Parameter(self.name, self.coeff * float(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: float) -> "Parameter":
+        return Parameter(self.name, self.coeff / float(other))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Parameter):
+            return NotImplemented
+        return self.name == other.name and self.coeff == other.coeff
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.coeff))
+
+    def __repr__(self) -> str:
+        if self.coeff == 1.0:
+            return f"Parameter({self.name!r})"
+        return f"Parameter({self.name!r}, coeff={self.coeff})"
+
+
+class ParameterVector:
+    """An indexed family of parameters, ``theta[0] .. theta[n-1]``.
+
+    Mirrors the ergonomics of Qiskit's ``ParameterVector``: the ansatz
+    construction code asks for ``vec[i]`` and the optimizer supplies a flat
+    numpy array which :meth:`to_bindings` turns into a name->value dict.
+    """
+
+    def __init__(self, prefix: str, length: int):
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.prefix = prefix
+        self._params = [Parameter(f"{prefix}[{i}]") for i in range(length)]
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._params[index]
+
+    def __iter__(self):
+        return iter(self._params)
+
+    def to_bindings(self, values) -> dict[str, float]:
+        """Map a flat sequence of floats onto this vector's names."""
+        values = list(values)
+        if len(values) != len(self._params):
+            raise ValueError(
+                f"expected {len(self._params)} values, got {len(values)}"
+            )
+        return {p.name: float(v) for p, v in zip(self._params, values)}
+
+    def __repr__(self) -> str:
+        return f"ParameterVector({self.prefix!r}, {len(self)})"

@@ -1,0 +1,100 @@
+"""OpenQASM 2.0 export/import for circuits.
+
+Lets users inspect the circuits this library generates with standard
+tooling and feed externally authored circuits in.  Only the gate set the
+library uses is supported (which is also the subset every QASM consumer
+understands).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .circuit import Circuit
+from .gates import GATE_ARITY, is_rotation
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+#: Library gate name -> qelib1 gate name (identical except 'i' -> 'id').
+_TO_QASM_NAME = {"i": "id", "p": "u1"}
+_FROM_QASM_NAME = {"id": "i", "u1": "p"}
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize a **bound** circuit to OpenQASM 2.0 text."""
+    if not circuit.is_bound():
+        missing = sorted(circuit.parameters)
+        raise ValueError(f"cannot serialize unbound parameters: {missing}")
+    lines = [_HEADER.rstrip()]
+    lines.append(f"qreg q[{circuit.n_qubits}];")
+    measured = sorted(circuit.measured_qubits)
+    if measured:
+        lines.append(f"creg c[{len(measured)}];")
+    for ins in circuit.instructions:
+        name = _TO_QASM_NAME.get(ins.name, ins.name)
+        args = ", ".join(f"q[{q}]" for q in ins.qubits)
+        if ins.param is not None:
+            lines.append(f"{name}({ins.param!r}) {args};")
+        else:
+            lines.append(f"{name} {args};")
+    for bit, qubit in enumerate(measured):
+        lines.append(f"measure q[{qubit}] -> c[{bit}];")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-z0-9]+)\s*(?:\((?P<param>[^)]*)\))?\s*"
+    r"(?P<args>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;$"
+)
+_MEASURE_RE = re.compile(r"^measure\s+q\[(\d+)\]\s*->\s*c\[\d+\]\s*;$")
+_QREG_RE = re.compile(r"^qreg\s+q\[(\d+)\]\s*;$")
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (or compatible).
+
+    Supports a single ``q`` register, the qelib1 gates this library uses,
+    and ``measure`` statements.  Comments and blank lines are ignored.
+    """
+    circuit: Circuit | None = None
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include", "creg")):
+            continue
+        qreg = _QREG_RE.match(line)
+        if qreg:
+            if circuit is not None:
+                raise ValueError("multiple qreg declarations")
+            circuit = Circuit(int(qreg.group(1)))
+            continue
+        if circuit is None:
+            raise ValueError(f"statement before qreg: {line!r}")
+        measure = _MEASURE_RE.match(line)
+        if measure:
+            circuit.measure(int(measure.group(1)))
+            continue
+        gate = _GATE_RE.match(line)
+        if not gate:
+            raise ValueError(f"unsupported QASM statement: {line!r}")
+        name = _FROM_QASM_NAME.get(gate.group("name"), gate.group("name"))
+        if name not in GATE_ARITY:
+            raise ValueError(f"unsupported gate {gate.group('name')!r}")
+        qubits = tuple(
+            int(m) for m in re.findall(r"q\[(\d+)\]", gate.group("args"))
+        )
+        param_text = gate.group("param")
+        if is_rotation(name):
+            if param_text is None:
+                raise ValueError(f"gate {name!r} needs a parameter")
+            circuit.append(name, qubits, float(param_text))
+        else:
+            if param_text is not None:
+                raise ValueError(f"gate {name!r} takes no parameter")
+            circuit.append(name, qubits)
+    if circuit is None:
+        raise ValueError("no qreg declaration found")
+    return circuit

@@ -1,0 +1,98 @@
+"""Lightweight circuit optimization passes.
+
+Real toolchains lower circuits before execution; the subset of passes a
+VarSaw workflow actually benefits from is small and local:
+
+* :func:`cancel_adjacent` — drop self-inverse gate pairs (H H, X X,
+  CX CX, ...) acting back-to-back on the same qubits;
+* :func:`merge_rotations` — fuse consecutive same-axis rotations on one
+  qubit into a single gate (and drop ~zero-angle results);
+* :func:`transpile` — fixed-point iteration of both.
+
+Measurement-basis suffixes appended per group often create exactly these
+patterns (e.g. an ansatz ending in RZ followed by a basis RZ), so the
+passes measurably shrink executed depth while provably preserving the
+unitary (tested against the statevector engine).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .circuit import Circuit, Instruction
+
+__all__ = ["cancel_adjacent", "merge_rotations", "transpile"]
+
+#: Gates that square to the identity.
+_SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap", "i"}
+
+#: Rotation gates whose angles add when composed on the same qubit.
+_ADDITIVE = {"rx", "ry", "rz", "p"}
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _rebuild(circuit: Circuit, instructions: list[Instruction]) -> Circuit:
+    out = Circuit(circuit.n_qubits, circuit.name)
+    out.instructions = instructions
+    out.measured_qubits = set(circuit.measured_qubits)
+    return out
+
+
+def cancel_adjacent(circuit: Circuit) -> Circuit:
+    """Remove immediate self-inverse pairs on identical qubit tuples.
+
+    Gates on disjoint qubits commute, so a pair only cancels when no
+    intervening gate touches any of its qubits; a single left-to-right
+    stack pass with that check finds all such pairs.
+    """
+    stack: list[Instruction] = []
+    for ins in circuit.instructions:
+        if (
+            ins.name in _SELF_INVERSE
+            and stack
+            and stack[-1].name == ins.name
+            and stack[-1].qubits == ins.qubits
+        ):
+            stack.pop()
+            continue
+        stack.append(ins)
+    return _rebuild(circuit, stack)
+
+
+def merge_rotations(circuit: Circuit, atol: float = 1e-12) -> Circuit:
+    """Fuse consecutive same-axis rotations on the same qubit.
+
+    Only bound (numeric) rotations merge; a symbolic parameter blocks the
+    fusion.  Angles are reduced mod 2π and near-zero results dropped.
+    """
+    out: list[Instruction] = []
+    for ins in circuit.instructions:
+        if (
+            ins.name in _ADDITIVE
+            and ins.is_bound()
+            and out
+            and out[-1].name == ins.name
+            and out[-1].qubits == ins.qubits
+            and out[-1].is_bound()
+        ):
+            angle = (out[-1].param + ins.param) % _TWO_PI
+            if angle > math.pi:
+                angle -= _TWO_PI
+            out.pop()
+            if abs(angle) > atol:
+                out.append(Instruction(ins.name, ins.qubits, angle))
+            continue
+        out.append(ins)
+    return _rebuild(circuit, out)
+
+
+def transpile(circuit: Circuit, max_passes: int = 10) -> Circuit:
+    """Run both passes to a fixed point (bounded by ``max_passes``)."""
+    current = circuit
+    for _ in range(max_passes):
+        reduced = merge_rotations(cancel_adjacent(current))
+        if len(reduced) == len(current):
+            return reduced
+        current = reduced
+    return current

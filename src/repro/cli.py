@@ -1,0 +1,326 @@
+"""Command-line interface.
+
+Gives the repository's main workflows one-line entry points::
+
+    python -m repro list                      # workloads and schemes
+    python -m repro subsets                   # Fig. 12-style report
+    python -m repro run CH4-6 --scheme varsaw --budget 20000
+    python -m repro characterize --device ibmq_mumbai_like
+    python -m repro grouping LiH-6            # QWC vs GC report (§3.1)
+    python -m repro qaoa --nodes 6            # VarSaw on MaxCut (§7.3)
+    python -m repro route --qubits 6          # routing cost on heavy-hex
+
+Everything the CLI does is a thin veneer over the public API, so scripts
+can graduate to the library without relearning concepts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import sparkline
+from .core import count_jigsaw_subsets, count_varsaw_subsets
+from .hamiltonian import MOLECULES, build_hamiltonian, molecule_keys
+from .noise import DEVICE_PRESETS, SimulatorBackend, characterize_readout
+from .optimizers import SPSA
+from .vqe import run_vqe
+from .workloads import ESTIMATOR_KINDS, make_estimator, make_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VarSaw reproduction: VQE with measurement error "
+        "mitigation (ASPLOS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schemes, and devices")
+
+    subsets = sub.add_parser(
+        "subsets", help="spatial-reduction report (Fig. 12)"
+    )
+    subsets.add_argument(
+        "--all", action="store_true",
+        help="include the 34-qubit Cr2 workload",
+    )
+    subsets.add_argument(
+        "--window", type=int, default=2, help="subset window size"
+    )
+
+    run = sub.add_parser("run", help="run one VQE tuning experiment")
+    run.add_argument("workload", help="Table 2 key, e.g. CH4-6")
+    run.add_argument(
+        "--scheme", default="varsaw", choices=ESTIMATOR_KINDS,
+    )
+    run.add_argument("--iterations", type=int, default=100)
+    run.add_argument("--budget", type=int, default=None,
+                     help="stop after this many executed circuits")
+    run.add_argument("--shots", type=int, default=256)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--noise-scale", type=float, default=2.0)
+    run.add_argument("--reps", type=int, default=2)
+    run.add_argument(
+        "--entanglement", default="full",
+        choices=("full", "linear", "circular", "asymmetric"),
+    )
+
+    character = sub.add_parser(
+        "characterize", help="readout characterization report"
+    )
+    character.add_argument(
+        "--device", default="ibmq_mumbai_like",
+        choices=sorted(DEVICE_PRESETS),
+    )
+    character.add_argument("--qubits", type=int, default=8)
+    character.add_argument("--shots", type=int, default=8192)
+    character.add_argument("--noise-scale", type=float, default=1.0)
+    character.add_argument("--seed", type=int, default=0)
+
+    grouping = sub.add_parser(
+        "grouping", help="QWC vs general-commutation grouping report"
+    )
+    grouping.add_argument("workload", help="Table 2 key, e.g. LiH-6")
+
+    qaoa = sub.add_parser("qaoa", help="run a QAOA MaxCut experiment")
+    qaoa.add_argument("--problem", default="ring",
+                      choices=("ring", "regular3"))
+    qaoa.add_argument("--nodes", type=int, default=6)
+    qaoa.add_argument("--reps", type=int, default=2)
+    qaoa.add_argument("--scheme", default="varsaw", choices=ESTIMATOR_KINDS)
+    qaoa.add_argument("--iterations", type=int, default=80)
+    qaoa.add_argument("--shots", type=int, default=256)
+    qaoa.add_argument("--seed", type=int, default=0)
+    qaoa.add_argument("--noise-scale", type=float, default=2.0)
+
+    route = sub.add_parser(
+        "route", help="ansatz routing report on a device topology"
+    )
+    route.add_argument(
+        "--device", default="ibmq_mumbai_like",
+        choices=sorted(DEVICE_PRESETS),
+    )
+    route.add_argument("--qubits", type=int, default=6)
+    route.add_argument("--reps", type=int, default=2)
+    return parser
+
+
+def _cmd_list(_args) -> int:
+    print("Workloads (Table 2):")
+    for key in molecule_keys():
+        spec = MOLECULES[key]
+        marker = "temporal+spatial" if spec.temporal else "spatial only"
+        print(
+            f"  {key:<10} {spec.n_qubits:>2} qubits, "
+            f"{spec.n_terms:>6} Pauli terms  ({marker})"
+        )
+    print("\nSchemes:", ", ".join(ESTIMATOR_KINDS))
+    print("Devices:", ", ".join(sorted(DEVICE_PRESETS)))
+    return 0
+
+
+def _cmd_subsets(args) -> int:
+    keys = molecule_keys()
+    if not args.all:
+        keys = [k for k in keys if k != "Cr2-34"]
+    print(
+        f"{'workload':<10} {'baseline':>9} {'jigsaw':>8} {'varsaw':>7} "
+        f"{'reduction':>10}"
+    )
+    for key in keys:
+        ham = build_hamiltonian(key)
+        baseline = len(ham.measurement_groups())
+        jig = count_jigsaw_subsets(ham, window=args.window)
+        var = count_varsaw_subsets(ham, window=args.window)
+        print(
+            f"{key:<10} {baseline:>9} {jig:>8} {var:>7} "
+            f"{jig / var:>9.1f}x"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.workload not in MOLECULES:
+        print(
+            f"unknown workload {args.workload!r}; try: "
+            f"{', '.join(molecule_keys())}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = make_workload(
+        args.workload, reps=args.reps, entanglement=args.entanglement
+    )
+    device = workload.device.with_noise_scale(args.noise_scale)
+    backend = SimulatorBackend(device, seed=args.seed)
+    estimator = make_estimator(
+        args.scheme, workload, backend, shots=args.shots
+    )
+    print(
+        f"{workload.key}: {workload.n_qubits} qubits, "
+        f"{workload.hamiltonian.num_terms} terms, "
+        f"ideal energy {workload.ideal_energy:.3f}"
+    )
+    result = run_vqe(
+        estimator,
+        optimizer=SPSA(a=0.3, seed=args.seed),
+        max_iterations=args.iterations if args.budget is None else 10**6,
+        circuit_budget=args.budget,
+        seed=args.seed,
+    )
+    print(
+        f"{args.scheme}: energy = {result.energy:.4f} "
+        f"(error {abs(result.energy - workload.ideal_energy):.4f}) "
+        f"after {result.iterations} iterations, "
+        f"{result.circuits_executed} circuits"
+    )
+    if result.energy_history:
+        trace = result.energy_history[:: max(1, len(result.energy_history) // 60)]
+        print("trace:", sparkline([-v for v in trace]))
+    fraction = getattr(estimator, "global_fraction", None)
+    if fraction is not None:
+        print(f"global fraction: {fraction:.3f}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    device = DEVICE_PRESETS[args.device](scale=args.noise_scale)
+    qubits = list(range(min(args.qubits, device.n_qubits)))
+    backend = SimulatorBackend(device, seed=args.seed)
+    report = characterize_readout(backend, qubits, shots=args.shots)
+    print(f"{args.device} (scale {args.noise_scale:g}):")
+    print(f"{'qubit':>5} {'P(1|0)':>8} {'P(0|1)':>8} {'mean':>8}")
+    for q in report.qubits:
+        print(
+            f"{q.qubit:>5} {q.p01:>8.4f} {q.p10:>8.4f} "
+            f"{q.mean_error:>8.4f}"
+        )
+    print(f"crosstalk inflation: {report.crosstalk_inflation:.2f}x")
+    print(f"best qubits: {report.best_qubits(min(4, len(qubits)))}")
+    return 0
+
+
+def _cmd_grouping(args) -> int:
+    from .pauli import color_general_commuting, diagonalized_groups, group_qwc
+
+    if args.workload not in MOLECULES:
+        print(
+            f"unknown workload {args.workload!r}; try: "
+            f"{', '.join(molecule_keys())}",
+            file=sys.stderr,
+        )
+        return 2
+    ham = build_hamiltonian(args.workload)
+    paulis = [p for _, p in ham.non_identity_terms()]
+    qwc = group_qwc(paulis, ham.n_qubits)
+    gc = diagonalized_groups(paulis, ham.n_qubits, method="color")
+    gc_cx = sum(g.entangling_gates for g in gc)
+    print(f"{args.workload}: {len(paulis)} Pauli terms")
+    print(f"  QWC groups : {len(qwc):>5}   rotation CX: 0")
+    print(f"  GC  groups : {len(gc):>5}   rotation CX: {gc_cx}")
+    print(
+        f"  GC measures {len(qwc) / len(gc):.1f}x fewer circuits but "
+        f"pays {gc_cx} entangling gates per iteration (Section 3.1)."
+    )
+    return 0
+
+
+def _cmd_qaoa(args) -> int:
+    from .qaoa import make_qaoa_workload
+
+    try:
+        workload = make_qaoa_workload(
+            args.problem, args.nodes, reps=args.reps
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    device = workload.device.with_noise_scale(args.noise_scale)
+    backend = SimulatorBackend(device, seed=args.seed)
+    estimator = make_estimator(
+        args.scheme, workload, backend, shots=args.shots
+    )
+    print(
+        f"{workload.key}: QAOA p={args.reps}, max cut "
+        f"{-workload.ideal_energy:.0f}"
+    )
+    result = run_vqe(
+        estimator,
+        max_iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(
+        f"{args.scheme}: energy = {result.energy:.4f} "
+        f"(ideal {workload.ideal_energy:.1f}) after "
+        f"{result.iterations} iterations, "
+        f"{result.circuits_executed} circuits"
+    )
+    return 0
+
+
+def _cmd_route(args) -> int:
+    import numpy as np
+
+    from .ansatz import ENTANGLEMENT_TYPES, EfficientSU2
+    from .layout import (
+        noise_aware_layout,
+        noise_aware_path_layout,
+        route_circuit,
+    )
+
+    device = DEVICE_PRESETS[args.device]()
+    coupling = device.coupling_map
+    if args.qubits > coupling.n_qubits:
+        print(
+            f"device has only {coupling.n_qubits} qubits",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"{args.device}: {coupling.n_qubits} qubits, "
+        f"{coupling.n_edges} couplings"
+    )
+    print(f"{'entanglement':<14} {'logical CX':>10} {'SWAPs':>6} "
+          f"{'native CX':>10}")
+    for entanglement in ENTANGLEMENT_TYPES:
+        ansatz = EfficientSU2(
+            args.qubits, reps=args.reps, entanglement=entanglement
+        )
+        bound = ansatz.bind(np.zeros(ansatz.num_parameters))
+        if entanglement == "full":
+            layout = noise_aware_layout(
+                args.qubits, coupling, device.readout
+            )
+        else:
+            layout = noise_aware_path_layout(
+                args.qubits, coupling, device.readout
+            )
+        routed = route_circuit(bound, coupling, layout)
+        native = bound.num_two_qubit_gates + routed.overhead
+        print(
+            f"{entanglement:<14} {bound.num_two_qubit_gates:>10} "
+            f"{routed.swaps_inserted:>6} {native:>10}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "subsets": _cmd_subsets,
+    "run": _cmd_run,
+    "characterize": _cmd_characterize,
+    "grouping": _cmd_grouping,
+    "qaoa": _cmd_qaoa,
+    "route": _cmd_route,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

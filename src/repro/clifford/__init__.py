@@ -1,0 +1,24 @@
+"""Clifford/stabilizer substrate.
+
+The paper's spatial optimization sticks to *qubit-wise* commutativity
+because general-commutation (GC) grouping needs an entangling Clifford
+circuit to rotate each group into the computational basis (Section 3.1).
+This subpackage supplies exactly that machinery so the trade-off can be
+measured instead of assumed:
+
+* :class:`CliffordTableau` — phase-tracking stabilizer tableau that
+  conjugates Pauli strings through Clifford circuits in O(n) per gate.
+* :func:`diagonalize_commuting` — build the Clifford measurement circuit
+  that maps a mutually-commuting Pauli family to Z-only strings, plus the
+  signed diagonal image of every member.
+"""
+
+from .tableau import CliffordTableau, CLIFFORD_GATES
+from .diagonalize import DiagonalizedGroup, diagonalize_commuting
+
+__all__ = [
+    "CliffordTableau",
+    "CLIFFORD_GATES",
+    "DiagonalizedGroup",
+    "diagonalize_commuting",
+]

@@ -1,0 +1,53 @@
+"""VarSaw: the paper's primary contribution.
+
+* :mod:`~repro.core.spatial` — commuting of Pauli string subsets.
+* :mod:`~repro.core.temporal` — selective execution of Globals.
+* :mod:`~repro.core.varsaw` — the end-to-end estimator.
+* :mod:`~repro.core.cost` — the Fig. 8 analytic cost model.
+"""
+
+from .cost import (
+    figure8_series,
+    jigsaw_cost,
+    pauli_terms,
+    traditional_cost,
+    varsaw_cost,
+    varsaw_subset_pool,
+)
+from .selective import (
+    CalibrationGate,
+    CalibrationGatedVarSawEstimator,
+    PhasePolicy,
+    SelectiveVarSawEstimator,
+    TermSelector,
+)
+from .spatial import (
+    SubsetPlan,
+    count_jigsaw_subsets,
+    count_varsaw_subsets,
+    reduce_assignments,
+    varsaw_subset_plan,
+)
+from .temporal import GlobalScheduler
+from .varsaw import VarSawEstimator
+
+__all__ = [
+    "VarSawEstimator",
+    "SelectiveVarSawEstimator",
+    "TermSelector",
+    "CalibrationGate",
+    "CalibrationGatedVarSawEstimator",
+    "PhasePolicy",
+    "GlobalScheduler",
+    "SubsetPlan",
+    "varsaw_subset_plan",
+    "reduce_assignments",
+    "count_jigsaw_subsets",
+    "count_varsaw_subsets",
+    "pauli_terms",
+    "traditional_cost",
+    "jigsaw_cost",
+    "varsaw_cost",
+    "varsaw_subset_pool",
+    "figure8_series",
+]

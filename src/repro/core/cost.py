@@ -1,0 +1,83 @@
+"""Analytic per-iteration circuit-cost model (Fig. 8).
+
+The paper models the circuits executed per VQA iteration as a function of
+qubit count ``Q``:
+
+* Pauli terms:           ``P(Q) = 0.01 * Q^4``      (Section 3.2)
+* Traditional VQA:       ``O(P)``                    — one circuit per term
+* JigSaw for VQA:        ``O(P + P * Q)``            — globals + per-term
+  sliding-window subsets
+* VarSaw (sparsity k):   ``O(k * P + S(Q))``         — occasional globals +
+  the commuted subset pool, which is bounded by the number of *distinct*
+  window bases, ``O(Q)`` for a width-2 sliding window
+
+``S(Q)`` caps at 9 distinct bases per adjacent window (the {X,Z}x{X,Z}
+pairs of the worked example generalize to at most 3^2 per window over
+{X,Y,Z}); it can never exceed JigSaw's raw subset count either.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "pauli_terms",
+    "traditional_cost",
+    "jigsaw_cost",
+    "varsaw_subset_pool",
+    "varsaw_cost",
+    "figure8_series",
+]
+
+#: Distinct Pauli bases per width-2 window over {X, Y, Z}.
+_BASES_PER_WINDOW = 9
+
+
+def pauli_terms(n_qubits: int) -> float:
+    """The paper's Hamiltonian-size model, P = 0.01 * Q^4 (>= 1)."""
+    if n_qubits < 1:
+        raise ValueError("n_qubits must be positive")
+    return max(1.0, 0.01 * n_qubits**4)
+
+
+def traditional_cost(n_qubits: int) -> float:
+    """Circuits per iteration for unmitigated VQA (one per Pauli circuit)."""
+    return pauli_terms(n_qubits)
+
+
+def jigsaw_cost(n_qubits: int, window: int = 2) -> float:
+    """Globals plus per-term sliding-window subsets."""
+    subsets_per_term = max(1, n_qubits - window + 1)
+    p = pauli_terms(n_qubits)
+    return p + p * subsets_per_term
+
+
+def varsaw_subset_pool(n_qubits: int, window: int = 2) -> float:
+    """The commuted subset pool size: min(raw JigSaw subsets, 9 per window)."""
+    windows = max(1, n_qubits - window + 1)
+    raw = pauli_terms(n_qubits) * windows
+    return min(raw, _BASES_PER_WINDOW * windows)
+
+
+def varsaw_cost(n_qubits: int, k: float, window: int = 2) -> float:
+    """Occasional globals (fraction ``k``) plus the commuted subset pool."""
+    if not 0.0 <= k <= 1.0:
+        raise ValueError("k must be in [0, 1]")
+    return k * pauli_terms(n_qubits) + varsaw_subset_pool(n_qubits, window)
+
+
+def figure8_series(
+    qubit_counts=None, sparsities=(1.0, 0.1, 0.01, 0.001)
+) -> dict[str, list[tuple[int, float]]]:
+    """All Fig. 8 curves: label -> [(Q, circuits per iteration), ...]."""
+    if qubit_counts is None:
+        qubit_counts = list(range(4, 1001, 4))
+    series: dict[str, list[tuple[int, float]]] = {
+        "Traditional VQA": [
+            (q, traditional_cost(q)) for q in qubit_counts
+        ],
+        "JigSaw + VQA": [(q, jigsaw_cost(q)) for q in qubit_counts],
+    }
+    for k in sparsities:
+        series[f"VarSaw (k={k:g})"] = [
+            (q, varsaw_cost(q, k)) for q in qubit_counts
+        ]
+    return series

@@ -1,0 +1,96 @@
+"""VarSaw's temporal optimization: *Selective Execution of Globals*.
+
+Adjacent VQA iterations produce nearly identical Global distributions
+(Section 3.3), so VarSaw executes Globals only every ``k``-th objective
+evaluation and reconstructs the other evaluations against the most recent
+mitigated result.  ``k`` is tuned online by hill climbing (Fig. 11): on a
+Global evaluation the energy is computed both ways — (a) fresh Global +
+current Subsets, (b) stale prior + current Subsets — and
+
+* if the stale result is at least as low (VQE: lower is better), the stale
+  path is kept and the Global period doubles (more sparsity);
+* otherwise the fresh result is adopted and the period halves.
+
+:class:`GlobalScheduler` also supports the two extreme policies the paper
+studies in Fig. 9: ``always`` (No-Sparsity) and ``never`` (Max-Sparsity —
+one Global at the very start only).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GlobalScheduler"]
+
+_MODES = ("adaptive", "always", "never")
+
+
+class GlobalScheduler:
+    """Decides which objective evaluations run fresh Global circuits."""
+
+    def __init__(
+        self,
+        mode: str = "adaptive",
+        initial_period: int = 2,
+        min_period: int = 1,
+        max_period: int = 1024,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        if not 1 <= min_period <= initial_period <= max_period:
+            raise ValueError(
+                "need 1 <= min_period <= initial_period <= max_period"
+            )
+        self.mode = mode
+        self.period = initial_period
+        self.min_period = min_period
+        self.max_period = max_period
+        self._next_due = 0
+        self._last_global = 0
+        self.globals_executed = 0
+        self.evaluations_seen = 0
+        self.period_history: list[int] = []
+
+    def due(self, evaluation_index: int) -> bool:
+        """Should evaluation ``evaluation_index`` run fresh Globals?"""
+        if self.mode == "always":
+            return True
+        if self.mode == "never":
+            return evaluation_index == 0
+        return evaluation_index >= self._next_due
+
+    def record_global(self, evaluation_index: int) -> None:
+        """Note that Globals were executed at this evaluation."""
+        self.globals_executed += 1
+        self._last_global = evaluation_index
+        if self.mode == "adaptive":
+            self._next_due = evaluation_index + self.period
+
+    def record_evaluation(self) -> None:
+        self.evaluations_seen += 1
+        self.period_history.append(self.period)
+
+    def feedback(self, stale_at_least_as_good: bool) -> None:
+        """Hill-climb the period from a fresh-vs-stale comparison.
+
+        No-op outside adaptive mode (the extremes never move).
+        """
+        if self.mode != "adaptive":
+            return
+        if stale_at_least_as_good:
+            self.period = min(self.max_period, self.period * 2)
+        else:
+            self.period = max(self.min_period, self.period // 2)
+        # Re-anchor the next due point on the updated period.
+        self._next_due = self._last_global + self.period
+
+    @property
+    def global_fraction(self) -> float:
+        """Fraction of evaluations that ran Globals (Fig. 14, blue line)."""
+        if self.evaluations_seen == 0:
+            return 0.0
+        return self.globals_executed / self.evaluations_seen
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalScheduler mode={self.mode!r} period={self.period} "
+            f"fraction={self.global_fraction:.3f}>"
+        )

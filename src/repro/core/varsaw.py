@@ -1,0 +1,206 @@
+"""The VarSaw estimator: spatial + temporal optimizations end to end.
+
+Per objective evaluation VarSaw executes
+
+* the **reduced subset circuits** from the spatial plan (every
+  evaluation — subsets must track the current ansatz parameters), each
+  measuring only its support, mapped to the device's best readout qubits;
+* the **Global circuits** (one per measurement group) only when the
+  :class:`~repro.core.temporal.GlobalScheduler` says they are due.
+
+Reconstruction per group uses the group-compatible Local-PMFs against a
+*prior*: the fresh Global-PMF on Global evaluations, or the stored
+mitigated result of the previous evaluation otherwise (Fig. 11's MR_i
+chain).  On Global evaluations both paths are computed and the energy
+comparison drives the scheduler's hill climbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ansatz import EfficientSU2
+from ..hamiltonian import Hamiltonian
+from ..mitigation.reconstruction import bayesian_reconstruct
+from ..noise import SimulatorBackend
+from ..pauli import PauliString
+from ..sim import PMF
+from ..vqe.estimator import EstimatorBase
+from ..vqe.expectation import energy_from_group_pmfs
+from .spatial import SubsetPlan, varsaw_subset_plan
+from .temporal import GlobalScheduler
+
+__all__ = ["VarSawEstimator"]
+
+
+class VarSawEstimator(EstimatorBase):
+    """Application-tailored measurement error mitigation for VQE.
+
+    Parameters
+    ----------
+    window:
+        Subset width (paper optimum: 2 — see Appendix A).
+    global_mode:
+        ``adaptive`` (the full VarSaw design), ``always`` (No-Sparsity),
+        or ``never`` (Max-Sparsity; Globals only on the first evaluation).
+    subset_shots:
+        Shots per subset circuit (defaults to ``shots``).
+    initial_period / max_period:
+        Hill-climbing bounds for the adaptive scheduler.
+    mbm:
+        Optional :class:`~repro.mitigation.mbm.MatrixMitigator` applied to
+        every Global-PMF before reconstruction (the paper's VarSaw+MBM
+        stack, Fig. 18).
+    """
+
+    def __init__(
+        self,
+        hamiltonian: Hamiltonian,
+        ansatz: EfficientSU2,
+        backend: SimulatorBackend,
+        shots: int = 1024,
+        window: int = 2,
+        subset_shots: int | None = None,
+        global_mode: str = "adaptive",
+        initial_period: int = 2,
+        max_period: int = 1024,
+        mbm=None,
+    ):
+        super().__init__(hamiltonian, ansatz, backend, shots)
+        self.window = window
+        self.subset_shots = subset_shots if subset_shots else shots
+        self.plan: SubsetPlan = varsaw_subset_plan(hamiltonian, window)
+        self.scheduler = GlobalScheduler(
+            mode=global_mode,
+            initial_period=initial_period,
+            max_period=max_period,
+        )
+        self._subset_rotations = [
+            self.plan.rotation_circuit(i)
+            for i in range(self.plan.num_subsets)
+        ]
+        # Subset indices usable for each measurement group (by position —
+        # two groups may share a Z-filled basis but stay distinct circuits).
+        self._compatible: list[list[int]] = [
+            self.plan.compatible_with(basis) for basis in self.bases
+        ]
+        self._prior: list[PMF] | None = None
+        self._evaluation_index = 0
+        self.mbm = mbm
+
+    # ------------------------------------------------------------- execution
+
+    def _run_subsets(self, state: np.ndarray) -> list[PMF]:
+        """Execute every reduced subset circuit once; return Local-PMFs."""
+        gate_load = self.ansatz.gate_load
+        locals_: list[PMF] = []
+        for i, rotation in enumerate(self._subset_rotations):
+            counts = self.backend.run_from_state(
+                state,
+                rotation,
+                self.plan.support(i),
+                self.subset_shots,
+                map_to_best=True,
+                gate_load=gate_load,
+            )
+            locals_.append(counts.to_pmf())
+        return locals_
+
+    def _run_global(self, state: np.ndarray, basis: PauliString) -> PMF:
+        counts = self.backend.run_from_state(
+            state,
+            self.rotation_for(basis),
+            range(self.n_qubits),
+            self.shots,
+            map_to_best=False,
+            gate_load=self.ansatz.gate_load,
+        )
+        pmf = counts.to_pmf()
+        if self.mbm is not None:
+            pmf = self.mbm.mitigate_pmf(pmf)
+        return pmf
+
+    # ------------------------------------------------------------- objective
+
+    def evaluate(self, params: np.ndarray) -> float:
+        state = self.prepare_state(params)
+        local_pmfs = self._run_subsets(state)
+        t = self._evaluation_index
+        self._evaluation_index += 1
+        have_prior = self._prior is not None
+        run_globals = self.scheduler.due(t) or not have_prior
+
+        def locals_for(group: int) -> list[PMF]:
+            return [local_pmfs[i] for i in self._compatible[group]]
+
+        if run_globals:
+            fresh: list[PMF] = []
+            for g, basis in enumerate(self.bases):
+                global_pmf = self._run_global(state, basis)
+                fresh.append(
+                    bayesian_reconstruct(global_pmf, locals_for(g))
+                )
+            self.scheduler.record_global(t)
+            if have_prior:
+                stale = self._reconstruct_from_prior(locals_for)
+                energy_fresh = self._energy(fresh)
+                energy_stale = self._energy(stale)
+                # Fig. 11: if the stale-prior result is at least as low,
+                # the Globals were redundant — keep the stale result and
+                # increase sparsity; else adopt fresh and decrease it.
+                if energy_stale <= energy_fresh:
+                    self.scheduler.feedback(stale_at_least_as_good=True)
+                    chosen, energy = stale, energy_stale
+                else:
+                    self.scheduler.feedback(stale_at_least_as_good=False)
+                    chosen, energy = fresh, energy_fresh
+            else:
+                chosen = fresh
+                energy = self._energy(fresh)
+        else:
+            chosen = self._reconstruct_from_prior(locals_for)
+            energy = self._energy(chosen)
+        self._prior = chosen
+        self.scheduler.record_evaluation()
+        return energy
+
+    def _reconstruct_from_prior(self, locals_for) -> list[PMF]:
+        assert self._prior is not None
+        return [
+            bayesian_reconstruct(self._prior[g], locals_for(g))
+            for g in range(len(self.bases))
+        ]
+
+    def _energy(self, pmfs: list[PMF]) -> float:
+        return energy_from_group_pmfs(
+            self.hamiltonian, pmfs, self.group_terms
+        )
+
+    # ------------------------------------------------------------ accounting
+
+    @property
+    def circuits_per_subset_pass(self) -> int:
+        return self.plan.num_subsets
+
+    @property
+    def circuits_per_global_pass(self) -> int:
+        return self.num_groups
+
+    @property
+    def global_fraction(self) -> float:
+        """Observed fraction of evaluations that executed Globals."""
+        return self.scheduler.global_fraction
+
+    def reset_temporal_state(self) -> None:
+        """Forget priors and scheduler state (for fresh trials)."""
+        self._prior = None
+        self._evaluation_index = 0
+        self.scheduler = GlobalScheduler(
+            mode=self.scheduler.mode,
+            initial_period=min(
+                self.scheduler.max_period,
+                max(self.scheduler.min_period, 2),
+            ),
+            min_period=self.scheduler.min_period,
+            max_period=self.scheduler.max_period,
+        )

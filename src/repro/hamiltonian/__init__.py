@@ -1,0 +1,28 @@
+"""Hamiltonians: containers, exact solvers, molecular and TFIM workloads."""
+
+from .exact import ground_state, ground_state_energy
+from .hamiltonian import Hamiltonian
+from .molecules import (
+    MOLECULES,
+    MoleculeSpec,
+    build_hamiltonian,
+    molecule_keys,
+    reference_energy,
+)
+from .spin_models import heisenberg_hamiltonian, xy_hamiltonian
+from .tfim import paper_tfim, tfim_hamiltonian
+
+__all__ = [
+    "Hamiltonian",
+    "ground_state",
+    "ground_state_energy",
+    "MOLECULES",
+    "MoleculeSpec",
+    "build_hamiltonian",
+    "molecule_keys",
+    "reference_energy",
+    "paper_tfim",
+    "tfim_hamiltonian",
+    "heisenberg_hamiltonian",
+    "xy_hamiltonian",
+]

@@ -1,0 +1,235 @@
+"""Molecular VQE workloads (Table 2 of the paper).
+
+The paper builds its Hamiltonians with PySCF + Qiskit Nature.  Offline, we
+substitute a *deterministic synthetic electronic-structure generator* that
+reproduces what the experiments actually depend on:
+
+* exact qubit and Pauli-term counts per workload (Table 2),
+* Jordan-Wigner-like term structure — diagonal Z/ZZ strings, two-body
+  X..Z..X / Y..Z..Y excitations, and eight-way four-body excitation
+  patterns — which sets the I-density that VarSaw's spatial redundancy
+  feeds on,
+* coefficient magnitudes that decay with term weight (diagonal dominance),
+* a per-molecule identity offset calibrated so the exact ground-state
+  energy equals the paper's reference energy (Table 1), making every
+  energy plot directly comparable to the paper's axes.
+
+The 4-qubit H2 workload is the one molecule small enough to hardcode from
+the literature: we use the standard STO-3G Jordan-Wigner coefficients
+(15 terms), then apply the same identity calibration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..pauli import PauliString
+from .exact import ground_state_energy
+from .hamiltonian import Hamiltonian
+
+__all__ = ["MoleculeSpec", "MOLECULES", "molecule_keys", "build_hamiltonian", "reference_energy"]
+
+
+@dataclass(frozen=True)
+class MoleculeSpec:
+    """One Table 2 row: workload key, size, and evaluation mode."""
+
+    key: str
+    molecule: str
+    n_qubits: int
+    n_terms: int
+    temporal: bool  # whether temporal-redundancy evaluation is feasible
+    reference_energy: float | None  # Table 1 / Fig. 13 energy scale, if known
+
+
+#: Table 2, verbatim.  Reference energies come from Table 1 (paper's
+#: "Ref. Energy" column) where the paper reports them; molecules the paper
+#: only uses for the spatial (counting) evaluation have no reference.
+MOLECULES: dict[str, MoleculeSpec] = {
+    spec.key: spec
+    for spec in [
+        MoleculeSpec("H2-4", "H2", 4, 15, True, 10.46),
+        MoleculeSpec("LiH-6", "LiH", 6, 118, True, 1.72),
+        MoleculeSpec("LiH-8", "LiH", 8, 193, True, 1.72),
+        MoleculeSpec("H2O-6", "H2O", 6, 62, True, -109.86),
+        MoleculeSpec("H2O-8", "H2O", 8, 193, True, -109.86),
+        MoleculeSpec("H2O-12", "H2O", 12, 670, False, None),
+        MoleculeSpec("CH4-6", "CH4", 6, 94, True, -28.55),
+        MoleculeSpec("CH4-8", "CH4", 8, 241, True, -28.55),
+        MoleculeSpec("H6-10", "H6", 10, 919, False, None),
+        MoleculeSpec("BeH2-12", "BeH2", 12, 670, False, None),
+        MoleculeSpec("N2-12", "N2", 12, 660, False, None),
+        MoleculeSpec("C2H4-20", "C2H4", 20, 10510, False, None),
+        MoleculeSpec("Cr2-34", "Cr2", 34, 32699, False, None),
+    ]
+}
+
+
+def molecule_keys(temporal_only: bool = False) -> list[str]:
+    """Workload keys in Table 2 order."""
+    return [
+        key
+        for key, spec in MOLECULES.items()
+        if spec.temporal or not temporal_only
+    ]
+
+
+# --------------------------------------------------------------------- H2
+
+#: Standard STO-3G Jordan-Wigner H2 Hamiltonian at equilibrium bond length
+#: (O'Malley et al. 2016 convention): 15 Pauli terms on 4 qubits.
+_H2_TERMS: list[tuple[float, str]] = [
+    (-0.81261, "IIII"),
+    (0.171201, "ZIII"),
+    (0.171201, "IZII"),
+    (-0.2227965, "IIZI"),
+    (-0.2227965, "IIIZ"),
+    (0.16862325, "ZZII"),
+    (0.12054625, "ZIZI"),
+    (0.165868, "ZIIZ"),
+    (0.165868, "IZZI"),
+    (0.12054625, "IZIZ"),
+    (0.17434925, "IIZZ"),
+    (-0.04532175, "XXYY"),
+    (0.04532175, "XYYX"),
+    (0.04532175, "YXXY"),
+    (-0.04532175, "YYXX"),
+]
+
+
+# ------------------------------------------------------- synthetic generator
+
+# The eight four-body excitation patterns (even number of Y's) that appear
+# in Jordan-Wigner double-excitation terms.
+_DOUBLE_PATTERNS = (
+    "XXXX", "XXYY", "XYXY", "XYYX", "YXXY", "YXYX", "YYXX", "YYYY",
+)
+
+
+def _candidate_strings(n_qubits: int):
+    """Yield Pauli strings in canonical electronic-structure order.
+
+    Order: identity; single Z; ZZ pairs; one-body excitations
+    (X Z..Z X and Y Z..Z Y on each pair, JW parity string between); then
+    four-body excitations on each index quadruple (eight patterns each,
+    with Z fill between the first and second pair).  The supply is far
+    larger than any Table 2 term count.
+    """
+    yield PauliString.identity(n_qubits), 0
+    for i in range(n_qubits):
+        yield PauliString.from_sparse(n_qubits, {i: "Z"}), 1
+    for i, j in itertools.combinations(range(n_qubits), 2):
+        yield PauliString.from_sparse(n_qubits, {i: "Z", j: "Z"}), 2
+    for i, j in itertools.combinations(range(n_qubits), 2):
+        for kind in ("X", "Y"):
+            assignment = {i: kind, j: kind}
+            for q in range(i + 1, j):
+                assignment[q] = "Z"
+            yield PauliString.from_sparse(n_qubits, assignment), 2
+    for quad in itertools.combinations(range(n_qubits), 4):
+        i, j, k, l = quad
+        for pattern in _DOUBLE_PATTERNS:
+            assignment = dict(zip(quad, pattern))
+            for q in range(i + 1, j):
+                assignment[q] = "Z"
+            for q in range(k + 1, l):
+                assignment[q] = "Z"
+            yield PauliString.from_sparse(n_qubits, assignment), 4
+
+
+def _synthetic_terms(
+    spec: MoleculeSpec, rng: np.random.Generator
+) -> list[tuple[float, PauliString]]:
+    """``spec.n_terms`` canonical strings with decaying coefficients.
+
+    The diagonal core (identity, single-Z, ZZ) and the one-body
+    excitations are always present — every electronic Hamiltonian has
+    them.  The remaining budget is filled by a per-molecule seeded sample
+    of the four-body excitation pool, so two molecules with the same
+    (qubits, terms) signature still get distinct term sets, as real
+    chemistry would produce.
+    """
+    core: list[tuple[PauliString, int]] = []
+    pool: list[tuple[PauliString, int]] = []
+    needed = spec.n_terms
+    for pauli, weight in _candidate_strings(spec.n_qubits):
+        if weight <= 2:
+            core.append((pauli, weight))
+        else:
+            pool.append((pauli, weight))
+        if len(core) >= needed or len(pool) >= 3 * needed:
+            break
+    if len(core) >= needed:
+        chosen = core[:needed]
+    else:
+        remaining = needed - len(core)
+        if remaining > len(pool):
+            raise ValueError(
+                f"cannot generate {needed} terms for {spec.key}: "
+                f"only {len(core) + len(pool)} candidates"
+            )
+        picks = rng.choice(len(pool), size=remaining, replace=False)
+        chosen = core + [pool[i] for i in sorted(picks)]
+    terms: list[tuple[float, PauliString]] = []
+    for pauli, weight in chosen:
+        if weight == 0:
+            coeff = 0.0  # identity offset is calibrated afterwards
+        elif set(pauli.label) <= {"I", "Z"}:
+            # Diagonal (Z-only) strings dominate electronic Hamiltonians.
+            coeff = float(rng.normal(0.0, 0.4 / weight))
+        else:
+            coeff = float(rng.normal(0.0, 0.12 / weight))
+        terms.append((coeff, pauli))
+    return terms
+
+
+@lru_cache(maxsize=None)
+def build_hamiltonian(key: str) -> Hamiltonian:
+    """Build the workload Hamiltonian for a Table 2 key, e.g. 'CH4-6'.
+
+    Deterministic: the same key always yields the same operator.  For
+    molecules with a Table 1 reference energy (and <= 12 qubits), the
+    identity coefficient is calibrated so the exact ground-state energy
+    equals the reference — the paper states the ideal energy is identical
+    across configurations of the same molecule.
+    """
+    if key not in MOLECULES:
+        raise KeyError(
+            f"unknown molecule {key!r}; choose from {sorted(MOLECULES)}"
+        )
+    spec = MOLECULES[key]
+    if key == "H2-4":
+        ham = Hamiltonian(
+            [(c, PauliString(p)) for c, p in _H2_TERMS], name=key
+        )
+    else:
+        digest = hashlib.sha256(
+            f"varsaw-molecule:{spec.molecule}:{spec.n_qubits}".encode()
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+        ham = Hamiltonian(_synthetic_terms(spec, rng), name=key)
+    if ham.num_terms != spec.n_terms:
+        raise AssertionError(
+            f"{key}: generated {ham.num_terms} terms, expected {spec.n_terms}"
+        )
+    if spec.reference_energy is not None and spec.n_qubits <= 12:
+        raw = ground_state_energy(ham)
+        ham = ham.shifted(spec.reference_energy - raw)
+    return ham
+
+
+def reference_energy(key: str) -> float:
+    """The exact ground-state energy of the workload Hamiltonian."""
+    spec = MOLECULES[key]
+    if spec.reference_energy is not None:
+        return spec.reference_energy
+    if spec.n_qubits > 14:
+        raise ValueError(
+            f"{key} is too large for exact diagonalization"
+        )
+    return ground_state_energy(build_hamiltonian(key))

@@ -1,0 +1,215 @@
+"""Noise-aware placement of logical qubits on physical hardware.
+
+Two placement problems appear in the paper's pipeline:
+
+* **Ansatz placement** — the whole circuit needs a connected region of
+  the device; among connected regions, prefer low readout error
+  (:func:`noise_aware_layout`).
+* **Subset placement** — a JigSaw subset measures only 2-3 qubits, so
+  the measured window can sit on the device's very best readout lines
+  (:func:`best_measurement_placement`); this is benefit (a) of
+  measurement subsetting in Section 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from ..noise.readout import ReadoutErrorModel
+from .coupling import CouplingMap
+
+__all__ = [
+    "Layout",
+    "noise_aware_layout",
+    "noise_aware_path_layout",
+    "best_measurement_placement",
+]
+
+
+class Layout:
+    """A logical -> physical qubit assignment."""
+
+    def __init__(self, mapping: dict[int, int]):
+        physicals = list(mapping.values())
+        if len(set(physicals)) != len(physicals):
+            raise ValueError("two logical qubits share a physical qubit")
+        logicals = sorted(mapping)
+        if logicals != list(range(len(logicals))):
+            raise ValueError("logical qubits must be 0..n-1")
+        self._map = dict(mapping)
+
+    @classmethod
+    def trivial(cls, n_qubits: int) -> "Layout":
+        return cls({q: q for q in range(n_qubits)})
+
+    @classmethod
+    def from_physical_list(cls, physicals) -> "Layout":
+        """Logical ``i`` sits at ``physicals[i]``."""
+        return cls({i: int(p) for i, p in enumerate(physicals)})
+
+    @property
+    def n_logical(self) -> int:
+        return len(self._map)
+
+    def physical(self, logical: int) -> int:
+        return self._map[logical]
+
+    def logical(self, physical: int) -> int | None:
+        for l, p in self._map.items():
+            if p == physical:
+                return l
+        return None
+
+    def physical_qubits(self) -> list[int]:
+        return [self._map[l] for l in range(self.n_logical)]
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._map)
+
+    def swap_physicals(self, p1: int, p2: int) -> "Layout":
+        """New layout with whatever sits at p1/p2 exchanged."""
+        mapping = {}
+        for l, p in self._map.items():
+            if p == p1:
+                mapping[l] = p2
+            elif p == p2:
+                mapping[l] = p1
+            else:
+                mapping[l] = p
+        return Layout(mapping)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._map == other._map
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{l}->{self._map[l]}" for l in range(self.n_logical)
+        )
+        return f"Layout({body})"
+
+
+def _mean_error(readout: ReadoutErrorModel, q: int) -> float:
+    return readout.qubit_errors[q].mean_error
+
+
+def noise_aware_layout(
+    n_logical: int,
+    coupling: CouplingMap,
+    readout: ReadoutErrorModel,
+) -> Layout:
+    """Place ``n_logical`` qubits on a connected, low-readout-error region.
+
+    Greedy region growing: seed at each physical qubit in turn, always
+    absorbing the frontier neighbor with the lowest mean readout error,
+    and keep the region with the best total error.  This mirrors the
+    noise-adaptive mapping of [Murali et al. ASPLOS'19, the paper's
+    ref 38] at the granularity this library needs.
+    """
+    if n_logical < 1:
+        raise ValueError("n_logical must be positive")
+    if n_logical > coupling.n_qubits:
+        raise ValueError(
+            f"{n_logical} logical qubits > {coupling.n_qubits} physical"
+        )
+    if readout.n_qubits != coupling.n_qubits:
+        raise ValueError("readout model width != coupling width")
+
+    best_region: list[int] | None = None
+    best_cost = float("inf")
+    for seed in range(coupling.n_qubits):
+        region = [seed]
+        frontier = set(coupling.neighbors(seed))
+        while len(region) < n_logical and frontier:
+            pick = min(frontier, key=lambda q: _mean_error(readout, q))
+            region.append(pick)
+            frontier.discard(pick)
+            frontier.update(
+                q for q in coupling.neighbors(pick) if q not in region
+            )
+        if len(region) < n_logical:
+            continue  # disconnected component too small
+        cost = sum(_mean_error(readout, q) for q in region)
+        if cost < best_cost:
+            best_cost = cost
+            best_region = region
+    if best_region is None:
+        raise ValueError("no connected region large enough")
+    # Within the region, give the best readout lines to the lowest
+    # logical indices (callers put measured qubits first).
+    ordered = sorted(best_region, key=lambda q: _mean_error(readout, q))
+    return Layout.from_physical_list(ordered)
+
+
+def noise_aware_path_layout(
+    n_logical: int,
+    coupling: CouplingMap,
+    readout: ReadoutErrorModel,
+    max_paths: int = 200_000,
+) -> Layout:
+    """Place ``n_logical`` qubits on a low-error *simple path*.
+
+    Linear-entanglement ansatz (and CX ladders generally) route SWAP-free
+    when consecutive logical qubits sit on physically adjacent qubits.
+    This enumerates simple paths of the required length by DFS (cheap on
+    sparse device graphs — heavy-hex degree is at most 3) and returns the
+    one with the lowest total readout error, with logical order along
+    the path.
+    """
+    if n_logical < 1:
+        raise ValueError("n_logical must be positive")
+    if n_logical > coupling.n_qubits:
+        raise ValueError(
+            f"{n_logical} logical qubits > {coupling.n_qubits} physical"
+        )
+    if readout.n_qubits != coupling.n_qubits:
+        raise ValueError("readout model width != coupling width")
+    if n_logical == 1:
+        best = readout.best_qubits(1)
+        return Layout.from_physical_list(best)
+
+    best_path: list[int] | None = None
+    best_cost = float("inf")
+    explored = 0
+    for seed in range(coupling.n_qubits):
+        stack = [(seed, [seed], _mean_error(readout, seed))]
+        while stack:
+            node, path, cost = stack.pop()
+            explored += 1
+            if explored > max_paths:
+                break
+            if cost >= best_cost:
+                continue
+            if len(path) == n_logical:
+                best_path, best_cost = path, cost
+                continue
+            for nxt in coupling.neighbors(node):
+                if nxt not in path:
+                    stack.append(
+                        (nxt, path + [nxt], cost + _mean_error(readout, nxt))
+                    )
+    if best_path is None:
+        raise ValueError(
+            f"no simple path of {n_logical} qubits in the coupling map"
+        )
+    return Layout.from_physical_list(best_path)
+
+
+def best_measurement_placement(
+    measured_logicals,
+    coupling: CouplingMap,
+    readout: ReadoutErrorModel,
+) -> dict[int, int]:
+    """Physical homes for a subset circuit's measured qubits.
+
+    Returns ``{logical: physical}`` placing each measured qubit on the
+    lowest-error readout lines, ignoring connectivity — subset circuits
+    re-run the whole ansatz, so only the measurement placement matters
+    for readout fidelity (the ansatz body is routed separately).
+    """
+    measured = list(measured_logicals)
+    if len(set(measured)) != len(measured):
+        raise ValueError("duplicate measured qubits")
+    if len(measured) > coupling.n_qubits:
+        raise ValueError("more measured qubits than physical qubits")
+    best = readout.best_qubits(len(measured))
+    return {logical: physical for logical, physical in zip(measured, best)}

@@ -1,0 +1,29 @@
+"""Measurement error mitigation: JigSaw, matrix-based (MBM), M3, bias-aware."""
+
+from .bias_aware import flip_pmf_bits, invert_and_measure, polarity_circuits
+from .jigsaw import JigSawEstimator
+from .m3 import M3Mitigator
+from .mbm import MatrixMitigator
+from .reconstruction import bayesian_reconstruct, subset_index_map
+from .single_circuit import JigsawResult, jigsaw_mitigate
+from .zne import linear_extrapolate, richardson_extrapolate, zne_energy
+from .subsets import jigsaw_subsets_per_term, sliding_windows, term_subsets
+
+__all__ = [
+    "JigSawEstimator",
+    "MatrixMitigator",
+    "M3Mitigator",
+    "invert_and_measure",
+    "polarity_circuits",
+    "flip_pmf_bits",
+    "bayesian_reconstruct",
+    "subset_index_map",
+    "sliding_windows",
+    "term_subsets",
+    "jigsaw_subsets_per_term",
+    "JigsawResult",
+    "jigsaw_mitigate",
+    "richardson_extrapolate",
+    "linear_extrapolate",
+    "zne_energy",
+]

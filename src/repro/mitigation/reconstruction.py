@@ -1,0 +1,76 @@
+"""Bayesian reconstruction (JigSaw step 3).
+
+Given a low-fidelity *Global-PMF* over all qubits and several high-fidelity
+*Local-PMFs* over measured subsets, rescale each global outcome's
+probability by how much the locals disagree with the global's marginals:
+
+    P'(x)  ∝  P_global(x) * Π_S  [ P_local_S(x|_S) / P_global_S(x|_S) ]
+
+applied one local at a time (each update uses the current estimate's
+marginal, mirroring Bayesian updating with each local as new evidence).
+This preserves the global correlation structure while pulling the subset
+marginals toward their high-fidelity measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import PMF
+
+__all__ = ["subset_index_map", "bayesian_reconstruct"]
+
+
+def subset_index_map(n_qubits: int, qubits: tuple[int, ...]) -> np.ndarray:
+    """For each full-register outcome, its index restricted to ``qubits``.
+
+    Returns an int vector of length ``2**n_qubits``; entry ``x`` is the
+    outcome of reading only ``qubits`` (in the given order) from ``x``.
+    Uses the library-wide convention that qubit 0 is the most significant
+    bit.
+    """
+    indices = np.arange(2**n_qubits)
+    m = len(qubits)
+    local = np.zeros(2**n_qubits, dtype=np.int64)
+    for j, q in enumerate(qubits):
+        bit = (indices >> (n_qubits - 1 - q)) & 1
+        local |= bit << (m - 1 - j)
+    return local
+
+
+def bayesian_reconstruct(global_pmf: PMF, local_pmfs) -> PMF:
+    """Refine ``global_pmf`` with the evidence in ``local_pmfs``.
+
+    ``global_pmf`` must cover the full register ``(0, ..., n-1)``; each
+    local PMF covers a subset of those labels.  Outcomes whose current
+    marginal probability is zero keep their (zero) probability.  If the
+    update annihilates the whole distribution (pathological all-zero
+    overlap), the global is returned unchanged.
+    """
+    n = global_pmf.n_qubits
+    if global_pmf.qubits != tuple(range(n)):
+        raise ValueError("global PMF must cover the full register in order")
+    probs = global_pmf.probs.copy()
+    for local in local_pmfs:
+        for q in local.qubits:
+            if not 0 <= q < n:
+                raise ValueError(f"local qubit {q} outside register")
+        current = probs / probs.sum()
+        index = subset_index_map(n, local.qubits)
+        # Current estimate's marginal on the local's qubits.
+        marginal = np.bincount(index, weights=current, minlength=local.probs.size)
+        ratio = np.divide(
+            local.probs,
+            marginal,
+            out=np.zeros_like(local.probs),
+            where=marginal > 0,
+        )
+        updated = probs * ratio[index]
+        total = updated.sum()
+        if total <= 0:
+            continue  # degenerate evidence; skip this local
+        probs = updated
+    total = probs.sum()
+    if total <= 0:
+        return global_pmf
+    return PMF(probs, global_pmf.qubits)

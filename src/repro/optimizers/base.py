@@ -1,0 +1,50 @@
+"""Optimizer protocol shared by SPSA and ImFil.
+
+VQA tuners minimize a *noisy* objective (shot noise + device noise), so
+both implementations avoid exact line searches and derivative assumptions.
+The driver controls termination through ``max_iterations`` and an optional
+``should_stop`` predicate (used for the paper's fixed-circuit-budget
+experiments: the budget ledger lives in the execution backend, and the
+runner stops the tuner the moment the budget is spent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+__all__ = ["OptimizerResult", "Optimizer", "ObjectiveFn"]
+
+ObjectiveFn = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizerResult:
+    """Outcome of an optimization run.
+
+    ``history`` holds the best-so-far objective value recorded at each
+    iteration — the series the paper's energy-vs-iteration figures plot.
+    """
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+    stop_reason: str = "max_iterations"
+
+
+class Optimizer(Protocol):
+    """Anything that can minimize a noisy objective."""
+
+    def minimize(
+        self,
+        fun: ObjectiveFn,
+        x0: np.ndarray,
+        max_iterations: int,
+        should_stop: Callable[[], bool] | None = None,
+        callback: Callable[[int, np.ndarray, float], None] | None = None,
+    ) -> OptimizerResult:
+        ...

@@ -1,0 +1,146 @@
+"""Nelder-Mead simplex optimizer.
+
+The classic derivative-free simplex method [Nelder & Mead 1965] with the
+standard reflection / expansion / contraction / shrink moves and adaptive
+coefficients for higher dimension [Gao & Han 2012].  Simplex methods are
+a common VQE tuner choice when shot noise is moderate; alongside SPSA
+and ImFil it rounds out the library's coverage of the classical-tuner
+design space (each re-samples the landscape differently, which matters
+for VarSaw's temporal optimization — the Globals' staleness interacts
+with how far the tuner moves per iteration).
+
+One "iteration" here is one simplex update step, so ``max_iterations``
+and the budget ``should_stop`` hook behave like the other optimizers'.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import ObjectiveFn, OptimizerResult
+
+__all__ = ["NelderMead"]
+
+
+class NelderMead:
+    """Nelder-Mead with adaptive coefficients and noisy-objective defaults.
+
+    Parameters
+    ----------
+    initial_step:
+        Size of the axis steps building the initial simplex around x0.
+    adaptive:
+        Scale the move coefficients with dimension (recommended for the
+        20+-parameter ansatz circuits in this library).
+    seed:
+        Unused (the method is deterministic); accepted so optimizer
+        construction is uniform across the library.
+    """
+
+    def __init__(
+        self,
+        initial_step: float = 0.25,
+        adaptive: bool = True,
+        seed: int | None = None,
+    ):
+        if initial_step <= 0:
+            raise ValueError("initial_step must be positive")
+        self.initial_step = initial_step
+        self.adaptive = adaptive
+
+    def _coefficients(self, dim: int) -> tuple[float, float, float, float]:
+        """(reflection, expansion, contraction, shrink)."""
+        if self.adaptive and dim >= 2:
+            return (
+                1.0,
+                1.0 + 2.0 / dim,
+                0.75 - 1.0 / (2.0 * dim),
+                1.0 - 1.0 / dim,
+            )
+        return 1.0, 2.0, 0.5, 0.5
+
+    def minimize(
+        self,
+        fun: ObjectiveFn,
+        x0: np.ndarray,
+        max_iterations: int,
+        should_stop: Callable[[], bool] | None = None,
+        callback: Callable[[int, np.ndarray, float], None] | None = None,
+    ) -> OptimizerResult:
+        x0 = np.asarray(x0, dtype=float)
+        dim = x0.shape[0]
+        alpha, gamma, rho, sigma = self._coefficients(dim)
+
+        # Initial simplex: x0 plus one axis-step vertex per dimension.
+        simplex = [x0.copy()]
+        for axis in range(dim):
+            vertex = x0.copy()
+            vertex[axis] += self.initial_step
+            simplex.append(vertex)
+        values = [fun(v) for v in simplex]
+        evaluations = dim + 1
+
+        history: list[float] = []
+        stop_reason = "max_iterations"
+        iteration = 0
+        for iteration in range(max_iterations):
+            if should_stop is not None and should_stop():
+                stop_reason = "budget_exhausted"
+                break
+            order = np.argsort(values)
+            simplex = [simplex[i] for i in order]
+            values = [values[i] for i in order]
+
+            centroid = np.mean(simplex[:-1], axis=0)
+            worst = simplex[-1]
+            reflected = centroid + alpha * (centroid - worst)
+            f_reflected = fun(reflected)
+            evaluations += 1
+
+            if f_reflected < values[0]:
+                expanded = centroid + gamma * (reflected - centroid)
+                f_expanded = fun(expanded)
+                evaluations += 1
+                if f_expanded < f_reflected:
+                    simplex[-1], values[-1] = expanded, f_expanded
+                else:
+                    simplex[-1], values[-1] = reflected, f_reflected
+            elif f_reflected < values[-2]:
+                simplex[-1], values[-1] = reflected, f_reflected
+            else:
+                if f_reflected < values[-1]:
+                    contracted = centroid + rho * (reflected - centroid)
+                else:
+                    contracted = centroid + rho * (worst - centroid)
+                f_contracted = fun(contracted)
+                evaluations += 1
+                if f_contracted < min(f_reflected, values[-1]):
+                    simplex[-1], values[-1] = contracted, f_contracted
+                else:
+                    # Shrink every vertex toward the best.
+                    best_vertex = simplex[0]
+                    for i in range(1, len(simplex)):
+                        simplex[i] = best_vertex + sigma * (
+                            simplex[i] - best_vertex
+                        )
+                        values[i] = fun(simplex[i])
+                    evaluations += dim
+
+            best_index = int(np.argmin(values))
+            history.append(float(values[best_index]))
+            if callback is not None:
+                callback(
+                    iteration, simplex[best_index], float(values[best_index])
+                )
+
+        best_index = int(np.argmin(values))
+        return OptimizerResult(
+            x=simplex[best_index].copy(),
+            fun=float(values[best_index]),
+            iterations=iteration + 1 if max_iterations else 0,
+            evaluations=evaluations,
+            history=history,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,114 @@
+"""Gradient descent with parameter-shift gradients.
+
+For circuits whose parameters enter only through single-qubit rotations
+``exp(-i theta P / 2)`` — exactly the hardware-efficient SU2 ansatz — the
+objective's partial derivative is *exact*:
+
+    dE/dtheta = [E(theta + pi/2) - E(theta - pi/2)] / 2
+
+(the parameter-shift rule).  This optimizer is the high-cost/high-quality
+counterpoint to SPSA: ``2 * n_params`` objective evaluations per
+iteration, but an unbiased full gradient.  The paper's cost argument gets
+*stronger* under parameter-shift tuners — every extra evaluation is a
+full batch of circuits — so this module also powers the cost ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from .base import ObjectiveFn, OptimizerResult
+
+__all__ = ["ParameterShift", "parameter_shift_gradient"]
+
+
+def parameter_shift_gradient(
+    fun: ObjectiveFn, x: np.ndarray, shift: float = math.pi / 2
+) -> tuple[np.ndarray, int]:
+    """Exact gradient via the parameter-shift rule.
+
+    Returns ``(gradient, evaluations_used)``.
+    """
+    x = np.asarray(x, dtype=float)
+    gradient = np.zeros_like(x)
+    for i in range(x.size):
+        step = np.zeros_like(x)
+        step[i] = shift
+        gradient[i] = (fun(x + step) - fun(x - step)) / (
+            2.0 * math.sin(shift)
+        )
+    return gradient, 2 * x.size
+
+
+class ParameterShift:
+    """Plain gradient descent on parameter-shift gradients.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size; decays as ``lr / (1 + decay * k)``.
+    decay:
+        Learning-rate decay per iteration.
+    momentum:
+        Classical momentum coefficient in [0, 1).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        decay: float = 0.01,
+        momentum: float = 0.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if decay < 0:
+            raise ValueError("decay must be nonnegative")
+        self.learning_rate = float(learning_rate)
+        self.decay = float(decay)
+        self.momentum = float(momentum)
+
+    def minimize(
+        self,
+        fun: ObjectiveFn,
+        x0: np.ndarray,
+        max_iterations: int,
+        should_stop: Callable[[], bool] | None = None,
+        callback: Callable[[int, np.ndarray, float], None] | None = None,
+    ) -> OptimizerResult:
+        x = np.asarray(x0, dtype=float).copy()
+        velocity = np.zeros_like(x)
+        best_x = x.copy()
+        best_f = np.inf
+        history: list[float] = []
+        evaluations = 0
+        stop_reason = "max_iterations"
+        for k in range(max_iterations):
+            if should_stop is not None and should_stop():
+                stop_reason = "budget_exhausted"
+                break
+            gradient, used = parameter_shift_gradient(fun, x)
+            evaluations += used
+            lr = self.learning_rate / (1.0 + self.decay * k)
+            velocity = self.momentum * velocity - lr * gradient
+            x = x + velocity
+            f = fun(x)
+            evaluations += 1
+            if f < best_f:
+                best_f = f
+                best_x = x.copy()
+            history.append(best_f)
+            if callback is not None:
+                callback(k, x, f)
+        return OptimizerResult(
+            x=best_x,
+            fun=best_f,
+            iterations=len(history),
+            evaluations=evaluations,
+            history=history,
+            stop_reason=stop_reason,
+        )

@@ -1,0 +1,141 @@
+"""Symplectic (binary) representation of Pauli strings.
+
+Every n-qubit Pauli maps to a pair of bit vectors ``(x, z)``: position q
+has X iff ``x[q]``, Z iff ``z[q]``, Y iff both.  Commutation and products
+become bit arithmetic, which lets NumPy batch-process the tens of
+thousands of terms in the larger Table 2 Hamiltonians.
+
+:class:`PauliTable` is the batch container; it interoperates with
+:class:`~repro.pauli.pauli.PauliString` and is validated against the
+string implementation by property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pauli import PauliString
+
+__all__ = ["PauliTable", "encode", "decode"]
+
+_CHAR_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_CHAR = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+
+def encode(pauli: PauliString) -> tuple[np.ndarray, np.ndarray]:
+    """PauliString -> (x, z) bool vectors."""
+    x = np.zeros(pauli.n_qubits, dtype=bool)
+    z = np.zeros(pauli.n_qubits, dtype=bool)
+    for q, c in enumerate(pauli.label):
+        xq, zq = _CHAR_TO_XZ[c]
+        x[q], z[q] = bool(xq), bool(zq)
+    return x, z
+
+
+def decode(x: np.ndarray, z: np.ndarray) -> PauliString:
+    """(x, z) bool vectors -> PauliString."""
+    if x.shape != z.shape or x.ndim != 1:
+        raise ValueError("x and z must be equal-length 1-D vectors")
+    chars = [
+        _XZ_TO_CHAR[(int(xq), int(zq))] for xq, zq in zip(x, z)
+    ]
+    return PauliString("".join(chars))
+
+
+class PauliTable:
+    """A batch of Pauli strings as packed boolean matrices.
+
+    Rows are Paulis; columns are qubits.  All predicates are vectorized.
+    """
+
+    def __init__(self, x: np.ndarray, z: np.ndarray):
+        x = np.asarray(x, dtype=bool)
+        z = np.asarray(z, dtype=bool)
+        if x.shape != z.shape or x.ndim != 2:
+            raise ValueError("x and z must be equal-shape 2-D matrices")
+        self.x = x
+        self.z = z
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_strings(cls, paulis) -> "PauliTable":
+        items = [
+            p if isinstance(p, PauliString) else PauliString(p)
+            for p in paulis
+        ]
+        if not items:
+            raise ValueError("empty Pauli list")
+        n = items[0].n_qubits
+        for p in items:
+            if p.n_qubits != n:
+                raise ValueError("width mismatch in Pauli list")
+        x = np.zeros((len(items), n), dtype=bool)
+        z = np.zeros((len(items), n), dtype=bool)
+        for i, p in enumerate(items):
+            x[i], z[i] = encode(p)
+        return cls(x, z)
+
+    def to_strings(self) -> list[PauliString]:
+        return [decode(self.x[i], self.z[i]) for i in range(len(self))]
+
+    # -------------------------------------------------------------- predicates
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_qubits(self) -> int:
+        return self.x.shape[1]
+
+    def weights(self) -> np.ndarray:
+        """Non-identity site count of each row."""
+        return (self.x | self.z).sum(axis=1)
+
+    def commutes_with(self, other: PauliString) -> np.ndarray:
+        """Vector of full-commutation flags against one Pauli.
+
+        Rows commute iff the symplectic form ``<a, b> = a.x·b.z + a.z·b.x``
+        is even.
+        """
+        ox, oz = encode(other)
+        if ox.shape[0] != self.n_qubits:
+            raise ValueError("width mismatch")
+        form = (self.x & oz).sum(axis=1) + (self.z & ox).sum(axis=1)
+        return form % 2 == 0
+
+    def qubit_wise_commutes_with(self, other: PauliString) -> np.ndarray:
+        """Vector of QWC flags against one Pauli.
+
+        Sites conflict when both are non-identity and differ in (x, z).
+        """
+        ox, oz = encode(other)
+        both = (self.x | self.z) & (ox | oz)
+        differ = (self.x ^ ox) | (self.z ^ oz)
+        return ~np.any(both & differ, axis=1)
+
+    def measured_by(self, basis: PauliString) -> np.ndarray:
+        """Vector of flags: can each row be measured in ``basis``?
+
+        Requires the basis to match each row exactly on the row's support.
+        """
+        bx, bz = encode(basis)
+        support = self.x | self.z
+        matches = (self.x == bx) & (self.z == bz)
+        return ~np.any(support & ~matches, axis=1)
+
+    def pairwise_commutation(self) -> np.ndarray:
+        """Boolean matrix ``C[i, j]`` = rows i and j fully commute."""
+        xi = self.x.astype(np.uint8)
+        zi = self.z.astype(np.uint8)
+        form = xi @ zi.T + zi @ xi.T
+        return form % 2 == 0
+
+    # ------------------------------------------------------------------ algebra
+
+    def multiply_rows(self, i: int, j: int) -> PauliString:
+        """The Pauli part of row_i * row_j (phase dropped)."""
+        return decode(self.x[i] ^ self.x[j], self.z[i] ^ self.z[j])
+
+    def __repr__(self) -> str:
+        return f"<PauliTable: {len(self)} paulis x {self.n_qubits} qubits>"

@@ -1,0 +1,28 @@
+"""Statevector simulation, distributions, and counts.
+
+The execution backend that combines this engine with a noise model lives in
+:mod:`repro.noise.backend` (noise depends on sim, not vice versa).
+"""
+
+from .counts import Counts
+from .density import (
+    DensityMatrix,
+    amplitude_damping_kraus,
+    depolarizing_kraus,
+    run_density_matrix,
+)
+from .pmf import PMF
+from .statevector import apply_gate, probabilities, run_statevector, zero_state
+
+__all__ = [
+    "Counts",
+    "PMF",
+    "zero_state",
+    "apply_gate",
+    "run_statevector",
+    "probabilities",
+    "DensityMatrix",
+    "run_density_matrix",
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+]

@@ -1,0 +1,99 @@
+"""Shot-count containers.
+
+:class:`Counts` is the sparse, dict-backed sibling of
+:class:`~repro.sim.pmf.PMF`: what an execution backend hands back after
+sampling.  It converts losslessly to a PMF and supports merging (used when
+results for the same circuit are accumulated across batches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pmf import PMF
+
+__all__ = ["Counts"]
+
+
+class Counts:
+    """Measurement counts over a labeled qubit set.
+
+    Keys are bitstrings in qubit-label order (most significant first, same
+    convention as :class:`PMF`).
+    """
+
+    __slots__ = ("data", "qubits")
+
+    def __init__(self, data: dict[str, int], qubits: tuple[int, ...]):
+        qubits = tuple(int(q) for q in qubits)
+        n = len(qubits)
+        clean: dict[str, int] = {}
+        for key, value in data.items():
+            if len(key) != n or set(key) - {"0", "1"}:
+                raise ValueError(f"bad bitstring {key!r} for {n} qubits")
+            value = int(value)
+            if value < 0:
+                raise ValueError(f"negative count for {key!r}")
+            if value:
+                clean[key] = clean.get(key, 0) + value
+        self.data = clean
+        self.qubits = qubits
+
+    @classmethod
+    def from_pmf_samples(
+        cls, pmf: PMF, shots: int, rng: np.random.Generator
+    ) -> "Counts":
+        """Sample ``shots`` outcomes from ``pmf``."""
+        draws = rng.multinomial(shots, pmf.probs)
+        n = pmf.n_qubits
+        data = {
+            format(i, f"0{n}b"): int(c) for i, c in enumerate(draws) if c
+        }
+        return cls(data, pmf.qubits)
+
+    @property
+    def shots(self) -> int:
+        return sum(self.data.values())
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    def to_pmf(self) -> PMF:
+        """Empirical distribution of these counts."""
+        if not self.data:
+            raise ValueError("cannot convert empty counts to PMF")
+        probs = np.zeros(2 ** self.n_qubits)
+        for key, value in self.data.items():
+            probs[int(key, 2)] = value
+        return PMF(probs, self.qubits)
+
+    def merge(self, other: "Counts") -> "Counts":
+        """Combine counts from another run of the same circuit."""
+        if other.qubits != self.qubits:
+            raise ValueError("cannot merge counts over different qubits")
+        merged = dict(self.data)
+        for key, value in other.data.items():
+            merged[key] = merged.get(key, 0) + value
+        return Counts(merged, self.qubits)
+
+    def most_frequent(self) -> str:
+        """The modal bitstring."""
+        if not self.data:
+            raise ValueError("empty counts")
+        return max(self.data.items(), key=lambda kv: kv[1])[0]
+
+    def __getitem__(self, key: str) -> int:
+        return self.data.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self):
+        return iter(self.data)
+
+    def items(self):
+        return self.data.items()
+
+    def __repr__(self) -> str:
+        return f"<Counts: {self.shots} shots over qubits {self.qubits}>"

@@ -1,0 +1,196 @@
+"""Density-matrix simulation with per-gate noise channels.
+
+The fast backend (:mod:`repro.noise.backend`) applies noise to outcome
+*probabilities* — exact for readout error, approximate (global
+depolarizing) for gate error.  This module is the reference
+implementation: full mixed-state evolution with local Kraus channels
+(depolarizing after every gate, optional amplitude damping), the way
+Qiskit Aer's density-matrix method models the paper's noisy simulations.
+
+It is O(4^n) per gate, so it is used for validation and small-system
+studies (tests compare it against the statevector engine and against the
+fast backend's approximation), not for the VQA experiment loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import Circuit, gate_matrix
+
+__all__ = [
+    "DensityMatrix",
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+    "run_density_matrix",
+]
+
+
+def depolarizing_kraus(probability: float) -> list[np.ndarray]:
+    """Single-qubit depolarizing channel as four Kraus operators."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    identity = np.eye(2, dtype=complex)
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    z = np.diag([1, -1]).astype(complex)
+    p = probability
+    return [
+        np.sqrt(1 - 3 * p / 4) * identity,
+        np.sqrt(p / 4) * x,
+        np.sqrt(p / 4) * y,
+        np.sqrt(p / 4) * z,
+    ]
+
+
+def amplitude_damping_kraus(gamma: float) -> list[np.ndarray]:
+    """Single-qubit amplitude damping (T1 relaxation) channel."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be in [0, 1]")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+class DensityMatrix:
+    """An n-qubit mixed state, ``2^n x 2^n`` complex matrix.
+
+    Bit ordering matches the rest of the library: qubit 0 is the most
+    significant bit of the row/column index.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("density matrix must be square")
+        n = int(np.log2(matrix.shape[0]))
+        if 2**n != matrix.shape[0]:
+            raise ValueError("dimension must be a power of two")
+        self.matrix = matrix
+        self.n_qubits = n
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def zero_state(cls, n_qubits: int) -> "DensityMatrix":
+        dim = 2**n_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        matrix[0, 0] = 1.0
+        return cls(matrix)
+
+    @classmethod
+    def from_statevector(cls, state: np.ndarray) -> "DensityMatrix":
+        state = np.asarray(state, dtype=complex)
+        return cls(np.outer(state, state.conj()))
+
+    # ------------------------------------------------------------- properties
+
+    def trace(self) -> float:
+        return float(np.trace(self.matrix).real)
+
+    def purity(self) -> float:
+        """Tr(rho^2): 1 for pure states, 1/2^n for maximally mixed."""
+        return float(np.trace(self.matrix @ self.matrix).real)
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis outcome probabilities (the diagonal)."""
+        probs = np.clip(np.diag(self.matrix).real, 0.0, None)
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("density matrix has zero trace")
+        return probs / total
+
+    def expectation(self, operator: np.ndarray) -> float:
+        """Tr(rho O) for a Hermitian operator."""
+        return float(np.trace(self.matrix @ operator).real)
+
+    # --------------------------------------------------------------- dynamics
+
+    def _embed(self, op: np.ndarray, qubits: tuple[int, ...]) -> np.ndarray:
+        """Expand a k-qubit operator to the full register.
+
+        Simple and fast enough at validation sizes: kron with identities,
+        then permute axes so ``qubits`` land where they belong.
+        """
+        n = self.n_qubits
+        rest = [q for q in range(n) if q not in qubits]
+        order = list(qubits) + rest
+        kron = op
+        for _ in rest:
+            kron = np.kron(kron, np.eye(2, dtype=complex))
+        # kron acts on qubits in `order`; permute axes back to 0..n-1.
+        kron = kron.reshape((2,) * (2 * n))
+        perm = [order.index(q) for q in range(n)]
+        full_perm = perm + [n + p for p in perm]
+        return np.transpose(kron, full_perm).reshape(2**n, 2**n)
+
+    def apply_unitary(
+        self, matrix: np.ndarray, qubits: tuple[int, ...]
+    ) -> None:
+        """In-place ``rho -> U rho U†`` on the given qubits."""
+        full = self._embed(matrix, tuple(int(q) for q in qubits))
+        self.matrix = full @ self.matrix @ full.conj().T
+
+    def apply_channel(self, kraus_ops, qubit: int) -> None:
+        """In-place single-qubit Kraus channel ``rho -> sum K rho K†``."""
+        out = np.zeros_like(self.matrix)
+        for k in kraus_ops:
+            full = self._embed(np.asarray(k, dtype=complex), (qubit,))
+            out += full @ self.matrix @ full.conj().T
+        self.matrix = out
+
+    def partial_trace(self, keep) -> "DensityMatrix":
+        """Reduced state on ``keep`` (in the given order)."""
+        keep = [int(q) for q in keep]
+        n = self.n_qubits
+        drop = [q for q in range(n) if q not in keep]
+        tensor = self.matrix.reshape((2,) * (2 * n))
+        # Move kept axes to the front (rows) and their column twins after.
+        row_axes = keep + drop
+        col_axes = [n + a for a in row_axes]
+        tensor = np.transpose(tensor, row_axes + col_axes)
+        dim_keep = 2 ** len(keep)
+        dim_drop = 2 ** len(drop)
+        tensor = tensor.reshape(dim_keep, dim_drop, dim_keep, dim_drop)
+        reduced = np.einsum("abcb->ac", tensor)
+        return DensityMatrix(reduced)
+
+
+def run_density_matrix(
+    circuit: Circuit,
+    gate_error_1q: float = 0.0,
+    gate_error_2q: float = 0.0,
+    amplitude_damping: float = 0.0,
+) -> DensityMatrix:
+    """Simulate a bound circuit with local per-gate noise channels.
+
+    After every gate, a depolarizing channel of the matching error rate
+    acts on each touched qubit; optional amplitude damping follows.
+    """
+    if not circuit.is_bound():
+        raise ValueError("circuit must be bound")
+    for name, value in (
+        ("gate_error_1q", gate_error_1q),
+        ("gate_error_2q", gate_error_2q),
+        ("amplitude_damping", amplitude_damping),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]")
+    rho = DensityMatrix.zero_state(circuit.n_qubits)
+    dep_1q = depolarizing_kraus(gate_error_1q) if gate_error_1q else None
+    dep_2q = depolarizing_kraus(gate_error_2q) if gate_error_2q else None
+    damp = (
+        amplitude_damping_kraus(amplitude_damping)
+        if amplitude_damping
+        else None
+    )
+    for ins in circuit.instructions:
+        if ins.name != "i":
+            rho.apply_unitary(gate_matrix(ins.name, ins.param), ins.qubits)
+        channel = dep_2q if len(ins.qubits) == 2 else dep_1q
+        for q in ins.qubits:
+            if channel is not None:
+                rho.apply_channel(channel, q)
+            if damp is not None:
+                rho.apply_channel(damp, q)
+    return rho

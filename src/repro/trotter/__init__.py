@@ -1,0 +1,29 @@
+"""Trotterized Hamiltonian time evolution.
+
+Section 7.3 names "time-evolving Hamiltonian simulations that encompass
+a broad range of algorithms such as the Ising model, Heisenberg model,
+XY model" as the application family VarSaw's optimizations extend to.
+This subpackage builds that family's circuit substrate: first- and
+second-order Trotter-Suzuki product formulas compiling any Pauli-sum
+Hamiltonian into evolution circuits, plus the exact reference evolution
+for error measurement.
+"""
+
+from .evolution import (
+    average_magnetization,
+    evolve_exact,
+    pauli_exponential,
+    trotter_circuit,
+    trotter_step,
+)
+from .mitigated_sweep import QuenchSweepResult, sparse_quench_sweep
+
+__all__ = [
+    "pauli_exponential",
+    "trotter_step",
+    "trotter_circuit",
+    "evolve_exact",
+    "QuenchSweepResult",
+    "sparse_quench_sweep",
+    "average_magnetization",
+]

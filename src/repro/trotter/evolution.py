@@ -1,0 +1,143 @@
+"""Trotter-Suzuki product formulas for Pauli-sum Hamiltonians.
+
+The building block is the exact exponential of one Pauli term,
+
+    exp(-i θ/2 · P)  =  V† · (CX ladder) · RZ(θ) · (CX ladder)† · V
+
+where ``V`` rotates every support site into the Z basis (X -> H,
+Y -> S†H).  Chaining those blocks term by term gives the first-order
+formula; running the terms forward for half a step and backward for the
+other half gives the symmetric second-order (Strang) formula with one
+order better error.
+
+Error scaling (verified by the tests): for total time ``t`` split into
+``n`` steps, first order converges as O(t²/n) and second order as
+O(t³/n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg
+
+from ..circuits import Circuit
+from ..hamiltonian import Hamiltonian
+from ..pauli import PauliString
+
+__all__ = [
+    "pauli_exponential",
+    "trotter_step",
+    "trotter_circuit",
+    "evolve_exact",
+    "average_magnetization",
+]
+
+
+def _append_basis_change(qc: Circuit, pauli: PauliString, invert: bool) -> None:
+    for q, char in pauli.sparse().items():
+        if char == "X":
+            qc.h(q)
+        elif char == "Y":
+            if invert:
+                qc.h(q)
+                qc.s(q)
+            else:
+                qc.sdg(q)
+                qc.h(q)
+
+
+def pauli_exponential(pauli: PauliString, theta: float) -> Circuit:
+    """The circuit of ``exp(-i theta/2 · pauli)`` (exact, no phase).
+
+    Identity strings evolve only a global phase, so they produce an
+    empty circuit.
+    """
+    qc = Circuit(pauli.n_qubits, name=f"exp({pauli.label})")
+    support = pauli.support
+    if not support:
+        return qc
+    _append_basis_change(qc, pauli, invert=False)
+    target = support[-1]
+    for q in support[:-1]:
+        qc.cx(q, target)
+    qc.rz(theta, target)
+    for q in reversed(support[:-1]):
+        qc.cx(q, target)
+    _append_basis_change(qc, pauli, invert=True)
+    return qc
+
+
+def trotter_step(
+    hamiltonian: Hamiltonian, dt: float, order: int = 1
+) -> Circuit:
+    """One Trotter step ``≈ exp(-i H dt)``.
+
+    ``order`` 1 is the plain product formula; 2 is the symmetric Strang
+    splitting (terms forward at dt/2, then backward at dt/2).
+    """
+    if order not in (1, 2):
+        raise ValueError("order must be 1 or 2")
+    terms = hamiltonian.non_identity_terms()
+    qc = Circuit(hamiltonian.n_qubits, name=f"trotter{order}")
+    if order == 1:
+        for coeff, pauli in terms:
+            qc = qc.compose(pauli_exponential(pauli, 2.0 * coeff * dt))
+    else:
+        half = dt / 2.0
+        for coeff, pauli in terms:
+            qc = qc.compose(pauli_exponential(pauli, 2.0 * coeff * half))
+        for coeff, pauli in reversed(terms):
+            qc = qc.compose(pauli_exponential(pauli, 2.0 * coeff * half))
+    return qc
+
+
+def trotter_circuit(
+    hamiltonian: Hamiltonian,
+    time: float,
+    n_steps: int,
+    order: int = 1,
+) -> Circuit:
+    """The full evolution circuit ``≈ exp(-i H · time)``."""
+    if n_steps < 1:
+        raise ValueError("n_steps must be positive")
+    step = trotter_step(hamiltonian, time / n_steps, order=order)
+    qc = Circuit(hamiltonian.n_qubits, name=f"evolve_t{time:g}")
+    for _ in range(n_steps):
+        qc = qc.compose(step)
+    return qc
+
+
+def evolve_exact(
+    hamiltonian: Hamiltonian, time: float, state: np.ndarray
+) -> np.ndarray:
+    """Exact ``exp(-i H t)|state>`` via sparse Krylov exponentiation.
+
+    The identity offset only contributes a global phase; it is included
+    so inner products against other exact evolutions stay consistent.
+    """
+    matrix = hamiltonian.to_sparse_matrix()
+    return scipy.sparse.linalg.expm_multiply(
+        -1j * time * matrix.tocsc(), state.astype(complex)
+    )
+
+
+def average_magnetization(probs: np.ndarray, n_qubits: int) -> float:
+    """Mean ``<Z_q>`` over the register from Z-basis probabilities.
+
+    The standard quench observable: +1 for all-up, -1 for all-down,
+    0 for a fully mixed register.
+    """
+    if probs.shape != (2**n_qubits,):
+        raise ValueError(
+            f"probability vector length {probs.shape} != 2^{n_qubits}"
+        )
+    return float(
+        np.mean(
+            [
+                PauliString.from_sparse(
+                    n_qubits, {q: "Z"}
+                ).expectation_from_probs(probs)
+                for q in range(n_qubits)
+            ]
+        )
+    )

@@ -1,0 +1,31 @@
+"""VQE driver: estimators, expectation assembly, and the tuning loop."""
+
+from .estimator import BaselineEstimator, EstimatorBase, IdealEstimator
+from .gc_estimator import GeneralCommutationEstimator
+from .expectation import (
+    assign_terms_to_groups,
+    energy_from_group_pmfs,
+    term_expectation,
+)
+from .runner import VQEResult, initial_parameters, run_vqe
+from .shot_allocation import (
+    allocate_shots,
+    uniform_allocation,
+    weighted_allocation,
+)
+
+__all__ = [
+    "EstimatorBase",
+    "BaselineEstimator",
+    "IdealEstimator",
+    "GeneralCommutationEstimator",
+    "term_expectation",
+    "energy_from_group_pmfs",
+    "assign_terms_to_groups",
+    "VQEResult",
+    "run_vqe",
+    "initial_parameters",
+    "allocate_shots",
+    "uniform_allocation",
+    "weighted_allocation",
+]

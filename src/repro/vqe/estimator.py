@@ -1,0 +1,124 @@
+"""Energy estimators: the noisy baseline and the noise-free ideal.
+
+An *estimator* owns everything needed to turn a parameter vector into an
+energy value: the Hamiltonian's measurement grouping, the ansatz, the
+execution backend, and the shots-per-circuit policy.  JigSaw and VarSaw
+provide alternative estimators (in :mod:`repro.mitigation` and
+:mod:`repro.core`) that plug into the same VQE runner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ansatz import EfficientSU2
+from ..circuits import Circuit
+from ..hamiltonian import Hamiltonian
+from ..noise import SimulatorBackend
+from ..pauli import PauliString
+from ..sim import PMF
+from .expectation import assign_terms_to_groups, energy_from_group_pmfs
+
+__all__ = ["EstimatorBase", "BaselineEstimator", "IdealEstimator"]
+
+
+class EstimatorBase:
+    """Shared plumbing: grouping, cached basis rotations, state preparation."""
+
+    def __init__(
+        self,
+        hamiltonian: Hamiltonian,
+        ansatz: EfficientSU2,
+        backend: SimulatorBackend,
+        shots: int = 1024,
+    ):
+        if ansatz.n_qubits != hamiltonian.n_qubits:
+            raise ValueError(
+                f"ansatz width {ansatz.n_qubits} != Hamiltonian width "
+                f"{hamiltonian.n_qubits}"
+            )
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        self.hamiltonian = hamiltonian
+        self.ansatz = ansatz
+        self.backend = backend
+        self.shots = shots
+        self.bases, self.group_terms = assign_terms_to_groups(hamiltonian)
+        self._rotations: dict[PauliString, Circuit] = {
+            basis: basis.basis_rotation() for basis in set(self.bases)
+        }
+
+    @property
+    def n_qubits(self) -> int:
+        return self.hamiltonian.n_qubits
+
+    @property
+    def num_groups(self) -> int:
+        """Measurement circuits per traditional VQA iteration (C_Comm size)."""
+        return len(self.bases)
+
+    def prepare_state(self, params: np.ndarray) -> np.ndarray:
+        return self.backend.prepare_state(self.ansatz.bind(params))
+
+    def rotation_for(self, basis: PauliString) -> Circuit:
+        return self._rotations[basis]
+
+    # Cost bookkeeping delegates to the backend's ledger.
+    @property
+    def circuits_run(self) -> int:
+        return self.backend.circuits_run
+
+
+class BaselineEstimator(EstimatorBase):
+    """Traditional noisy VQA: one full-measurement circuit per QWC group.
+
+    This is the paper's 'Baseline' comparison — Pauli commutation applied,
+    no measurement error mitigation.
+    """
+
+    def evaluate(self, params: np.ndarray) -> float:
+        state = self.prepare_state(params)
+        gate_load = self.ansatz.gate_load
+        pmfs: list[PMF] = []
+        for basis in self.bases:
+            counts = self.backend.run_from_state(
+                state,
+                self.rotation_for(basis),
+                range(self.n_qubits),
+                self.shots,
+                map_to_best=False,
+                gate_load=gate_load,
+            )
+            pmfs.append(counts.to_pmf())
+        return energy_from_group_pmfs(
+            self.hamiltonian, pmfs, self.group_terms
+        )
+
+    @property
+    def circuits_per_evaluation(self) -> int:
+        return self.num_groups
+
+
+class IdealEstimator(EstimatorBase):
+    """Noise-free, infinite-shot reference (the paper's 'Ideal' line).
+
+    Evaluates ``<psi(theta)|H|psi(theta)>`` exactly from the statevector;
+    charges nothing to the circuit ledger.
+    """
+
+    def __init__(
+        self,
+        hamiltonian: Hamiltonian,
+        ansatz: EfficientSU2,
+        backend: SimulatorBackend | None = None,
+    ):
+        backend = backend if backend is not None else SimulatorBackend()
+        super().__init__(hamiltonian, ansatz, backend, shots=1)
+
+    def evaluate(self, params: np.ndarray) -> float:
+        state = self.prepare_state(params)
+        return self.hamiltonian.expectation_exact(state)
+
+    @property
+    def circuits_per_evaluation(self) -> int:
+        return 0

@@ -1,0 +1,77 @@
+"""Energy estimation from measurement-group distributions.
+
+A VQE objective evaluation measures the ansatz in each group's basis and
+reads every member term's expectation off that group's outcome
+distribution: ``<P> = sum_b p(b) * (-1)^parity(b restricted to supp(P))``.
+This module is shared by the baseline, JigSaw, and VarSaw estimators — they
+differ only in *which* PMF per group they hand in (raw, or mitigated).
+
+Groups are identified by position, not by basis string: two cover groups
+can Z-fill to the same full-width basis (e.g. 'XZIZ' and 'XIZZ' both fill
+to 'XZZZ') yet the paper's baseline counts — and runs — them as separate
+circuits, so we keep them separate too.
+"""
+
+from __future__ import annotations
+
+from ..hamiltonian import Hamiltonian
+from ..pauli import PauliString
+from ..sim import PMF
+
+__all__ = ["term_expectation", "energy_from_group_pmfs", "assign_terms_to_groups"]
+
+
+def term_expectation(pmf: PMF, term: PauliString) -> float:
+    """Expectation of ``term`` from a full-width post-rotation PMF.
+
+    ``pmf`` must cover qubits ``(0, ..., n-1)`` in order; the caller is
+    responsible for having measured in a basis that covers ``term``.
+    """
+    if pmf.qubits != tuple(range(term.n_qubits)):
+        raise ValueError(
+            f"PMF qubits {pmf.qubits} are not the full register of "
+            f"{term.n_qubits} qubits"
+        )
+    return term.expectation_from_probs(pmf.probs)
+
+
+def assign_terms_to_groups(
+    hamiltonian: Hamiltonian,
+) -> tuple[list[PauliString], list[list[tuple[float, PauliString]]]]:
+    """Group the Hamiltonian terms and index them by group position.
+
+    Returns ``(bases, group_terms)``: ``bases[i]`` is group ``i``'s
+    full-width measurement basis (Z-filled; duplicates across groups are
+    possible and preserved) and ``group_terms[i]`` its ``(coeff, term)``
+    pairs.  Identity terms are excluded (they contribute the constant
+    offset directly).
+    """
+    groups = hamiltonian.measurement_groups()
+    coeff_of: dict[PauliString, float] = {}
+    for coeff, term in hamiltonian.non_identity_terms():
+        coeff_of[term] = coeff_of.get(term, 0.0) + coeff
+    bases: list[PauliString] = []
+    group_terms: list[list[tuple[float, PauliString]]] = []
+    for group in groups:
+        bases.append(group.basis_string())
+        group_terms.append(
+            [(coeff_of[member], member) for member in group.members]
+        )
+    return bases, group_terms
+
+
+def energy_from_group_pmfs(
+    hamiltonian: Hamiltonian,
+    pmfs: list[PMF],
+    group_terms: list[list[tuple[float, PauliString]]],
+) -> float:
+    """Assemble ``<H>`` from one post-rotation PMF per measurement group."""
+    if len(pmfs) != len(group_terms):
+        raise ValueError(
+            f"{len(pmfs)} PMFs for {len(group_terms)} groups"
+        )
+    energy = hamiltonian.identity_coefficient
+    for pmf, members in zip(pmfs, group_terms):
+        for coeff, term in members:
+            energy += coeff * term_expectation(pmf, term)
+    return energy

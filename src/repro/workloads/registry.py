@@ -1,0 +1,177 @@
+"""Workload bundles: Hamiltonian + ansatz + device + reference energy.
+
+Experiments in the paper repeat the same setup dance — build a molecule's
+Hamiltonian, an EfficientSU2 ansatz of matching width, a noisy device
+model, and look up the ideal energy.  :func:`make_workload` packages that,
+and :func:`make_estimator` builds any of the paper's comparison schemes on
+top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ansatz import EfficientSU2
+from ..core import VarSawEstimator
+from ..hamiltonian import (
+    MOLECULES,
+    Hamiltonian,
+    build_hamiltonian,
+    ground_state_energy,
+)
+from ..mitigation import JigSawEstimator
+from ..noise import DeviceModel, SimulatorBackend, ibmq_mumbai_like
+from ..vqe import BaselineEstimator, IdealEstimator
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "make_spin_workload",
+    "make_estimator",
+    "ESTIMATOR_KINDS",
+    "SPIN_MODELS",
+]
+
+ESTIMATOR_KINDS = (
+    "ideal",
+    "baseline",
+    "jigsaw",
+    "varsaw",
+    "varsaw_no_sparsity",
+    "varsaw_max_sparsity",
+)
+
+
+@dataclass
+class Workload:
+    """Everything an experiment needs about one VQE problem instance."""
+
+    key: str
+    hamiltonian: Hamiltonian
+    ansatz: EfficientSU2
+    device: DeviceModel
+    ideal_energy: float
+
+    @property
+    def n_qubits(self) -> int:
+        return self.hamiltonian.n_qubits
+
+
+def make_workload(
+    key: str,
+    reps: int = 2,
+    entanglement: str = "full",
+    device: DeviceModel | None = None,
+) -> Workload:
+    """Build the paper's setup for a Table 2 workload key.
+
+    Defaults mirror Section 5.1: EfficientSU2 with full entanglement and
+    2 repetition blocks, IBMQ-Mumbai-like noise.
+    """
+    spec = MOLECULES[key]
+    hamiltonian = build_hamiltonian(key)
+    ansatz = EfficientSU2(
+        spec.n_qubits, reps=reps, entanglement=entanglement
+    )
+    if device is None:
+        device = ibmq_mumbai_like()
+    if device.n_qubits < spec.n_qubits:
+        raise ValueError(
+            f"device {device.name} has {device.n_qubits} qubits, "
+            f"workload needs {spec.n_qubits}"
+        )
+    if spec.reference_energy is not None:
+        ideal = spec.reference_energy
+    else:
+        ideal = ground_state_energy(hamiltonian)
+    return Workload(
+        key=key,
+        hamiltonian=hamiltonian,
+        ansatz=ansatz,
+        device=device,
+        ideal_energy=ideal,
+    )
+
+
+#: Spin-model workload names accepted by :func:`make_spin_workload`.
+SPIN_MODELS = ("tfim", "heisenberg", "xy")
+
+
+def make_spin_workload(
+    model: str,
+    n_qubits: int,
+    reps: int = 2,
+    entanglement: str = "full",
+    device: DeviceModel | None = None,
+    **model_kwargs,
+) -> Workload:
+    """Build a spin-chain workload ('tfim', 'heisenberg', or 'xy').
+
+    Extra keyword arguments go to the Hamiltonian constructor
+    (``coupling``, ``field``, ``anisotropy``, ``periodic``, ...).
+    """
+    from ..hamiltonian import (
+        heisenberg_hamiltonian,
+        tfim_hamiltonian,
+        xy_hamiltonian,
+    )
+
+    constructors = {
+        "tfim": tfim_hamiltonian,
+        "heisenberg": heisenberg_hamiltonian,
+        "xy": xy_hamiltonian,
+    }
+    if model not in constructors:
+        raise ValueError(
+            f"unknown spin model {model!r}; choose from {sorted(constructors)}"
+        )
+    hamiltonian = constructors[model](n_qubits, **model_kwargs)
+    if device is None:
+        device = ibmq_mumbai_like()
+    if device.n_qubits < n_qubits:
+        raise ValueError(
+            f"device {device.name} has {device.n_qubits} qubits, "
+            f"workload needs {n_qubits}"
+        )
+    return Workload(
+        key=hamiltonian.name,
+        hamiltonian=hamiltonian,
+        ansatz=EfficientSU2(n_qubits, reps=reps, entanglement=entanglement),
+        device=device,
+        ideal_energy=ground_state_energy(hamiltonian),
+    )
+
+
+def make_estimator(
+    kind: str,
+    workload: Workload,
+    backend: SimulatorBackend,
+    shots: int = 1024,
+    window: int = 2,
+    **kwargs,
+):
+    """Build one of the paper's comparison schemes for a workload.
+
+    ``kind`` is one of :data:`ESTIMATOR_KINDS`; extra keyword arguments
+    pass through to the estimator's constructor.
+    """
+    common = (workload.hamiltonian, workload.ansatz, backend)
+    if kind == "ideal":
+        return IdealEstimator(workload.hamiltonian, workload.ansatz, backend)
+    if kind == "baseline":
+        return BaselineEstimator(*common, shots=shots, **kwargs)
+    if kind == "jigsaw":
+        return JigSawEstimator(*common, shots=shots, window=window, **kwargs)
+    if kind == "varsaw":
+        return VarSawEstimator(*common, shots=shots, window=window, **kwargs)
+    if kind == "varsaw_no_sparsity":
+        return VarSawEstimator(
+            *common, shots=shots, window=window, global_mode="always", **kwargs
+        )
+    if kind == "varsaw_max_sparsity":
+        return VarSawEstimator(
+            *common, shots=shots, window=window, global_mode="never", **kwargs
+        )
+    raise ValueError(
+        f"unknown estimator kind {kind!r}; choose from {ESTIMATOR_KINDS}"
+    )

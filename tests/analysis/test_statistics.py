@@ -1,0 +1,78 @@
+"""Unit tests for trial statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TrialSummary, bootstrap_ci, summarize_trials
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean_for_tight_data(self):
+        low, high = bootstrap_ci([1.0, 1.01, 0.99, 1.0, 1.0])
+        assert low <= 1.0 <= high
+        assert high - low < 0.05
+
+    def test_single_value_degenerates_to_point(self):
+        assert bootstrap_ci([2.5]) == (2.5, 2.5)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_wider_confidence_gives_wider_interval(self):
+        data = list(np.random.default_rng(3).normal(0, 1, 30))
+        low90, high90 = bootstrap_ci(data, confidence=0.90)
+        low99, high99 = bootstrap_ci(data, confidence=0.99)
+        assert high99 - low99 >= high90 - low90
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no trial"):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_coverage_on_normal_data(self):
+        """~95% of CIs from normal samples should contain the true mean."""
+        rng = np.random.default_rng(11)
+        hits = 0
+        trials = 120
+        for i in range(trials):
+            sample = rng.normal(5.0, 1.0, size=20)
+            low, high = bootstrap_ci(sample, seed=i)
+            hits += low <= 5.0 <= high
+        assert hits / trials > 0.85
+
+
+class TestSummarizeTrials:
+    def test_fields(self):
+        summary = summarize_trials([1.0, 2.0, 3.0])
+        assert summary.n_trials == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_single_trial_zero_std(self):
+        summary = summarize_trials([4.2])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 4.2
+
+    def test_overlap_detection(self):
+        a = summarize_trials([1.0, 1.1, 0.9, 1.05])
+        b = summarize_trials([1.05, 1.15, 0.95, 1.1])
+        c = summarize_trials([9.0, 9.1, 8.9, 9.05])
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+        assert not c.overlaps(a)
+
+    def test_str_rendering(self):
+        text = str(summarize_trials([1.0, 1.5]))
+        assert "n=2" in text
+        assert "±" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])

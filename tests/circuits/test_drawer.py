@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from repro.circuits import Circuit, Parameter, draw
+
+
+class TestDraw:
+    def test_one_line_per_qubit(self):
+        qc = Circuit(3)
+        qc.h(0)
+        lines = draw(qc).splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0:")
+        assert lines[2].startswith("q2:")
+
+    def test_gate_labels_present(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.rx(0.5, 1)
+        text = draw(qc)
+        assert "[H]" in text
+        assert "[RX(0.5)]" in text
+
+    def test_unbound_parameter_shows_name(self):
+        qc = Circuit(1)
+        qc.ry(Parameter("theta[3]"), 0)
+        assert "RY(theta[3])" in draw(qc)
+
+    def test_cx_control_target_symbols(self):
+        qc = Circuit(2)
+        qc.cx(0, 1)
+        lines = draw(qc).splitlines()
+        assert "●" in lines[0]
+        assert "X" in lines[1]
+
+    def test_swap_symbols(self):
+        qc = Circuit(2)
+        qc.swap(0, 1)
+        text = draw(qc)
+        assert text.count("x") >= 2
+
+    def test_measured_qubits_marked(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.measure(0)
+        lines = draw(qc).splitlines()
+        assert lines[0].endswith("=M")
+        assert not lines[1].endswith("=M")
+
+    def test_dependency_ordering(self):
+        """A gate after CX lands in a later column than one before it."""
+        qc = Circuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.h(1)
+        lines = draw(qc).splitlines()
+        # The second H (on q1) must be to the right of the X of the CX.
+        assert lines[1].index("X") < lines[1].rindex("[H]")
+
+    def test_parallel_gates_share_column(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.h(1)
+        lines = draw(qc).splitlines()
+        assert lines[0].index("[H]") == lines[1].index("[H]")

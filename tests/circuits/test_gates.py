@@ -1,0 +1,94 @@
+"""Unit tests for gate matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import FIXED_GATES, GATE_ARITY, gate_matrix, rotation_matrix
+from repro.circuits.gates import CX, H, S, SDG, SX, T, X, Y, Z
+
+
+def is_unitary(m: np.ndarray) -> bool:
+    return np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=1e-12)
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", sorted(FIXED_GATES))
+    def test_all_fixed_gates_unitary(self, name):
+        assert is_unitary(FIXED_GATES[name])
+
+    def test_pauli_algebra(self):
+        assert np.allclose(X @ X, np.eye(2))
+        assert np.allclose(X @ Y, 1j * Z)
+        assert np.allclose(Y @ Z, 1j * X)
+        assert np.allclose(Z @ X, 1j * Y)
+
+    def test_hadamard_maps_z_to_x(self):
+        assert np.allclose(H @ Z @ H, X)
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(S @ S, Z)
+
+    def test_sdg_is_s_inverse(self):
+        assert np.allclose(S @ SDG, np.eye(2))
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(T @ T, S)
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(SX @ SX, X)
+
+    def test_cx_flips_target_on_control_one(self):
+        # |10> -> |11>, control is the most significant bit.
+        state = np.zeros(4)
+        state[0b10] = 1.0
+        assert np.allclose(CX @ state, np.eye(4)[0b11])
+
+    def test_arity_table_consistent(self):
+        for name, matrix in FIXED_GATES.items():
+            assert matrix.shape == (2 ** GATE_ARITY[name],) * 2
+
+
+class TestRotations:
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi, -1.7])
+    def test_rotations_unitary(self, name, theta):
+        assert is_unitary(rotation_matrix(name, theta))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        rx = rotation_matrix("rx", math.pi)
+        assert np.allclose(rx, -1j * X)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        ry = rotation_matrix("ry", math.pi)
+        assert np.allclose(ry, -1j * Y)
+
+    def test_rz_zero_is_identity(self):
+        assert np.allclose(rotation_matrix("rz", 0.0), np.eye(2))
+
+    def test_rotation_additivity(self):
+        a = rotation_matrix("ry", 0.4)
+        b = rotation_matrix("ry", 0.7)
+        assert np.allclose(a @ b, rotation_matrix("ry", 1.1))
+
+    def test_unknown_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix("rq", 0.1)
+
+
+class TestGateMatrixDispatch:
+    def test_fixed_gate_lookup(self):
+        assert np.allclose(gate_matrix("h"), H)
+
+    def test_fixed_gate_rejects_parameter(self):
+        with pytest.raises(ValueError):
+            gate_matrix("h", 0.5)
+
+    def test_rotation_requires_parameter(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rx")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            gate_matrix("nope")

@@ -1,0 +1,68 @@
+"""Unit tests for symbolic parameters."""
+
+import pytest
+
+from repro.circuits import Parameter, ParameterVector
+
+
+class TestParameter:
+    def test_bind_resolves_value(self):
+        p = Parameter("theta")
+        assert p.bind({"theta": 1.5}) == 1.5
+
+    def test_bind_missing_raises(self):
+        with pytest.raises(KeyError):
+            Parameter("theta").bind({"phi": 1.0})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+
+    def test_negation_applies_at_bind(self):
+        p = -Parameter("theta")
+        assert p.bind({"theta": 2.0}) == -2.0
+
+    def test_scalar_multiplication(self):
+        assert (3 * Parameter("x")).bind({"x": 2.0}) == 6.0
+        assert (Parameter("x") * 3).bind({"x": 2.0}) == 6.0
+
+    def test_division(self):
+        assert (Parameter("x") / 2).bind({"x": 3.0}) == 1.5
+
+    def test_equality_by_name_and_coeff(self):
+        assert Parameter("a") == Parameter("a")
+        assert Parameter("a") != Parameter("b")
+        assert Parameter("a") != -Parameter("a")
+
+    def test_hashable(self):
+        assert len({Parameter("a"), Parameter("a"), Parameter("b")}) == 2
+
+    def test_repr_mentions_name(self):
+        assert "theta" in repr(Parameter("theta"))
+
+
+class TestParameterVector:
+    def test_length_and_indexing(self):
+        vec = ParameterVector("t", 5)
+        assert len(vec) == 5
+        assert vec[2].name == "t[2]"
+
+    def test_iteration_order(self):
+        vec = ParameterVector("t", 3)
+        assert [p.name for p in vec] == ["t[0]", "t[1]", "t[2]"]
+
+    def test_to_bindings_maps_values(self):
+        vec = ParameterVector("t", 3)
+        bindings = vec.to_bindings([1.0, 2.0, 3.0])
+        assert bindings == {"t[0]": 1.0, "t[1]": 2.0, "t[2]": 3.0}
+
+    def test_to_bindings_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ParameterVector("t", 3).to_bindings([1.0])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterVector("t", -1)
+
+    def test_zero_length_allowed(self):
+        assert ParameterVector("t", 0).to_bindings([]) == {}

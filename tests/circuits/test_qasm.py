@@ -1,0 +1,107 @@
+"""Unit tests for OpenQASM 2.0 export/import."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Parameter, from_qasm, to_qasm
+from repro.sim import probabilities, run_statevector
+
+
+def bell() -> Circuit:
+    qc = Circuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.measure_all()
+    return qc
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        text = to_qasm(bell())
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[2];" in text
+        assert "creg c[2];" in text
+
+    def test_gate_lines(self):
+        text = to_qasm(bell())
+        assert "h q[0];" in text
+        assert "cx q[0], q[1];" in text
+
+    def test_measure_lines(self):
+        text = to_qasm(bell())
+        assert "measure q[0] -> c[0];" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_rotation_params_serialized(self):
+        qc = Circuit(1)
+        qc.rx(0.5, 0)
+        assert "rx(0.5) q[0];" in to_qasm(qc)
+
+    def test_identity_renamed(self):
+        qc = Circuit(1)
+        qc.i(0)
+        assert "id q[0];" in to_qasm(qc)
+
+    def test_unbound_rejected(self):
+        qc = Circuit(1)
+        qc.rx(Parameter("a"), 0)
+        with pytest.raises(ValueError):
+            to_qasm(qc)
+
+    def test_no_creg_without_measurement(self):
+        qc = Circuit(1)
+        qc.h(0)
+        assert "creg" not in to_qasm(qc)
+
+
+class TestImport:
+    def test_roundtrip_structure(self):
+        original = bell()
+        parsed = from_qasm(to_qasm(original))
+        assert parsed.n_qubits == original.n_qubits
+        assert [i.name for i in parsed.instructions] == [
+            i.name for i in original.instructions
+        ]
+        assert parsed.measured_qubits == original.measured_qubits
+
+    def test_roundtrip_simulates_identically(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.ry(0.7, 2)
+        qc.cz(1, 2)
+        qc.rz(-1.2, 0)
+        parsed = from_qasm(to_qasm(qc))
+        assert np.allclose(
+            probabilities(run_statevector(qc)),
+            probabilities(run_statevector(parsed)),
+        )
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "OPENQASM 2.0;\n"
+            'include "qelib1.inc";\n'
+            "// a comment\n"
+            "\n"
+            "qreg q[1];\n"
+            "x q[0]; // trailing comment\n"
+        )
+        parsed = from_qasm(text)
+        assert [i.name for i in parsed.instructions] == ["x"]
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError, match="qreg"):
+            from_qasm("OPENQASM 2.0;\nx q[0];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            from_qasm("qreg q[2];\nccx q[0], q[1];")
+
+    def test_statement_before_qreg_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm("x q[0];\nqreg q[1];")
+
+    def test_u1_maps_to_p(self):
+        parsed = from_qasm("qreg q[1];\nu1(0.3) q[0];")
+        assert parsed.instructions[0].name == "p"
+        assert parsed.instructions[0].param == pytest.approx(0.3)

@@ -1,0 +1,59 @@
+"""Shared helpers for the Clifford substrate tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gates import gate_matrix
+from repro.pauli.pauli import PAULI_MATRICES, PauliString
+from repro.sim.statevector import apply_gate
+
+CLIFFORD_1Q = ("h", "s", "sdg", "x", "y", "z", "sx")
+CLIFFORD_2Q = ("cx", "cz", "swap")
+
+
+def dense_pauli(pauli: PauliString) -> np.ndarray:
+    """The 2^n x 2^n matrix of a Pauli string (qubit 0 = MSB)."""
+    matrix = np.array([[1.0 + 0j]])
+    for char in pauli.label:
+        matrix = np.kron(matrix, PAULI_MATRICES[char])
+    return matrix
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """The full unitary of a (small) circuit, column by column."""
+    n = circuit.n_qubits
+    dim = 2**n
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for col in range(dim):
+        state = np.zeros(dim, dtype=complex)
+        state[col] = 1.0
+        for inst in circuit.instructions:
+            state = apply_gate(
+                state, gate_matrix(inst.name, inst.param), inst.qubits, n
+            )
+        unitary[:, col] = state
+    return unitary
+
+
+def random_clifford_circuit(
+    rng: np.random.Generator, n_qubits: int, n_gates: int = 12
+) -> Circuit:
+    """A random circuit over the Clifford gate set."""
+    qc = Circuit(n_qubits, name="random_clifford")
+    for _ in range(n_gates):
+        if n_qubits >= 2 and rng.random() < 0.4:
+            name = str(rng.choice(CLIFFORD_2Q))
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            getattr(qc, name)(int(a), int(b))
+        else:
+            name = str(rng.choice(CLIFFORD_1Q))
+            getattr(qc, name)(int(rng.integers(n_qubits)))
+    return qc
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(424242)

@@ -1,0 +1,207 @@
+"""Unit tests for the phase-tracking Clifford tableau."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.clifford import CLIFFORD_GATES, CliffordTableau
+from repro.pauli import PauliString
+
+from .conftest import circuit_unitary, dense_pauli, random_clifford_circuit
+
+
+class TestIdentity:
+    def test_fresh_tableau_is_identity(self):
+        assert CliffordTableau(3).is_identity()
+
+    def test_identity_conjugation_fixes_every_pauli(self):
+        tab = CliffordTableau(2)
+        for label in ("IX", "ZY", "XX", "YZ"):
+            sign, image = tab.conjugate(PauliString(label))
+            assert sign == 1
+            assert image.label == label
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(0)
+
+    def test_conjugate_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(2).conjugate(PauliString("XXX"))
+
+    def test_conjugate_bad_sign_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(2).conjugate(PauliString("XX"), sign=2)
+
+
+class TestSingleGateActions:
+    """Known conjugation identities, one gate at a time."""
+
+    @pytest.mark.parametrize(
+        "gate, pauli, expected_sign, expected",
+        [
+            ("h", "X", 1, "Z"),
+            ("h", "Z", 1, "X"),
+            ("h", "Y", -1, "Y"),
+            ("s", "X", 1, "Y"),
+            ("s", "Y", -1, "X"),
+            ("s", "Z", 1, "Z"),
+            ("sdg", "X", -1, "Y"),
+            ("sdg", "Y", 1, "X"),
+            ("x", "Z", -1, "Z"),
+            ("x", "Y", -1, "Y"),
+            ("x", "X", 1, "X"),
+            ("z", "X", -1, "X"),
+            ("y", "X", -1, "X"),
+            ("y", "Z", -1, "Z"),
+            ("sx", "Z", -1, "Y"),
+            ("sx", "Y", 1, "Z"),
+            ("sx", "X", 1, "X"),
+        ],
+    )
+    def test_single_qubit_rules(self, gate, pauli, expected_sign, expected):
+        tab = CliffordTableau(1)
+        tab.apply_gate(gate, (0,))
+        sign, image = tab.conjugate(PauliString(pauli))
+        assert (sign, image.label) == (expected_sign, expected)
+
+    @pytest.mark.parametrize(
+        "pauli, expected",
+        [
+            ("XI", "XX"),
+            ("IX", "IX"),
+            ("ZI", "ZI"),
+            ("IZ", "ZZ"),
+            ("YI", "YX"),
+            ("IY", "ZY"),
+        ],
+    )
+    def test_cx_propagation(self, pauli, expected):
+        tab = CliffordTableau(2)
+        tab.cx(0, 1)
+        sign, image = tab.conjugate(PauliString(pauli))
+        assert sign == 1
+        assert image.label == expected
+
+    @pytest.mark.parametrize(
+        "pauli, expected",
+        [("XI", "XZ"), ("IX", "ZX"), ("ZI", "ZI"), ("IZ", "IZ")],
+    )
+    def test_cz_propagation(self, pauli, expected):
+        tab = CliffordTableau(2)
+        tab.cz(0, 1)
+        sign, image = tab.conjugate(PauliString(pauli))
+        assert sign == 1
+        assert image.label == expected
+
+    def test_swap_moves_paulis(self):
+        tab = CliffordTableau(2)
+        tab.swap(0, 1)
+        sign, image = tab.conjugate(PauliString("XZ"))
+        assert sign == 1
+        assert image.label == "ZX"
+
+    def test_cx_same_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(2).cx(1, 1)
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(2).h(2)
+
+
+class TestFromCircuit:
+    def test_non_clifford_gate_rejected(self):
+        qc = Circuit(1)
+        qc.rz(0.3, 0)
+        with pytest.raises(ValueError, match="not a Clifford"):
+            CliffordTableau.from_circuit(qc)
+
+    def test_identity_gate_is_noop(self):
+        qc = Circuit(2)
+        qc.i(0)
+        qc.i(1)
+        assert CliffordTableau.from_circuit(qc).is_identity()
+
+    def test_s_four_times_is_identity(self):
+        qc = Circuit(1)
+        for _ in range(4):
+            qc.s(0)
+        assert CliffordTableau.from_circuit(qc).is_identity()
+
+    def test_s_then_sdg_is_identity(self):
+        qc = Circuit(1)
+        qc.s(0)
+        qc.sdg(0)
+        assert CliffordTableau.from_circuit(qc).is_identity()
+
+    def test_hh_identity(self):
+        qc = Circuit(1)
+        qc.h(0)
+        qc.h(0)
+        assert CliffordTableau.from_circuit(qc).is_identity()
+
+    def test_gate_set_constant_matches_dispatch(self):
+        # Every advertised gate name round-trips through apply_gate.
+        for name in CLIFFORD_GATES:
+            tab = CliffordTableau(2)
+            qubits = (0, 1) if name in ("cx", "cz", "swap") else (0,)
+            tab.apply_gate(name, qubits)  # must not raise
+
+
+class TestAgainstDenseUnitaries:
+    """U P U† computed densely must equal the tableau's signed image."""
+
+    @pytest.mark.parametrize("n_qubits", [1, 2, 3])
+    def test_random_circuits_random_paulis(self, rng, n_qubits):
+        for _ in range(8):
+            qc = random_clifford_circuit(rng, n_qubits)
+            tab = CliffordTableau.from_circuit(qc)
+            unitary = circuit_unitary(qc)
+            label = "".join(rng.choice(list("IXYZ"), size=n_qubits))
+            pauli = PauliString(label)
+            sign, image = tab.conjugate(pauli)
+            lhs = unitary @ dense_pauli(pauli) @ unitary.conj().T
+            assert np.allclose(lhs, sign * dense_pauli(image), atol=1e-9)
+
+    def test_negative_input_sign_propagates(self, rng):
+        qc = random_clifford_circuit(rng, 2)
+        tab = CliffordTableau.from_circuit(qc)
+        pauli = PauliString("XY")
+        s_pos, img_pos = tab.conjugate(pauli, sign=1)
+        s_neg, img_neg = tab.conjugate(pauli, sign=-1)
+        assert img_pos.label == img_neg.label
+        assert s_neg == -s_pos
+
+
+class TestComposition:
+    def test_then_matches_sequential_circuit(self, rng):
+        qc1 = random_clifford_circuit(rng, 3)
+        qc2 = random_clifford_circuit(rng, 3)
+        combined = qc1.compose(qc2)
+        lhs = CliffordTableau.from_circuit(qc1).then(
+            CliffordTableau.from_circuit(qc2)
+        )
+        rhs = CliffordTableau.from_circuit(combined)
+        assert lhs == rhs
+
+    def test_then_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CliffordTableau(2).then(CliffordTableau(3))
+
+    def test_inverse_roundtrip(self, rng):
+        for _ in range(5):
+            qc = random_clifford_circuit(rng, 3)
+            tab = CliffordTableau.from_circuit(qc)
+            assert tab.then(tab.inverse()).is_identity()
+            assert tab.inverse().then(tab).is_identity()
+
+    def test_copy_is_independent(self):
+        tab = CliffordTableau(2)
+        clone = tab.copy()
+        clone.h(0)
+        assert tab.is_identity()
+        assert not clone.is_identity()
+
+    def test_equality_against_other_types(self):
+        assert CliffordTableau(1) != "not a tableau"

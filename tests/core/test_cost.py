@@ -1,0 +1,82 @@
+"""Unit tests for the Fig. 8 analytic cost model."""
+
+import pytest
+
+from repro.core import (
+    figure8_series,
+    jigsaw_cost,
+    pauli_terms,
+    traditional_cost,
+    varsaw_cost,
+    varsaw_subset_pool,
+)
+
+
+class TestComponents:
+    def test_pauli_terms_q4_scaling(self):
+        assert pauli_terms(10) == pytest.approx(100.0)
+        assert pauli_terms(100) / pauli_terms(10) == pytest.approx(1e4)
+
+    def test_pauli_terms_floor_of_one(self):
+        assert pauli_terms(1) == 1.0
+
+    def test_invalid_qubits(self):
+        with pytest.raises(ValueError):
+            pauli_terms(0)
+
+    def test_jigsaw_q5_scaling(self):
+        """JigSaw per-iteration cost grows ~Q^5 (Section 3.2)."""
+        ratio = jigsaw_cost(200) / jigsaw_cost(100)
+        assert 2**5 * 0.8 < ratio < 2**5 * 1.2
+
+    def test_traditional_q4_scaling(self):
+        ratio = traditional_cost(200) / traditional_cost(100)
+        assert ratio == pytest.approx(16.0)
+
+    def test_varsaw_subset_pool_linear_at_scale(self):
+        """The commuted pool saturates at 9 bases per window: O(Q)."""
+        ratio = varsaw_subset_pool(800) / varsaw_subset_pool(400)
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_varsaw_k_bounds(self):
+        with pytest.raises(ValueError):
+            varsaw_cost(10, k=1.5)
+
+
+class TestFig8Shape:
+    """The orderings and crossovers visible in Fig. 8."""
+
+    def test_jigsaw_always_costliest(self):
+        for q in (10, 50, 200, 1000):
+            assert jigsaw_cost(q) > traditional_cost(q)
+            assert jigsaw_cost(q) > varsaw_cost(q, k=1.0)
+
+    def test_varsaw_k1_tracks_traditional(self):
+        """The k=1 line overlaps Traditional VQA at scale."""
+        for q in (100, 500, 1000):
+            assert varsaw_cost(q, k=1.0) == pytest.approx(
+                traditional_cost(q), rel=0.05
+            )
+
+    def test_varsaw_at_least_q_below_jigsaw(self):
+        """VarSaw is at least O(Q) cheaper than JigSaw (Section 3.2)."""
+        for q in (50, 200, 1000):
+            assert jigsaw_cost(q) / varsaw_cost(q, k=1.0) > 0.5 * q
+
+    def test_sparsity_orders_curves(self):
+        for q in (50, 200, 1000):
+            costs = [varsaw_cost(q, k) for k in (1.0, 0.1, 0.01, 0.001)]
+            assert costs == sorted(costs, reverse=True)
+
+    def test_high_sparsity_beats_traditional(self):
+        """Section 3.3: sparse VarSaw undercuts even the baseline."""
+        assert varsaw_cost(100, k=0.001) < traditional_cost(100)
+
+    def test_series_structure(self):
+        series = figure8_series(qubit_counts=[10, 100, 1000])
+        assert "Traditional VQA" in series
+        assert "JigSaw + VQA" in series
+        assert "VarSaw (k=0.001)" in series
+        assert len(series["Traditional VQA"]) == 3
+        q, cost = series["JigSaw + VQA"][1]
+        assert q == 100 and cost == jigsaw_cost(100)

@@ -1,0 +1,105 @@
+"""Unit tests for the Global scheduler (temporal optimization)."""
+
+import pytest
+
+from repro.core import GlobalScheduler
+
+
+class TestModes:
+    def test_always_mode_every_iteration(self):
+        sched = GlobalScheduler(mode="always")
+        assert all(sched.due(t) for t in range(10))
+
+    def test_never_mode_only_first(self):
+        sched = GlobalScheduler(mode="never")
+        assert sched.due(0)
+        assert not any(sched.due(t) for t in range(1, 50))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            GlobalScheduler(mode="sometimes")
+
+    def test_period_bounds_validation(self):
+        with pytest.raises(ValueError):
+            GlobalScheduler(initial_period=0)
+        with pytest.raises(ValueError):
+            GlobalScheduler(initial_period=10, max_period=5)
+
+
+class TestAdaptiveHillClimbing:
+    def test_initial_due_at_zero(self):
+        sched = GlobalScheduler(initial_period=2)
+        assert sched.due(0)
+
+    def test_period_doubles_on_stale_win(self):
+        sched = GlobalScheduler(initial_period=2)
+        sched.record_global(0)
+        sched.feedback(stale_at_least_as_good=True)
+        assert sched.period == 4
+        assert not sched.due(1)
+        assert not sched.due(3)
+        assert sched.due(4)
+
+    def test_period_halves_on_fresh_win(self):
+        sched = GlobalScheduler(initial_period=8)
+        sched.record_global(0)
+        sched.feedback(stale_at_least_as_good=False)
+        assert sched.period == 4
+
+    def test_period_respects_bounds(self):
+        sched = GlobalScheduler(
+            initial_period=2, min_period=1, max_period=8
+        )
+        sched.record_global(0)
+        for _ in range(10):
+            sched.feedback(stale_at_least_as_good=True)
+        assert sched.period == 8
+        for _ in range(10):
+            sched.feedback(stale_at_least_as_good=False)
+        assert sched.period == 1
+
+    def test_sparsity_sequence(self):
+        """A run where stale always wins: Globals get exponentially rare."""
+        sched = GlobalScheduler(initial_period=2, max_period=64)
+        executed = []
+        for t in range(100):
+            if sched.due(t):
+                sched.record_global(t)
+                sched.feedback(stale_at_least_as_good=True)
+                executed.append(t)
+            sched.record_evaluation()
+        assert executed[0] == 0
+        # Gaps grow: 0, 4(=0+2*2? climbing), ... strictly increasing gaps.
+        gaps = [b - a for a, b in zip(executed, executed[1:])]
+        assert all(g2 >= g1 for g1, g2 in zip(gaps, gaps[1:]))
+        assert sched.global_fraction < 0.2
+
+    def test_feedback_noop_in_extreme_modes(self):
+        for mode in ("always", "never"):
+            sched = GlobalScheduler(mode=mode)
+            sched.record_global(0)
+            sched.feedback(stale_at_least_as_good=True)
+            assert sched.period == sched.period  # unchanged, no error
+            assert sched.due(1) == (mode == "always")
+
+
+class TestBookkeeping:
+    def test_global_fraction(self):
+        sched = GlobalScheduler(mode="always")
+        for t in range(4):
+            if sched.due(t):
+                sched.record_global(t)
+            sched.record_evaluation()
+        assert sched.global_fraction == 1.0
+
+    def test_global_fraction_empty(self):
+        assert GlobalScheduler().global_fraction == 0.0
+
+    def test_period_history_recorded(self):
+        sched = GlobalScheduler()
+        for _ in range(5):
+            sched.record_evaluation()
+        assert len(sched.period_history) == 5
+
+    def test_repr(self):
+        assert "adaptive" in repr(GlobalScheduler())

@@ -1,0 +1,103 @@
+"""Unit tests for the Table 2 molecule registry and synthetic generator."""
+
+import pytest
+
+from repro.hamiltonian import (
+    MOLECULES,
+    build_hamiltonian,
+    ground_state_energy,
+    molecule_keys,
+    reference_energy,
+)
+
+
+class TestRegistry:
+    def test_table2_rows_present(self):
+        assert len(MOLECULES) == 13
+
+    def test_table2_counts(self):
+        """Qubits and Pauli terms exactly as printed in Table 2."""
+        expected = {
+            "H2-4": (4, 15),
+            "LiH-6": (6, 118),
+            "LiH-8": (8, 193),
+            "H2O-6": (6, 62),
+            "H2O-8": (8, 193),
+            "H2O-12": (12, 670),
+            "CH4-6": (6, 94),
+            "CH4-8": (8, 241),
+            "H6-10": (10, 919),
+            "BeH2-12": (12, 670),
+            "N2-12": (12, 660),
+            "C2H4-20": (20, 10510),
+            "Cr2-34": (34, 32699),
+        }
+        for key, (qubits, terms) in expected.items():
+            spec = MOLECULES[key]
+            assert (spec.n_qubits, spec.n_terms) == (qubits, terms)
+
+    def test_temporal_flags_match_table2(self):
+        temporal = {k for k, s in MOLECULES.items() if s.temporal}
+        assert temporal == {
+            "H2-4", "LiH-6", "LiH-8", "H2O-6", "H2O-8", "CH4-6", "CH4-8",
+        }
+
+    def test_molecule_keys_filter(self):
+        assert len(molecule_keys()) == 13
+        assert len(molecule_keys(temporal_only=True)) == 7
+
+
+class TestBuildHamiltonian:
+    @pytest.mark.parametrize(
+        "key", ["H2-4", "LiH-6", "H2O-6", "CH4-6", "LiH-8", "CH4-8"]
+    )
+    def test_term_counts_match_spec(self, key):
+        ham = build_hamiltonian(key)
+        assert ham.num_terms == MOLECULES[key].n_terms
+        assert ham.n_qubits == MOLECULES[key].n_qubits
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            build_hamiltonian("He-2")
+
+    def test_deterministic_and_cached(self):
+        assert build_hamiltonian("LiH-6") is build_hamiltonian("LiH-6")
+
+    def test_h2_uses_published_structure(self):
+        """H2-4 keeps the canonical STO-3G JW structure: 4 XXYY-type terms."""
+        ham = build_hamiltonian("H2-4")
+        exchange = [
+            p for _, p in ham.terms if set(p.label) <= {"X", "Y"} and p.weight == 4
+        ]
+        assert len(exchange) == 4
+
+    def test_reference_energy_calibration(self):
+        """Ground-state energy equals the paper's Table 1 reference."""
+        for key in ["H2-4", "LiH-6", "H2O-6", "CH4-6"]:
+            ref = MOLECULES[key].reference_energy
+            assert ground_state_energy(build_hamiltonian(key)) == pytest.approx(
+                ref, abs=1e-6
+            )
+
+    def test_same_molecule_same_reference_across_configs(self):
+        """The paper: ideal energy is identical across configurations."""
+        assert reference_energy("LiH-6") == reference_energy("LiH-8")
+        assert reference_energy("CH4-6") == reference_energy("CH4-8")
+
+    def test_same_size_molecules_differ(self):
+        """LiH-8 and H2O-8 share (qubits, terms) but not term sets."""
+        lih = {p.label for _, p in build_hamiltonian("LiH-8").terms}
+        h2o = {p.label for _, p in build_hamiltonian("H2O-8").terms}
+        assert lih != h2o
+
+    def test_synthetic_has_diagonal_core(self):
+        """Identity, all single-Z, and all ZZ terms are always present."""
+        ham = build_hamiltonian("CH4-6")
+        labels = {p.label for _, p in ham.terms}
+        assert "I" * 6 in labels
+        for i in range(6):
+            assert "".join("Z" if j == i else "I" for j in range(6)) in labels
+
+    def test_reference_energy_large_molecule_rejected(self):
+        with pytest.raises(ValueError):
+            reference_energy("Cr2-34")

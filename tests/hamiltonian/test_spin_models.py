@@ -1,0 +1,85 @@
+"""Unit tests for Heisenberg and XY spin-chain Hamiltonians."""
+
+import pytest
+
+from repro.hamiltonian import (
+    ground_state_energy,
+    heisenberg_hamiltonian,
+    tfim_hamiltonian,
+    xy_hamiltonian,
+)
+
+
+class TestHeisenberg:
+    def test_term_count_open_chain(self):
+        # 3 couplings per bond, n-1 bonds, plus n field terms.
+        ham = heisenberg_hamiltonian(4, field=0.5)
+        assert ham.num_terms == 3 * 3 + 4
+
+    def test_periodic_adds_bond(self):
+        open_chain = heisenberg_hamiltonian(4)
+        ring = heisenberg_hamiltonian(4, periodic=True)
+        assert ring.num_terms == open_chain.num_terms + 3
+
+    def test_zero_couplings_dropped(self):
+        ham = heisenberg_hamiltonian(3, jx=1.0, jy=0.0, jz=0.0)
+        labels = {p.label for _, p in ham.terms}
+        assert labels == {"XXI", "IXX"}
+
+    def test_spans_three_bases(self):
+        """XX, YY, ZZ terms need three measurement bases per bond —
+        the property Section 7.3 says favors VarSaw."""
+        ham = heisenberg_hamiltonian(4)
+        chars = {
+            c for _, p in ham.terms for c in p.label if c != "I"
+        }
+        assert chars == {"X", "Y", "Z"}
+
+    def test_known_two_site_ground_energy(self):
+        """Two-site isotropic Heisenberg: singlet at E = -3J (J sum of
+        XX+YY+ZZ eigenvalue -3 on the singlet)."""
+        ham = heisenberg_hamiltonian(2, jx=1.0, jy=1.0, jz=1.0)
+        assert ground_state_energy(ham) == pytest.approx(-3.0)
+
+    def test_needs_two_qubits(self):
+        with pytest.raises(ValueError):
+            heisenberg_hamiltonian(1)
+
+
+class TestXY:
+    def test_isotropic_has_no_yy_asymmetry(self):
+        ham = xy_hamiltonian(3, coupling=1.0, anisotropy=0.0)
+        coeffs = {p.label: c for c, p in ham.terms}
+        assert coeffs["XXI"] == pytest.approx(coeffs["YYI"])
+
+    def test_full_anisotropy_drops_yy(self):
+        ham = xy_hamiltonian(3, anisotropy=1.0)
+        labels = {p.label for _, p in ham.terms}
+        assert all("Y" not in label for label in labels)
+
+    def test_anisotropy_bounds(self):
+        with pytest.raises(ValueError):
+            xy_hamiltonian(3, anisotropy=1.5)
+
+    def test_field_terms(self):
+        ham = xy_hamiltonian(3, field=0.7)
+        coeffs = {p.label: c for c, p in ham.terms}
+        assert coeffs["ZII"] == pytest.approx(-0.7)
+
+    def test_xy_at_gamma1_matches_ising_spectrum(self):
+        """gamma = 1 XY chain = TFIM up to an X<->Z basis relabel, so the
+        ground energies coincide."""
+        xy = xy_hamiltonian(4, coupling=2.0, anisotropy=1.0, field=0.3)
+        # -J/2 (1+1) XX - h Z == TFIM with coupling J on XX...
+        # relabeled TFIM: -2.0 XX bonds and -0.3 Z fields.
+        tfim = tfim_hamiltonian(4, coupling=2.0, field=0.3)
+        assert ground_state_energy(xy) == pytest.approx(
+            ground_state_energy(tfim), abs=1e-9
+        )
+
+    def test_varsaw_spatial_reduction_applies(self):
+        """Spin chains benefit from subset commuting like molecules do."""
+        from repro.core import count_jigsaw_subsets, count_varsaw_subsets
+
+        ham = heisenberg_hamiltonian(8, field=0.3)
+        assert count_varsaw_subsets(ham) < count_jigsaw_subsets(ham)

@@ -1,0 +1,49 @@
+"""Unit tests for TFIM Hamiltonians."""
+
+import pytest
+
+from repro.hamiltonian import paper_tfim, tfim_hamiltonian
+
+
+class TestTfim:
+    def test_term_count_open_chain(self):
+        # n-1 ZZ bonds + n X fields.
+        ham = tfim_hamiltonian(5)
+        assert ham.num_terms == 4 + 5
+
+    def test_term_count_periodic(self):
+        ham = tfim_hamiltonian(5, periodic=True)
+        assert ham.num_terms == 5 + 5
+
+    def test_needs_two_qubits(self):
+        with pytest.raises(ValueError):
+            tfim_hamiltonian(1)
+
+    def test_coefficients_negative(self):
+        ham = tfim_hamiltonian(3, coupling=2.0, field=0.5)
+        coeffs = {p.label: c for c, p in ham.terms}
+        assert coeffs["ZZI"] == -2.0
+        assert coeffs["IIX"] == -0.5
+
+
+class TestPaperTfim:
+    def test_five_qubits_three_terms(self):
+        """Fig. 16's workload: 5 qubits, exactly 3 Pauli terms."""
+        ham = paper_tfim()
+        assert ham.n_qubits == 5
+        assert ham.num_terms == 3
+
+    def test_spans_two_bases(self):
+        """Needs both Z-type and X-type measurements (so Globals matter)."""
+        chars = {
+            c
+            for _, p in paper_tfim().terms
+            for c in p.label
+            if c != "I"
+        }
+        assert chars == {"Z", "X"}
+
+    def test_measurement_groups_one_per_term(self):
+        # No term covers another (disjoint supports), so trivial
+        # commutation keeps all three circuits.
+        assert len(paper_tfim().measurement_groups()) == 3

@@ -1,0 +1,89 @@
+"""Cross-module circuit round trips for the extension subsystems.
+
+The QASM exporter, ASCII drawer, transpiler, and tableau interpreter
+were written before the routed/GC/QAOA circuits existed; these tests pin
+down that every new circuit producer emits circuits the rest of the
+toolchain accepts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.drawer import draw
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.clifford import CliffordTableau, diagonalize_commuting
+from repro.layout import CouplingMap, route_circuit
+from repro.qaoa import QAOAAnsatz, ring_maxcut
+from repro.sim.statevector import run_statevector
+
+
+def assert_same_statevector(a, b):
+    assert np.allclose(run_statevector(a), run_statevector(b), atol=1e-9)
+
+
+class TestQasmRoundTrips:
+    def test_routed_circuit_roundtrip(self):
+        from repro.circuits import Circuit
+
+        qc = Circuit(3)
+        qc.h(0)
+        qc.cx(0, 2)
+        routed = route_circuit(qc, CouplingMap.line(3))
+        text = to_qasm(routed.circuit)
+        assert "swap" in text
+        back = from_qasm(text)
+        assert_same_statevector(routed.circuit, back)
+
+    def test_gc_measurement_circuit_roundtrip(self):
+        group = diagonalize_commuting(["XX", "YY", "ZZ"], 2)
+        back = from_qasm(to_qasm(group.circuit))
+        assert_same_statevector(group.circuit, back)
+        # The tableau interprets the re-imported circuit identically.
+        assert CliffordTableau.from_circuit(back) == (
+            CliffordTableau.from_circuit(group.circuit)
+        )
+
+    def test_qaoa_circuit_roundtrip(self):
+        ansatz = QAOAAnsatz(ring_maxcut(4), reps=2)
+        bound = ansatz.bind([0.3, 0.7, 0.2, 0.5])
+        back = from_qasm(to_qasm(bound))
+        assert_same_statevector(bound, back)
+
+
+class TestDrawerAcceptsEverything:
+    def test_draws_gc_circuit(self):
+        group = diagonalize_commuting(["XXI", "YYI", "ZZI"], 3)
+        art = draw(group.circuit)
+        assert "q0" in art
+
+    def test_draws_qaoa_circuit(self):
+        ansatz = QAOAAnsatz(ring_maxcut(4), reps=1)
+        art = draw(ansatz.bind([0.3, 0.7]))
+        assert "q3" in art
+
+    def test_draws_routed_circuit(self):
+        from repro.circuits import Circuit
+
+        qc = Circuit(3)
+        qc.cx(0, 2)
+        routed = route_circuit(qc, CouplingMap.line(3))
+        art = draw(routed.circuit)
+        assert "q2" in art
+
+
+class TestTranspilerOnNewCircuits:
+    def test_transpile_preserves_gc_rotation(self):
+        from repro.circuits.transpile import transpile
+
+        group = diagonalize_commuting(["XX", "YY", "ZZ"], 2)
+        optimized = transpile(group.circuit)
+        assert_same_statevector(group.circuit, optimized)
+        assert optimized.num_gates <= group.circuit.num_gates
+
+    def test_transpile_preserves_qaoa(self):
+        from repro.circuits.transpile import transpile
+
+        ansatz = QAOAAnsatz(ring_maxcut(4), reps=1)
+        bound = ansatz.bind([0.4, 0.9])
+        optimized = transpile(bound)
+        assert_same_statevector(bound, optimized)

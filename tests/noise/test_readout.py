@@ -1,0 +1,111 @@
+"""Unit tests for readout error models."""
+
+import numpy as np
+import pytest
+
+from repro.noise import QubitReadoutError, ReadoutErrorModel
+from repro.sim import PMF
+
+
+class TestQubitReadoutError:
+    def test_confusion_matrix_columns_stochastic(self):
+        err = QubitReadoutError(0.03, 0.07)
+        m = err.confusion_matrix()
+        assert np.allclose(m.sum(axis=0), [1.0, 1.0])
+        assert m[1, 0] == 0.03  # P(read 1 | true 0)
+        assert m[0, 1] == 0.07  # P(read 0 | true 1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            QubitReadoutError(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            QubitReadoutError(0.0, 1.1)
+
+    def test_scaled_caps_at_half(self):
+        err = QubitReadoutError(0.4, 0.4).scaled(10)
+        assert err.p01 == 0.5 and err.p10 == 0.5
+
+    def test_mean_error(self):
+        assert QubitReadoutError(0.02, 0.04).mean_error == pytest.approx(0.03)
+
+
+class TestReadoutErrorModel:
+    def make(self, crosstalk=0.1, scale=1.0):
+        return ReadoutErrorModel(
+            [
+                QubitReadoutError(0.01, 0.02),
+                QubitReadoutError(0.05, 0.08),
+                QubitReadoutError(0.002, 0.003),
+            ],
+            crosstalk_strength=crosstalk,
+            scale=scale,
+        )
+
+    def test_crosstalk_grows_with_width(self):
+        model = self.make()
+        assert model.crosstalk_factor(1) == 1.0
+        assert model.crosstalk_factor(3) == pytest.approx(1.2)
+
+    def test_effective_error_combines_scale_and_crosstalk(self):
+        model = self.make(crosstalk=0.5, scale=2.0)
+        err = model.effective_error(0, n_measured=2)
+        # 0.01 * 2.0 (scale) * 1.5 (crosstalk over 2 qubits) = 0.03
+        assert err.p01 == pytest.approx(0.03)
+
+    def test_best_qubits_sorted_by_mean_error(self):
+        model = self.make()
+        assert model.best_qubits(1) == [2]
+        assert model.best_qubits(3) == [2, 0, 1]
+
+    def test_best_qubits_bounds(self):
+        model = self.make()
+        with pytest.raises(ValueError):
+            model.best_qubits(0)
+        with pytest.raises(ValueError):
+            model.best_qubits(4)
+
+    def test_with_scale_copies(self):
+        model = self.make()
+        scaled = model.with_scale(3.0)
+        assert scaled.scale == 3.0
+        assert model.scale == 1.0
+
+    def test_apply_single_qubit_flip_rates(self):
+        model = ReadoutErrorModel(
+            [QubitReadoutError(0.1, 0.3)], crosstalk_strength=0.0
+        )
+        ideal = PMF([1.0, 0.0], qubits=(0,))
+        noisy = model.apply(ideal, {0: 0})
+        assert np.allclose(noisy.probs, [0.9, 0.1])
+        ideal1 = PMF([0.0, 1.0], qubits=(0,))
+        noisy1 = model.apply(ideal1, {0: 0})
+        assert np.allclose(noisy1.probs, [0.3, 0.7])
+
+    def test_apply_uses_physical_mapping(self):
+        model = self.make(crosstalk=0.0)
+        ideal = PMF([1.0, 0.0], qubits=(0,))
+        # Map logical 0 onto the noisiest physical qubit (1).
+        noisy = model.apply(ideal, {0: 1})
+        assert np.isclose(noisy.probs[1], 0.05)
+
+    def test_apply_missing_mapping_raises(self):
+        model = self.make()
+        with pytest.raises(ValueError):
+            model.apply(PMF([1.0, 0.0], qubits=(0,)), {})
+
+    def test_apply_preserves_normalization(self):
+        model = self.make()
+        pmf = PMF([0.1, 0.2, 0.3, 0.4], qubits=(0, 1))
+        noisy = model.apply(pmf, {0: 0, 1: 1})
+        assert np.isclose(noisy.probs.sum(), 1.0)
+
+    def test_zero_scale_is_noiseless(self):
+        model = self.make(scale=0.0)
+        pmf = PMF([0.1, 0.9], qubits=(0,))
+        assert np.allclose(model.apply(pmf, {0: 1}).probs, pmf.probs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutErrorModel([], 0.1)
+        with pytest.raises(ValueError):
+            ReadoutErrorModel([QubitReadoutError(0, 0)], -0.1)

@@ -1,0 +1,74 @@
+"""Unit tests for Implicit Filtering."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import ImFil
+
+
+def quadratic(x):
+    return float(np.sum((x - 0.5) ** 2))
+
+
+class TestImFil:
+    def test_minimizes_quadratic(self):
+        result = ImFil(h0=0.5).minimize(
+            quadratic, np.zeros(3), max_iterations=200
+        )
+        assert result.fun < 0.01
+
+    def test_filters_small_noise(self):
+        rng = np.random.default_rng(0)
+
+        def noisy(x):
+            return quadratic(x) + float(rng.normal(0, 1e-3))
+
+        result = ImFil(h0=0.5).minimize(
+            noisy, np.zeros(2), max_iterations=150
+        )
+        assert result.fun < 0.05
+
+    def test_stencil_convergence_stop(self):
+        # A constant function: every stencil fails, h shrinks to h_min.
+        result = ImFil(h0=0.1, h_min=0.05).minimize(
+            lambda x: 1.0, np.zeros(2), max_iterations=100
+        )
+        assert result.stop_reason == "stencil_converged"
+        assert result.iterations < 100
+
+    def test_should_stop_respected(self):
+        result = ImFil().minimize(
+            quadratic,
+            np.zeros(2),
+            max_iterations=100,
+            should_stop=lambda: True,
+        )
+        assert result.iterations == 0
+        assert result.stop_reason == "budget_exhausted"
+
+    def test_history_monotone(self):
+        result = ImFil().minimize(quadratic, np.zeros(2), 50)
+        assert all(
+            b <= a + 1e-12
+            for a, b in zip(result.history, result.history[1:])
+        )
+
+    def test_invalid_scales(self):
+        with pytest.raises(ValueError):
+            ImFil(h0=-1.0)
+        with pytest.raises(ValueError):
+            ImFil(h0=0.1, h_min=0.5)
+
+    def test_callback(self):
+        seen = []
+        ImFil().minimize(
+            quadratic,
+            np.zeros(2),
+            10,
+            callback=lambda k, x, f: seen.append((k, f)),
+        )
+        assert len(seen) == 10
+
+    def test_best_x_returned(self):
+        result = ImFil(h0=0.5).minimize(quadratic, np.zeros(2), 150)
+        assert quadratic(result.x) == pytest.approx(result.fun, abs=1e-9)

@@ -1,0 +1,121 @@
+"""Unit tests for SPSA."""
+
+import numpy as np
+import pytest
+
+from repro.optimizers import SPSA
+
+
+def quadratic(x):
+    return float(np.sum((x - 1.0) ** 2))
+
+
+class TestSPSA:
+    def test_minimizes_quadratic(self):
+        opt = SPSA(a=0.5, c=0.1, seed=0)
+        result = opt.minimize(quadratic, np.zeros(4), max_iterations=300)
+        assert result.fun < 0.05
+        assert np.allclose(result.x, 1.0, atol=0.3)
+
+    def test_two_evaluations_per_iteration(self):
+        calls = []
+
+        def counted(x):
+            calls.append(1)
+            return quadratic(x)
+
+        opt = SPSA(a=0.5, seed=0)  # fixed gain: no calibration evals
+        result = opt.minimize(counted, np.zeros(2), max_iterations=50)
+        assert len(calls) == 100
+        assert result.evaluations == 100
+
+    def test_auto_calibration_costs_extra_evaluations(self):
+        calls = []
+
+        def counted(x):
+            calls.append(1)
+            return quadratic(x)
+
+        opt = SPSA(seed=0, calibration_samples=4)
+        result = opt.minimize(counted, np.zeros(2), max_iterations=10)
+        assert result.evaluations == 2 * 10 + 2 * 4
+
+    def test_auto_calibration_handles_flat_landscape(self):
+        opt = SPSA(seed=0)
+        result = opt.minimize(lambda x: 0.0, np.zeros(2), max_iterations=5)
+        assert np.isfinite(result.fun)
+
+    def test_handles_noisy_objective(self):
+        rng = np.random.default_rng(7)
+
+        def noisy(x):
+            return quadratic(x) + float(rng.normal(0, 0.05))
+
+        opt = SPSA(a=0.5, c=0.2, seed=1)
+        result = opt.minimize(noisy, np.zeros(3), max_iterations=400)
+        assert result.fun < 0.3
+
+    def test_history_is_monotone_best_so_far(self):
+        opt = SPSA(seed=2)
+        result = opt.minimize(quadratic, np.zeros(2), max_iterations=60)
+        assert all(
+            later <= earlier + 1e-12
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+        assert len(result.history) == 60
+
+    def test_should_stop_halts_early(self):
+        opt = SPSA(seed=0)
+        count = [0]
+
+        def stop_after_five():
+            count[0] += 1
+            return count[0] > 5
+
+        result = opt.minimize(
+            quadratic,
+            np.zeros(2),
+            max_iterations=100,
+            should_stop=stop_after_five,
+        )
+        assert result.iterations == 5
+        assert result.stop_reason == "budget_exhausted"
+
+    def test_callback_invoked_each_iteration(self):
+        seen = []
+        opt = SPSA(seed=0)
+        opt.minimize(
+            quadratic,
+            np.zeros(2),
+            max_iterations=10,
+            callback=lambda k, x, f: seen.append(k),
+        )
+        assert seen == list(range(10))
+
+    def test_seed_reproducibility(self):
+        r1 = SPSA(seed=5).minimize(quadratic, np.zeros(3), 50)
+        r2 = SPSA(seed=5).minimize(quadratic, np.zeros(3), 50)
+        assert np.allclose(r1.x, r2.x)
+        assert r1.fun == r2.fun
+
+    def test_invalid_gains(self):
+        with pytest.raises(ValueError):
+            SPSA(a=0.0)
+        with pytest.raises(ValueError):
+            SPSA(c=-1.0)
+
+    def test_does_not_mutate_x0(self):
+        x0 = np.zeros(3)
+        SPSA(seed=0).minimize(quadratic, x0, 20)
+        assert np.all(x0 == 0.0)
+
+    def test_blocking_rejects_bad_steps(self):
+        destructive = SPSA(a=50.0, c=0.1, seed=3)
+        blocked = SPSA(a=50.0, c=0.1, seed=3, blocking=0.5)
+        r_free = destructive.minimize(quadratic, np.zeros(2), 100)
+        r_blocked = blocked.minimize(quadratic, np.zeros(2), 100)
+        # With a destructive step size, blocking keeps the iterate from
+        # wandering as far as the unblocked run.
+        assert np.linalg.norm(r_blocked.x - 1.0) <= np.linalg.norm(
+            r_free.x - 1.0
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for general-commutation grouping."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian import build_hamiltonian
+from repro.pauli import (
+    PauliString,
+    anticommutation_graph,
+    color_general_commuting,
+    diagonalized_groups,
+    group_general_commuting,
+    group_qwc,
+)
+
+
+def all_pairwise_commute(group):
+    return all(
+        a.commutes_with(b) for i, a in enumerate(group) for b in group[i + 1:]
+    )
+
+
+class TestGreedyGrouping:
+    def test_groups_are_mutually_commuting(self):
+        paulis = ["XX", "YY", "ZZ", "XI", "IZ", "ZX"]
+        for group in group_general_commuting(paulis, 2):
+            assert all_pairwise_commute(group)
+
+    def test_bell_family_is_one_group(self):
+        # XX/YY/ZZ pairwise fully commute (but not qubit-wise).
+        groups = group_general_commuting(["XX", "YY", "ZZ"], 2)
+        assert len(groups) == 1
+
+    def test_identity_strings_dropped(self):
+        groups = group_general_commuting(["II", "ZZ"], 2)
+        assert sum(len(g) for g in groups) == 1
+
+    def test_empty_input(self):
+        assert group_general_commuting([], 3) == []
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            group_general_commuting(["XX", "XXX"], 2)
+
+    def test_every_input_appears_exactly_once(self):
+        paulis = [
+            "XXI", "YYI", "ZZI", "IXX", "IYY", "IZZ", "XIX", "ZIZ",
+        ]
+        groups = group_general_commuting(paulis, 3)
+        flat = sorted(str(p) for g in groups for p in g)
+        assert flat == sorted(paulis)
+
+
+class TestColoring:
+    def test_coloring_groups_are_commuting(self):
+        paulis = ["XX", "YY", "ZZ", "XI", "IZ", "ZX", "XZ", "YI"]
+        for group in color_general_commuting(paulis, 2):
+            assert all_pairwise_commute(group)
+
+    def test_anticommutation_graph_edges(self):
+        graph = anticommutation_graph(["XI", "ZI", "IX"], 2)
+        # XI vs ZI anti-commute; IX commutes with both.
+        assert graph.number_of_edges() == 1
+
+    def test_coloring_never_more_groups_than_paulis(self):
+        paulis = ["XY", "YZ", "ZX", "XX", "YY", "ZZ"]
+        groups = color_general_commuting(paulis, 2)
+        assert 1 <= len(groups) <= len(paulis)
+
+    def test_empty_input(self):
+        assert color_general_commuting([], 2) == []
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            color_general_commuting(["XX"], 2, strategy="no_such_strategy")
+
+
+class TestGCBeatsQWCOnCircuitCount:
+    """GC merges at least as well as QWC — the paper's Section 3.1 premise."""
+
+    @pytest.mark.parametrize("key", ["H2-4", "LiH-6"])
+    def test_fewer_or_equal_groups_than_qwc(self, key):
+        hamiltonian = build_hamiltonian(key)
+        paulis = [
+            p for _, p in hamiltonian.non_identity_terms()
+        ]
+        n = hamiltonian.n_qubits
+        n_qwc = len(group_qwc(paulis, n))
+        n_gc = len(color_general_commuting(paulis, n))
+        assert n_gc <= n_qwc
+
+    def test_fig6_hamiltonian_gc_versus_qwc(self, fig6_paulis):
+        n_qwc = len(group_qwc(fig6_paulis, 4))
+        n_gc = len(color_general_commuting(fig6_paulis, 4))
+        assert n_gc <= n_qwc <= 7  # paper: QWC reaches 7 circuits
+
+
+class TestDiagonalizedGroups:
+    def test_every_group_carries_a_valid_circuit(self):
+        paulis = ["XX", "YY", "ZZ", "XI", "IZ"]
+        groups = diagonalized_groups(paulis, 2)
+        total = sum(len(g) for g in groups)
+        assert total == len(paulis)
+        for group in groups:
+            for sign, image in group.diagonals:
+                assert sign in (1, -1)
+                assert set(image.label) <= {"I", "Z"}
+
+    def test_greedy_method(self):
+        groups = diagonalized_groups(["XX", "YY"], 2, method="greedy")
+        assert sum(len(g) for g in groups) == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            diagonalized_groups(["XX"], 2, method="magic")
+
+    def test_pauli_string_inputs_accepted(self):
+        groups = diagonalized_groups(
+            [PauliString("XX"), PauliString("ZZ")], 2
+        )
+        assert sum(len(g) for g in groups) == 2

@@ -1,0 +1,63 @@
+"""Unit tests for the commutation graph (Fig. 7)."""
+
+from repro.pauli import (
+    PauliString,
+    all_strings,
+    commutation_digraph,
+    measuring_parents,
+)
+
+
+class TestAllStrings:
+    def test_count_27_for_3q_ixz(self):
+        assert len(all_strings(3, "IXZ")) == 27
+
+    def test_count_full_alphabet(self):
+        assert len(all_strings(2, "IXYZ")) == 16
+
+    def test_unique(self):
+        strings = all_strings(3, "IXZ")
+        assert len(set(strings)) == len(strings)
+
+
+class TestFig7ArrowCounts:
+    """The arrow counts the paper quotes in Fig. 7's caption."""
+
+    def setup_method(self):
+        self.universe = all_strings(3, "IXZ")
+
+    def test_iii_has_26_parents(self):
+        assert len(measuring_parents(PauliString("III"), self.universe)) == 26
+
+    def test_iiz_has_8_parents(self):
+        assert len(measuring_parents(PauliString("IIZ"), self.universe)) == 8
+
+    def test_izz_has_2_parents(self):
+        parents = measuring_parents(PauliString("IZZ"), self.universe)
+        assert sorted(str(p) for p in parents) == ["XZZ", "ZZZ"]
+
+    def test_zzz_has_no_parents(self):
+        assert measuring_parents(PauliString("ZZZ"), self.universe) == []
+
+
+class TestDigraph:
+    def test_edges_follow_measured_by(self):
+        graph = commutation_digraph(["II", "IZ", "ZZ"])
+        assert graph.has_edge(PauliString("IZ"), PauliString("ZZ"))
+        assert not graph.has_edge(PauliString("ZZ"), PauliString("IZ"))
+
+    def test_out_degree_matches_parent_count(self):
+        universe = all_strings(2, "IXZ")
+        graph = commutation_digraph(universe)
+        for node in universe:
+            assert graph.out_degree(node) == len(
+                measuring_parents(node, universe)
+            )
+
+    def test_more_identities_more_parents(self):
+        """I-heavy strings have larger commuting families (Section 3.2)."""
+        universe = all_strings(3, "IXZ")
+        parents_of = {
+            str(p): len(measuring_parents(p, universe)) for p in universe
+        }
+        assert parents_of["IIX"] > parents_of["IXX"] > parents_of["XXX"]

@@ -1,0 +1,113 @@
+"""Unit tests for the symplectic Pauli representation."""
+
+import numpy as np
+import pytest
+
+from repro.pauli import PauliString, PauliTable, decode, encode, multiply
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("label", ["I", "X", "Y", "Z", "XYZI", "ZZXY"])
+    def test_roundtrip(self, label):
+        x, z = encode(PauliString(label))
+        assert decode(x, z) == PauliString(label)
+
+    def test_encoding_convention(self):
+        x, z = encode(PauliString("XYZI"))
+        assert list(x) == [True, True, False, False]
+        assert list(z) == [False, True, True, False]
+
+    def test_decode_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            decode(np.zeros(2, dtype=bool), np.zeros(3, dtype=bool))
+
+
+class TestPauliTable:
+    LABELS = ["ZZIZ", "ZIZX", "ZXXZ", "XZIZ", "IXZZ", "XIZZ", "XXIX", "IIII"]
+
+    def make(self):
+        return PauliTable.from_strings(self.LABELS)
+
+    def test_roundtrip(self):
+        table = self.make()
+        assert [str(p) for p in table.to_strings()] == self.LABELS
+
+    def test_shape(self):
+        table = self.make()
+        assert len(table) == 8
+        assert table.n_qubits == 4
+
+    def test_weights(self):
+        table = self.make()
+        expected = [PauliString(l).weight for l in self.LABELS]
+        assert list(table.weights()) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PauliTable.from_strings([])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PauliTable.from_strings(["XX", "X"])
+
+    def test_commutes_with_matches_strings(self):
+        table = self.make()
+        for other in ["ZZZZ", "XXXX", "XYZI", "IIZX"]:
+            other_p = PauliString(other)
+            expected = [
+                PauliString(l).commutes_with(other_p) for l in self.LABELS
+            ]
+            assert list(table.commutes_with(other_p)) == expected
+
+    def test_qwc_matches_strings(self):
+        table = self.make()
+        for other in ["ZZZZ", "XXXX", "XYZI", "IIZX"]:
+            other_p = PauliString(other)
+            expected = [
+                PauliString(l).qubit_wise_commutes(other_p)
+                for l in self.LABELS
+            ]
+            assert list(table.qubit_wise_commutes_with(other_p)) == expected
+
+    def test_measured_by_matches_strings(self):
+        table = self.make()
+        for basis in ["ZZZZ", "XZZZ", "ZXXZ"]:
+            basis_p = PauliString(basis)
+            expected = [
+                PauliString(l).can_be_measured_by(basis_p)
+                for l in self.LABELS
+            ]
+            assert list(table.measured_by(basis_p)) == expected
+
+    def test_pairwise_commutation_symmetric(self):
+        table = self.make()
+        matrix = table.pairwise_commutation()
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix))
+
+    def test_pairwise_matches_pointwise(self):
+        table = self.make()
+        matrix = table.pairwise_commutation()
+        for i, la in enumerate(self.LABELS):
+            for j, lb in enumerate(self.LABELS):
+                assert matrix[i, j] == PauliString(la).commutes_with(
+                    PauliString(lb)
+                )
+
+    def test_multiply_rows_matches_algebra(self):
+        table = self.make()
+        for i in range(3):
+            for j in range(3):
+                expected = multiply(
+                    PauliString(self.LABELS[i]), PauliString(self.LABELS[j])
+                )
+                assert table.multiply_rows(i, j) == expected
+
+    def test_large_batch_performance_shape(self):
+        """34-qubit, 1000-row batch processes without issue."""
+        rng = np.random.default_rng(0)
+        x = rng.random((1000, 34)) < 0.2
+        z = rng.random((1000, 34)) < 0.2
+        table = PauliTable(x, z)
+        flags = table.commutes_with(PauliString("Z" * 34))
+        assert flags.shape == (1000,)

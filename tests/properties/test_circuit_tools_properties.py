@@ -1,0 +1,75 @@
+"""Property-based tests for the transpiler and QASM round-tripping."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, from_qasm, to_qasm, transpile
+from repro.sim import probabilities, run_statevector
+
+
+@st.composite
+def bound_circuits(draw, n_qubits=3, max_gates=15):
+    qc = Circuit(n_qubits)
+    for _ in range(draw(st.integers(0, max_gates))):
+        kind = draw(
+            st.sampled_from(
+                ["h", "x", "y", "z", "s", "sdg", "t", "tdg",
+                 "rx", "ry", "rz", "p", "cx", "cz", "swap"]
+            )
+        )
+        q = draw(st.integers(0, n_qubits - 1))
+        if kind in ("cx", "cz", "swap"):
+            q2 = draw(
+                st.integers(0, n_qubits - 1).filter(lambda v: v != q)
+            )
+            qc.append(kind, (q, q2))
+        elif kind in ("rx", "ry", "rz", "p"):
+            qc.append(kind, q, draw(st.floats(-6.0, 6.0)))
+        else:
+            qc.append(kind, q)
+    return qc
+
+
+class TestTranspileProperties:
+    @given(bound_circuits())
+    @settings(max_examples=80)
+    def test_distribution_preserved(self, qc):
+        optimized = transpile(qc)
+        assert np.allclose(
+            probabilities(run_statevector(qc)),
+            probabilities(run_statevector(optimized)),
+            atol=1e-9,
+        )
+
+    @given(bound_circuits())
+    @settings(max_examples=80)
+    def test_never_grows(self, qc):
+        assert len(transpile(qc)) <= len(qc)
+
+    @given(bound_circuits())
+    @settings(max_examples=50)
+    def test_idempotent(self, qc):
+        once = transpile(qc)
+        twice = transpile(once)
+        assert len(twice) == len(once)
+
+
+class TestQasmProperties:
+    @given(bound_circuits())
+    @settings(max_examples=60)
+    def test_roundtrip_preserves_distribution(self, qc):
+        qc.measure_all()
+        parsed = from_qasm(to_qasm(qc))
+        assert parsed.measured_qubits == qc.measured_qubits
+        assert np.allclose(
+            probabilities(run_statevector(qc)),
+            probabilities(run_statevector(parsed)),
+            atol=1e-9,
+        )
+
+    @given(bound_circuits())
+    @settings(max_examples=60)
+    def test_roundtrip_gate_count(self, qc):
+        parsed = from_qasm(to_qasm(qc))
+        assert len(parsed) == len(qc)

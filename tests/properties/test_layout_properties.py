@@ -1,0 +1,125 @@
+"""Property-based tests for layout and routing invariants.
+
+Routing must preserve the circuit's semantics exactly (up to the final
+layout permutation) on *any* connected topology, for *any* circuit —
+this is the invariant that lets every other experiment trust the routed
+gate counts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.layout import CouplingMap, Layout, route_circuit
+from repro.sim.statevector import run_statevector
+
+
+@st.composite
+def topologies(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    kind = draw(st.sampled_from(["line", "ring", "full"]))
+    if kind == "ring" and n < 3:
+        kind = "line"
+    return getattr(CouplingMap, kind)(n)
+
+
+@st.composite
+def circuits_for(draw, n_qubits, max_gates=12):
+    qc = Circuit(n_qubits)
+    for _ in range(draw(st.integers(min_value=0, max_value=max_gates))):
+        if n_qubits >= 2 and draw(st.booleans()):
+            a = draw(st.integers(min_value=0, max_value=n_qubits - 1))
+            b = draw(
+                st.integers(min_value=0, max_value=n_qubits - 2).map(
+                    lambda v, a=a: v if v < a else v + 1
+                )
+            )
+            if draw(st.booleans()):
+                qc.cx(a, b)
+            else:
+                qc.cz(a, b)
+        else:
+            q = draw(st.integers(min_value=0, max_value=n_qubits - 1))
+            angle = draw(
+                st.floats(
+                    min_value=-3.14,
+                    max_value=3.14,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            gate = draw(st.sampled_from(["rx", "ry", "rz", "h"]))
+            if gate == "h":
+                qc.h(q)
+            else:
+                getattr(qc, gate)(angle, q)
+    return qc
+
+
+def logical_state(routed, n_logical):
+    state = run_statevector(routed.circuit)
+    n_phys = routed.circuit.n_qubits
+    out = np.zeros(2**n_logical, dtype=complex)
+    for index in range(2**n_logical):
+        bits = format(index, f"0{n_logical}b")
+        phys = ["0"] * n_phys
+        for l in range(n_logical):
+            phys[routed.final_layout.physical(l)] = bits[l]
+        out[index] = state[int("".join(phys), 2)]
+    return out
+
+
+class TestRoutingProperties:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_routed_circuit_is_equivalent(self, data):
+        coupling = data.draw(topologies())
+        circuit = data.draw(circuits_for(coupling.n_qubits))
+        routed = route_circuit(circuit, coupling)
+        expected = run_statevector(circuit)
+        actual = logical_state(routed, circuit.n_qubits)
+        assert np.allclose(actual, expected, atol=1e-9)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_every_two_qubit_gate_is_coupled(self, data):
+        coupling = data.draw(topologies())
+        circuit = data.draw(circuits_for(coupling.n_qubits))
+        routed = route_circuit(circuit, coupling)
+        for inst in routed.circuit.instructions:
+            if len(inst.qubits) == 2:
+                assert coupling.are_adjacent(*inst.qubits)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_swap_count_matches_overhead(self, data):
+        coupling = data.draw(topologies())
+        circuit = data.draw(circuits_for(coupling.n_qubits))
+        routed = route_circuit(circuit, coupling)
+        swaps = sum(
+            1
+            for inst in routed.circuit.instructions
+            if inst.name == "swap"
+        )
+        assert swaps == routed.swaps_inserted
+        assert routed.overhead == 3 * swaps
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_final_layout_is_a_permutation(self, data):
+        coupling = data.draw(topologies())
+        circuit = data.draw(circuits_for(coupling.n_qubits))
+        routed = route_circuit(circuit, coupling)
+        physicals = routed.final_layout.physical_qubits()
+        assert len(set(physicals)) == circuit.n_qubits
+        assert all(0 <= p < coupling.n_qubits for p in physicals)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_full_connectivity_is_a_fixed_point(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        circuit = data.draw(circuits_for(n))
+        routed = route_circuit(circuit, CouplingMap.full(n))
+        assert routed.swaps_inserted == 0
+        assert routed.final_layout == Layout.trivial(n)

@@ -1,0 +1,120 @@
+"""Property-based tests for the mitigation baselines.
+
+Invariants: mitigators must always return physical distributions
+(non-negative, normalized), the identity channel must be a fixed point,
+and bias-aware polarity flipping must be an involution.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mitigation import M3Mitigator, MatrixMitigator, flip_pmf_bits
+from repro.sim import PMF, Counts
+
+
+@st.composite
+def confusion_matrices(draw, n_qubits):
+    matrices = {}
+    for q in range(n_qubits):
+        p01 = draw(st.floats(min_value=0.0, max_value=0.2))
+        p10 = draw(st.floats(min_value=0.0, max_value=0.2))
+        matrices[q] = np.array(
+            [[1 - p01, p10], [p01, 1 - p10]], dtype=float
+        )
+    return matrices
+
+
+@st.composite
+def sparse_counts(draw, n_qubits, max_outcomes=6):
+    n_outcomes = draw(
+        st.integers(
+            min_value=1, max_value=min(max_outcomes, 2**n_qubits)
+        )
+    )
+    keys = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=2**n_qubits - 1),
+            min_size=n_outcomes,
+            max_size=n_outcomes,
+        )
+    )
+    data = {
+        format(k, f"0{n_qubits}b"): draw(
+            st.integers(min_value=1, max_value=500)
+        )
+        for k in keys
+    }
+    return Counts(data, tuple(range(n_qubits)))
+
+
+@st.composite
+def pmfs(draw, n_qubits):
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=2**n_qubits,
+            max_size=2**n_qubits,
+        )
+    )
+    probs = np.array(weights)
+    return PMF(probs / probs.sum())
+
+
+class TestM3Properties:
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_output_is_physical(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=4))
+        mitigator = M3Mitigator(data.draw(confusion_matrices(n)))
+        counts = data.draw(sparse_counts(n))
+        pmf = mitigator.mitigate_counts(counts)
+        assert np.all(pmf.probs >= 0)
+        assert pmf.probs.sum() == 1.0 or abs(pmf.probs.sum() - 1.0) < 1e-9
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_identity_channel_is_fixed_point(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=4))
+        mitigator = M3Mitigator({q: np.eye(2) for q in range(n)})
+        counts = data.draw(sparse_counts(n))
+        pmf = mitigator.mitigate_counts(counts)
+        assert pmf.tvd(counts.to_pmf()) < 1e-9
+
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_m3_agrees_with_mbm_on_full_support(self, data):
+        """When every outcome is observed, M3's subspace is the whole
+        space and it must match full matrix inversion."""
+        n = data.draw(st.integers(min_value=1, max_value=3))
+        matrices = data.draw(confusion_matrices(n))
+        full_data = {
+            format(k, f"0{n}b"): data.draw(
+                st.integers(min_value=1, max_value=300)
+            )
+            for k in range(2**n)
+        }
+        counts = Counts(full_data, tuple(range(n)))
+        m3 = M3Mitigator(matrices).mitigate_counts(counts)
+        mbm = MatrixMitigator(matrices).mitigate_pmf(counts.to_pmf())
+        assert m3.tvd(mbm) < 1e-6
+
+
+class TestBiasAwareProperties:
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_flip_is_involution(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        pmf = data.draw(pmfs(n))
+        assert flip_pmf_bits(flip_pmf_bits(pmf)) == pmf
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_flip_preserves_normalization_and_entropy(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        pmf = data.draw(pmfs(n))
+        flipped = flip_pmf_bits(pmf)
+        assert abs(flipped.probs.sum() - pmf.probs.sum()) < 1e-12
+        assert np.allclose(
+            np.sort(flipped.probs), np.sort(pmf.probs), atol=1e-15
+        )

@@ -1,0 +1,102 @@
+"""Property-based tests for Bayesian reconstruction invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mitigation import bayesian_reconstruct, subset_index_map
+from repro.sim import PMF
+
+N = 3
+
+
+def global_pmfs():
+    return arrays(
+        np.float64,
+        shape=2**N,
+        elements=st.floats(0.001, 1.0, allow_nan=False),
+    ).map(PMF)
+
+
+@st.composite
+def local_pmfs(draw):
+    qubits = tuple(
+        draw(
+            st.lists(
+                st.integers(0, N - 1), min_size=1, max_size=2, unique=True
+            )
+        )
+    )
+    probs = draw(
+        arrays(
+            np.float64,
+            shape=2 ** len(qubits),
+            elements=st.floats(0.001, 1.0, allow_nan=False),
+        )
+    )
+    return PMF(probs, qubits)
+
+
+class TestReconstructionInvariants:
+    @given(global_pmfs(), st.lists(local_pmfs(), max_size=3))
+    @settings(max_examples=80)
+    def test_output_is_valid_pmf(self, g, locals_):
+        out = bayesian_reconstruct(g, locals_)
+        assert np.isclose(out.probs.sum(), 1.0)
+        assert np.all(out.probs >= 0)
+        assert out.qubits == g.qubits
+
+    @given(global_pmfs(), local_pmfs())
+    @settings(max_examples=80)
+    def test_last_local_marginal_matched(self, g, local):
+        """After updating with one local, the output marginal equals it."""
+        out = bayesian_reconstruct(g, [local])
+        assert np.allclose(
+            out.marginal(local.qubits).probs, local.probs, atol=1e-9
+        )
+
+    @given(global_pmfs())
+    def test_no_locals_identity(self, g):
+        assert bayesian_reconstruct(g, []) == g
+
+    @given(global_pmfs(), local_pmfs())
+    @settings(max_examples=80)
+    def test_update_with_own_marginal_is_identity(self, g, local):
+        """Evidence equal to the current marginal changes nothing."""
+        own = g.marginal(local.qubits)
+        out = bayesian_reconstruct(g, [own])
+        assert np.allclose(out.probs, g.probs, atol=1e-9)
+
+    @given(global_pmfs(), local_pmfs())
+    @settings(max_examples=80)
+    def test_support_never_grows(self, g, local):
+        """Zero-probability global outcomes stay zero (no invention)."""
+        sparse = g.probs.copy()
+        sparse[sparse < 0.3] = 0.0
+        if sparse.sum() == 0:
+            return
+        g_sparse = PMF(sparse)
+        out = bayesian_reconstruct(g_sparse, [local])
+        assert np.all(out.probs[g_sparse.probs == 0] == 0)
+
+
+class TestSubsetIndexProperties:
+    @given(
+        st.lists(st.integers(0, N - 1), min_size=1, max_size=N, unique=True)
+    )
+    def test_index_map_consistent_with_bit_extraction(self, qubits):
+        qubits = tuple(qubits)
+        index = subset_index_map(N, qubits)
+        m = len(qubits)
+        for x in range(2**N):
+            bits = format(x, f"0{N}b")
+            local = "".join(bits[q] for q in qubits)
+            assert index[x] == int(local, 2), (x, qubits)
+
+    @given(
+        st.lists(st.integers(0, N - 1), min_size=1, max_size=N, unique=True)
+    )
+    def test_index_map_surjective(self, qubits):
+        index = subset_index_map(N, tuple(qubits))
+        assert set(index) == set(range(2 ** len(qubits)))

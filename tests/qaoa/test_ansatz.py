@@ -1,0 +1,118 @@
+"""Unit tests for the QAOA ansatz."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.hamiltonian import Hamiltonian, ground_state_energy
+from repro.qaoa import QAOAAnsatz, ring_maxcut
+from repro.sim.statevector import run_statevector
+
+
+class TestConstruction:
+    def test_parameter_count(self):
+        ansatz = QAOAAnsatz(ring_maxcut(4), reps=3)
+        assert ansatz.num_parameters == 6
+
+    def test_zero_reps_rejected(self):
+        with pytest.raises(ValueError):
+            QAOAAnsatz(ring_maxcut(4), reps=0)
+
+    def test_non_diagonal_hamiltonian_rejected(self):
+        ham = Hamiltonian([(1.0, "XZ"), (0.5, "ZZ")])
+        with pytest.raises(ValueError, match="diagonal"):
+            QAOAAnsatz(ham)
+
+    def test_wrong_parameter_shape_rejected(self):
+        ansatz = QAOAAnsatz(ring_maxcut(4), reps=1)
+        with pytest.raises(ValueError, match="expected 2 parameters"):
+            ansatz.bind([0.1, 0.2, 0.3])
+
+    def test_repr_mentions_problem(self):
+        assert "ring-maxcut-4" in repr(QAOAAnsatz(ring_maxcut(4)))
+
+    def test_entanglement_label(self):
+        assert QAOAAnsatz(ring_maxcut(4)).entanglement == "problem"
+
+    def test_gate_load_counts(self):
+        ones, twos = QAOAAnsatz(ring_maxcut(4), reps=1).gate_load
+        # ring-4: 4 H + 4 RZ + 4 RX = 12 one-qubit, 2 CX per edge = 8.
+        assert (ones, twos) == (12, 8)
+
+
+class TestStatePreparation:
+    def test_gamma_zero_gives_uniform_energy(self):
+        # With γ=0 the cost layer is trivial and β only rotates |+>
+        # states into other product states with <ZZ> = 0: the energy is
+        # the identity offset.
+        ham = ring_maxcut(6)
+        ansatz = QAOAAnsatz(ham, reps=1)
+        state = run_statevector(ansatz.bind([0.0, 0.37]))
+        assert ham.expectation_exact(state) == pytest.approx(
+            ham.identity_coefficient
+        )
+
+    def test_cost_layer_is_exact_exponential(self):
+        """The circuit at β=0 equals exp(-iγ(H - offset)) exactly."""
+        ham = ring_maxcut(4)
+        gamma = 0.613
+        ansatz = QAOAAnsatz(ham, reps=1)
+        state = run_statevector(ansatz.bind([gamma, 0.0]))
+        dense = ham.to_sparse_matrix().toarray()
+        offset = ham.identity_coefficient * np.eye(dense.shape[0])
+        plus = np.full(2**4, 0.25, dtype=complex)  # |+>^4
+        expected = scipy.linalg.expm(-1j * gamma * (dense - offset)) @ plus
+        assert np.allclose(state, expected, atol=1e-10)
+
+    def test_many_body_z_term_ladder(self):
+        """ZZZ cost terms compile to the CX parity ladder correctly."""
+        ham = Hamiltonian([(0.8, "ZZZ")])
+        gamma = 0.29
+        ansatz = QAOAAnsatz(ham, reps=1)
+        state = run_statevector(ansatz.bind([gamma, 0.0]))
+        dense = ham.to_sparse_matrix().toarray()
+        plus = np.full(2**3, 2 ** (-1.5), dtype=complex)
+        expected = scipy.linalg.expm(-1j * gamma * dense) @ plus
+        assert np.allclose(state, expected, atol=1e-10)
+
+    def test_single_z_term(self):
+        ham = Hamiltonian([(1.3, "IZ")])
+        ansatz = QAOAAnsatz(ham, reps=1)
+        state = run_statevector(ansatz.bind([0.41, 0.0]))
+        dense = ham.to_sparse_matrix().toarray()
+        plus = np.full(4, 0.5, dtype=complex)
+        expected = scipy.linalg.expm(-1j * 0.41 * dense) @ plus
+        assert np.allclose(state, expected, atol=1e-10)
+
+
+class TestOptimizationQuality:
+    def test_p1_grid_beats_random_guessing(self):
+        """A coarse p=1 grid already digs well below the offset energy."""
+        ham = ring_maxcut(4)
+        ansatz = QAOAAnsatz(ham, reps=1)
+        offset = ham.identity_coefficient
+        best = offset
+        for gamma in np.linspace(0.1, 1.2, 8):
+            for beta in np.linspace(0.1, 1.2, 8):
+                state = run_statevector(ansatz.bind([gamma, beta]))
+                best = min(best, ham.expectation_exact(state))
+        ground = ground_state_energy(ham)
+        # p=1 on a ring tops out at exactly half the offset-to-ground gap
+        # (the 3/4 approximation ratio); a coarse grid should get close.
+        assert best < offset + 0.45 * (ground - offset)
+
+    def test_depth_improves_floor(self):
+        """Best p=2 energy (seeded search) is <= best p=1 energy."""
+        ham = ring_maxcut(4)
+        rng = np.random.default_rng(11)
+
+        def best_energy(reps, trials=60):
+            ansatz = QAOAAnsatz(ham, reps=reps)
+            best = np.inf
+            for _ in range(trials):
+                params = rng.uniform(0, np.pi, size=ansatz.num_parameters)
+                state = run_statevector(ansatz.bind(params))
+                best = min(best, ham.expectation_exact(state))
+            return best
+
+        assert best_energy(2) <= best_energy(1) + 1e-9

@@ -1,0 +1,120 @@
+"""Unit tests for the statevector engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Parameter
+from repro.sim import apply_gate, probabilities, run_statevector, zero_state
+
+
+class TestZeroState:
+    def test_shape_and_norm(self):
+        state = zero_state(3)
+        assert state.shape == (8,)
+        assert state[0] == 1.0
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestApplyGate:
+    def test_x_on_msb_qubit(self):
+        # Qubit 0 is the most significant bit: X(q0)|000> = |100>.
+        state = zero_state(3)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        out = apply_gate(state, x, (0,), 3)
+        assert np.isclose(out[0b100], 1.0)
+
+    def test_x_on_lsb_qubit(self):
+        state = zero_state(3)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        out = apply_gate(state, x, (2,), 3)
+        assert np.isclose(out[0b001], 1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            apply_gate(zero_state(2), np.eye(4), (0,), 2)
+
+
+class TestRunStatevector:
+    def test_ghz_state(self):
+        qc = Circuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        state = run_statevector(qc)
+        probs = probabilities(state)
+        assert np.isclose(probs[0b000], 0.5)
+        assert np.isclose(probs[0b111], 0.5)
+
+    def test_bell_state(self):
+        qc = Circuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        probs = probabilities(run_statevector(qc))
+        assert np.allclose(probs, [0.5, 0, 0, 0.5])
+
+    def test_unbound_circuit_rejected(self):
+        qc = Circuit(1)
+        qc.rx(Parameter("a"), 0)
+        with pytest.raises(ValueError, match="unbound"):
+            run_statevector(qc)
+
+    def test_identity_gate_noop(self):
+        qc = Circuit(1)
+        qc.i(0)
+        assert np.allclose(run_statevector(qc), zero_state(1))
+
+    def test_initial_state_resume(self):
+        # Running H then X equals running H, capturing, then X from capture.
+        full = Circuit(1)
+        full.h(0)
+        full.x(0)
+        prefix = Circuit(1)
+        prefix.h(0)
+        suffix = Circuit(1)
+        suffix.x(0)
+        mid = run_statevector(prefix)
+        assert np.allclose(
+            run_statevector(full),
+            run_statevector(suffix, initial_state=mid),
+        )
+
+    def test_initial_state_wrong_shape(self):
+        qc = Circuit(2)
+        qc.h(0)
+        with pytest.raises(ValueError):
+            run_statevector(qc, initial_state=zero_state(3))
+
+    def test_rotation_angle_sweep_normalized(self):
+        for theta in np.linspace(0, 2 * math.pi, 7):
+            qc = Circuit(2)
+            qc.ry(float(theta), 0)
+            qc.cx(0, 1)
+            state = run_statevector(qc)
+            assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_swap_gate(self):
+        qc = Circuit(2)
+        qc.x(0)
+        qc.swap(0, 1)
+        probs = probabilities(run_statevector(qc))
+        assert np.isclose(probs[0b01], 1.0)
+
+    def test_cz_phase(self):
+        qc = Circuit(2)
+        qc.x(0)
+        qc.x(1)
+        qc.cz(0, 1)
+        state = run_statevector(qc)
+        assert np.isclose(state[0b11], -1.0)
+
+
+class TestProbabilities:
+    def test_renormalizes(self):
+        state = np.array([1.0, 1.0], dtype=complex)
+        assert np.allclose(probabilities(state), [0.5, 0.5])
+
+    def test_zero_norm_rejected(self):
+        with pytest.raises(ValueError):
+            probabilities(np.zeros(2, dtype=complex))

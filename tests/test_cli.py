@@ -1,0 +1,112 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "H2-4"])
+        assert args.scheme == "varsaw"
+        assert args.iterations == 100
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "H2-4", "--scheme", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CH4-6" in out
+        assert "varsaw" in out
+        assert "ibmq_mumbai_like" in out
+
+    def test_subsets(self, capsys):
+        assert main(["subsets"]) == 0
+        out = capsys.readouterr().out
+        assert "H2-4" in out
+        assert "Cr2-34" not in out  # excluded without --all
+        assert "x" in out  # reduction column
+
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "H2-4", "--scheme", "baseline", "--iterations", "3",
+             "--shots", "32", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy =" in out
+        assert "3 iterations" in out
+
+    def test_run_varsaw_reports_global_fraction(self, capsys):
+        code = main(
+            ["run", "H2-4", "--scheme", "varsaw", "--iterations", "3",
+             "--shots", "32"]
+        )
+        assert code == 0
+        assert "global fraction" in capsys.readouterr().out
+
+    def test_run_with_budget(self, capsys):
+        code = main(
+            ["run", "H2-4", "--scheme", "baseline", "--budget", "200",
+             "--shots", "16"]
+        )
+        assert code == 0
+        assert "circuits" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "Xe-99"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_characterize(self, capsys):
+        code = main(
+            ["characterize", "--device", "ibm_lagos_like",
+             "--qubits", "3", "--shots", "500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crosstalk inflation" in out
+        assert "best qubits" in out
+
+    def test_grouping(self, capsys):
+        assert main(["grouping", "H2-4"]) == 0
+        out = capsys.readouterr().out
+        assert "QWC groups" in out
+        assert "GC  groups" in out
+
+    def test_grouping_unknown_workload(self, capsys):
+        assert main(["grouping", "Xe-99"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_qaoa(self, capsys):
+        code = main(
+            ["qaoa", "--nodes", "4", "--iterations", "5",
+             "--shots", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QAOA p=2" in out
+        assert "varsaw" in out
+
+    def test_qaoa_bad_problem_size(self, capsys):
+        # 3-regular graphs need n*3 even.
+        assert main(["qaoa", "--problem", "regular3", "--nodes", "5"]) == 2
+
+    def test_route(self, capsys):
+        assert main(["route", "--qubits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "linear" in out
+        assert "SWAPs" in out
+
+    def test_route_too_many_qubits(self, capsys):
+        code = main(
+            ["route", "--device", "ibm_lagos_like", "--qubits", "9"]
+        )
+        assert code == 2

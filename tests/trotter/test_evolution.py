@@ -1,0 +1,150 @@
+"""Unit tests for Trotterized time evolution."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.hamiltonian import Hamiltonian
+from repro.hamiltonian.tfim import tfim_hamiltonian
+from repro.pauli import PauliString
+from repro.sim.statevector import run_statevector, zero_state
+from repro.trotter import (
+    evolve_exact,
+    pauli_exponential,
+    trotter_circuit,
+    trotter_step,
+)
+
+from ..clifford.conftest import circuit_unitary, dense_pauli
+
+
+def overlap(a: np.ndarray, b: np.ndarray) -> float:
+    """|<a|b>| — global-phase-insensitive state agreement."""
+    return float(abs(np.vdot(a, b)))
+
+
+def random_state(rng, n):
+    state = rng.normal(size=2**n) + 1j * rng.normal(size=2**n)
+    return state / np.linalg.norm(state)
+
+
+class TestPauliExponential:
+    @pytest.mark.parametrize(
+        "label", ["Z", "X", "Y", "ZZ", "XY", "YX", "XYZ", "ZIZ", "IYI"]
+    )
+    def test_matches_dense_exponential(self, label):
+        theta = 0.73
+        circuit = pauli_exponential(PauliString(label), theta)
+        expected = scipy.linalg.expm(
+            -1j * (theta / 2.0) * dense_pauli(PauliString(label))
+        )
+        assert np.allclose(circuit_unitary(circuit), expected, atol=1e-10)
+
+    def test_identity_string_is_empty_circuit(self):
+        circuit = pauli_exponential(PauliString("III"), 0.5)
+        assert circuit.num_gates == 0
+
+    def test_zero_angle_is_identity(self):
+        circuit = pauli_exponential(PauliString("XY"), 0.0)
+        assert np.allclose(circuit_unitary(circuit), np.eye(4), atol=1e-12)
+
+
+class TestTrotterConvergence:
+    def setup_method(self):
+        self.ham = tfim_hamiltonian(4, coupling=1.0, field=0.9)
+        self.rng = np.random.default_rng(7)
+        self.state = random_state(self.rng, 4)
+        self.time = 1.0
+        self.exact = evolve_exact(self.ham, self.time, self.state)
+
+    def trotter_error(self, n_steps, order):
+        circuit = trotter_circuit(
+            self.ham, self.time, n_steps, order=order
+        )
+        evolved = run_statevector(circuit, initial_state=self.state.copy())
+        return 1.0 - overlap(evolved, self.exact)
+
+    def test_first_order_error_shrinks_with_steps(self):
+        errors = [self.trotter_error(n, 1) for n in (2, 4, 8, 16)]
+        assert errors == sorted(errors, reverse=True)
+        # O(1/n): quadrupling steps cuts the error by ~4.
+        assert errors[-1] < errors[0] / 4
+
+    def test_second_order_error_shrinks_faster(self):
+        e1 = self.trotter_error(8, order=1)
+        e2 = self.trotter_error(8, order=2)
+        assert e2 < e1
+
+    def test_second_order_scaling(self):
+        errors = [self.trotter_error(n, 2) for n in (2, 4, 8)]
+        # O(1/n^2): doubling steps cuts the error by ~4.
+        assert errors[2] < errors[0] / 8
+
+    def test_many_steps_converge_tight(self):
+        assert self.trotter_error(64, order=2) < 1e-5
+
+
+class TestTrotterStructure:
+    def test_bad_order_rejected(self):
+        ham = tfim_hamiltonian(3)
+        with pytest.raises(ValueError, match="order"):
+            trotter_step(ham, 0.1, order=3)
+
+    def test_bad_steps_rejected(self):
+        ham = tfim_hamiltonian(3)
+        with pytest.raises(ValueError, match="steps"):
+            trotter_circuit(ham, 1.0, 0)
+
+    def test_step_gate_count_scales_with_terms(self):
+        ham = tfim_hamiltonian(5)
+        step1 = trotter_step(ham, 0.1, order=1)
+        step2 = trotter_step(ham, 0.1, order=2)
+        assert step2.num_gates == 2 * step1.num_gates
+
+    def test_circuit_repeats_steps(self):
+        ham = tfim_hamiltonian(3)
+        one = trotter_circuit(ham, 0.5, 1)
+        four = trotter_circuit(ham, 0.5, 4)
+        assert four.num_gates == 4 * one.num_gates
+
+    def test_identity_offset_only_global_phase(self):
+        """Shifting the Hamiltonian must not change Trotter dynamics."""
+        ham = tfim_hamiltonian(3)
+        shifted = ham.shifted(2.5)
+        state = zero_state(3)
+        a = run_statevector(
+            trotter_circuit(ham, 0.7, 8), initial_state=state.copy()
+        )
+        b = run_statevector(
+            trotter_circuit(shifted, 0.7, 8), initial_state=state.copy()
+        )
+        assert np.allclose(a, b, atol=1e-12)
+
+
+class TestExactEvolution:
+    def test_unitary_preserves_norm(self):
+        ham = tfim_hamiltonian(4)
+        rng = np.random.default_rng(3)
+        state = random_state(rng, 4)
+        evolved = evolve_exact(ham, 2.3, state)
+        assert np.linalg.norm(evolved) == pytest.approx(1.0)
+
+    def test_zero_time_is_identity(self):
+        ham = tfim_hamiltonian(3)
+        state = zero_state(3)
+        assert np.allclose(evolve_exact(ham, 0.0, state), state)
+
+    def test_energy_conserved(self):
+        ham = tfim_hamiltonian(4, coupling=1.0, field=0.6)
+        rng = np.random.default_rng(9)
+        state = random_state(rng, 4)
+        before = ham.expectation_exact(state)
+        after = ham.expectation_exact(evolve_exact(ham, 1.7, state))
+        assert after == pytest.approx(before, abs=1e-9)
+
+    def test_single_z_term_phases(self):
+        # exp(-i t Z) on |1> gives phase e^{+it}.
+        ham = Hamiltonian([(1.0, "Z")])
+        state = np.array([0.0, 1.0], dtype=complex)
+        evolved = evolve_exact(ham, 0.4, state)
+        assert evolved[1] == pytest.approx(np.exp(1j * 0.4))

@@ -1,0 +1,115 @@
+"""Tests for temporally-sparse quench-sweep mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian.tfim import tfim_hamiltonian
+from repro.noise import SimulatorBackend, ibmq_mumbai_like, ideal_device
+from repro.sim.statevector import probabilities, zero_state
+from repro.trotter import (
+    average_magnetization,
+    evolve_exact,
+    sparse_quench_sweep,
+)
+
+TIMES = (0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.fixture
+def tfim4():
+    return tfim_hamiltonian(4, coupling=1.0, field=1.2)
+
+
+class TestSweepMechanics:
+    def test_one_output_per_time(self, tfim4):
+        backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+        result = sparse_quench_sweep(
+            backend, tfim4, TIMES, shots=512, global_period=2
+        )
+        assert len(result) == len(TIMES)
+        assert result.times == TIMES
+
+    def test_global_count_follows_period(self, tfim4):
+        backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+        result = sparse_quench_sweep(
+            backend, tfim4, TIMES, shots=256, global_period=2
+        )
+        assert result.globals_executed == 2  # points 0 and 2
+
+    def test_period_one_is_dense_jigsaw(self, tfim4):
+        backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+        result = sparse_quench_sweep(
+            backend, tfim4, TIMES, shots=256, global_period=1
+        )
+        assert result.globals_executed == len(TIMES)
+
+    def test_sparse_costs_less(self, tfim4):
+        def cost(period):
+            backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+            return sparse_quench_sweep(
+                backend, tfim4, TIMES, shots=256, global_period=period
+            ).circuits_executed
+
+        assert cost(4) < cost(1)
+
+    def test_empty_times_rejected(self, tfim4):
+        backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+        with pytest.raises(ValueError, match="empty"):
+            sparse_quench_sweep(backend, tfim4, [], shots=256)
+
+    def test_unsorted_times_rejected(self, tfim4):
+        backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+        with pytest.raises(ValueError, match="sorted"):
+            sparse_quench_sweep(backend, tfim4, [1.0, 0.5], shots=256)
+
+    def test_bad_period_rejected(self, tfim4):
+        backend = SimulatorBackend(ibmq_mumbai_like(), seed=3)
+        with pytest.raises(ValueError, match="period"):
+            sparse_quench_sweep(
+                backend, tfim4, TIMES, shots=256, global_period=0
+            )
+
+
+class TestSweepAccuracy:
+    def test_noise_free_sweep_tracks_exact(self, tfim4):
+        backend = SimulatorBackend(ideal_device(4), seed=5)
+        result = sparse_quench_sweep(
+            backend, tfim4, TIMES, shots=60_000, global_period=2
+        )
+        for t, output in zip(result.times, result.outputs):
+            exact_probs = probabilities(
+                evolve_exact(tfim4, t, zero_state(4))
+            )
+            got = average_magnetization(output.probs, 4)
+            want = average_magnetization(exact_probs, 4)
+            # Trotter error + stale-prior reconstruction + shot noise.
+            assert got == pytest.approx(want, abs=0.12)
+
+    def test_sparse_tracks_dense_under_noise(self, tfim4):
+        """The staleness bet: sparse globals ≈ dense globals, cheaper."""
+
+        def run(period):
+            backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=7)
+            result = sparse_quench_sweep(
+                backend, tfim4, TIMES, shots=4096, global_period=period
+            )
+            mags = [average_magnetization(o.probs, 4) for o in result.outputs]
+            return mags, result.circuits_executed
+
+        dense_mags, dense_cost = run(1)
+        sparse_mags, sparse_cost = run(4)
+        assert sparse_cost < dense_cost
+        exact_mags = [
+            average_magnetization(
+                probabilities(evolve_exact(tfim4, t, zero_state(4))), 4
+            )
+            for t in TIMES
+        ]
+        dense_err = float(
+            np.mean(np.abs(np.array(dense_mags) - exact_mags))
+        )
+        sparse_err = float(
+            np.mean(np.abs(np.array(sparse_mags) - exact_mags))
+        )
+        # Comparable accuracy (generous band: one stale-prior bet).
+        assert sparse_err < dense_err + 0.1

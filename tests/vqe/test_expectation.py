@@ -1,0 +1,90 @@
+"""Unit tests for expectation assembly from group PMFs."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonian import Hamiltonian
+from repro.pauli import PauliString
+from repro.sim import PMF
+from repro.vqe import (
+    assign_terms_to_groups,
+    energy_from_group_pmfs,
+    term_expectation,
+)
+
+
+class TestTermExpectation:
+    def test_requires_full_register(self):
+        pmf = PMF([0.5, 0.5], qubits=(1,))
+        with pytest.raises(ValueError):
+            term_expectation(pmf, PauliString("Z"))
+
+    def test_z_parity(self):
+        pmf = PMF([0.0, 0.0, 0.0, 1.0])  # |11>
+        assert term_expectation(pmf, PauliString("ZZ")) == 1.0
+        assert term_expectation(pmf, PauliString("ZI")) == -1.0
+
+
+class TestAssignTerms:
+    def test_every_term_assigned_to_covering_basis(self, fig6_hamiltonian):
+        bases, group_terms = assign_terms_to_groups(fig6_hamiltonian)
+        assert len(bases) == 7
+        for basis, members in zip(bases, group_terms):
+            for _, term in members:
+                assert term.can_be_measured_by(basis)
+
+    def test_coefficients_preserved(self, fig6_hamiltonian):
+        _, group_terms = assign_terms_to_groups(fig6_hamiltonian)
+        collected = {
+            term: coeff
+            for members in group_terms
+            for coeff, term in members
+        }
+        for coeff, term in fig6_hamiltonian.terms:
+            assert collected[term] == pytest.approx(coeff)
+
+    def test_duplicate_bases_keep_separate_groups(self, h2):
+        """H2's ZZ-pair groups Z-fill to the same basis but stay apart."""
+        bases, group_terms = assign_terms_to_groups(h2)
+        assert len(bases) > len(set(bases))
+        all_terms = [t for ms in group_terms for _, t in ms]
+        assert len(all_terms) == len(h2.non_identity_terms())
+
+    def test_identity_excluded_from_groups(self):
+        ham = Hamiltonian([(3.0, "II"), (1.0, "ZZ")])
+        _, group_terms = assign_terms_to_groups(ham)
+        members = [t for ms in group_terms for _, t in ms]
+        assert PauliString("II") not in members
+
+
+class TestEnergyAssembly:
+    def test_identity_offset_included(self):
+        ham = Hamiltonian([(3.0, "II"), (1.0, "ZZ")])
+        bases, group_terms = assign_terms_to_groups(ham)
+        pmfs = [PMF([1.0, 0.0, 0.0, 0.0])]  # |00>: <ZZ> = 1
+        energy = energy_from_group_pmfs(ham, pmfs, group_terms)
+        assert energy == pytest.approx(4.0)
+
+    def test_pmf_count_mismatch_rejected(self):
+        ham = Hamiltonian([(1.0, "ZZ")])
+        _, group_terms = assign_terms_to_groups(ham)
+        with pytest.raises(ValueError):
+            energy_from_group_pmfs(ham, [], group_terms)
+
+    def test_matches_exact_expectation_with_exact_pmfs(self, h2, h2_ansatz):
+        """Infinite-shot, noise-free group PMFs reproduce <H> exactly."""
+        from repro.sim import probabilities, run_statevector
+
+        params = np.linspace(-0.4, 0.6, h2_ansatz.num_parameters)
+        bound = h2_ansatz.bind(params)
+        state = run_statevector(bound)
+        exact = h2.expectation_exact(state)
+        bases, group_terms = assign_terms_to_groups(h2)
+        pmfs = []
+        for basis in bases:
+            rotated = run_statevector(
+                basis.basis_rotation(), initial_state=state
+            )
+            pmfs.append(PMF(probabilities(rotated)))
+        energy = energy_from_group_pmfs(h2, pmfs, group_terms)
+        assert energy == pytest.approx(exact, abs=1e-9)

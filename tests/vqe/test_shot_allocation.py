@@ -1,0 +1,79 @@
+"""Unit tests for shot allocation."""
+
+import pytest
+
+from repro.hamiltonian import Hamiltonian
+from repro.vqe import allocate_shots, uniform_allocation, weighted_allocation
+from repro.vqe.expectation import assign_terms_to_groups
+
+
+class TestUniform:
+    def test_even_split(self):
+        assert uniform_allocation(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_to_first(self):
+        assert uniform_allocation(10, 3) == [4, 3, 3]
+
+    def test_total_preserved(self):
+        for shots, groups in [(100, 7), (1025, 13), (5, 5)]:
+            assert sum(uniform_allocation(shots, groups)) == shots
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_allocation(2, 3)
+        with pytest.raises(ValueError):
+            uniform_allocation(10, 0)
+
+
+class TestWeighted:
+    def test_sqrt_proportionality(self):
+        # weights 1 and 4 -> sqrt ratio 1:2 above the floor.
+        allocation = weighted_allocation(3000, [1.0, 4.0], min_shots=0)
+        assert allocation[1] / allocation[0] == pytest.approx(2.0, rel=0.01)
+
+    def test_total_preserved(self):
+        allocation = weighted_allocation(1000, [0.1, 5.0, 2.3], min_shots=16)
+        assert sum(allocation) == 1000
+
+    def test_minimum_respected(self):
+        allocation = weighted_allocation(1000, [1e-9, 100.0], min_shots=20)
+        assert min(allocation) >= 20
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        assert weighted_allocation(100, [0.0, 0.0], min_shots=10) == [50, 50]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_allocation(10, [])
+        with pytest.raises(ValueError):
+            weighted_allocation(10, [-1.0])
+        with pytest.raises(ValueError):
+            weighted_allocation(10, [1.0, 1.0], min_shots=10)
+
+
+class TestAllocateShots:
+    def make_groups(self):
+        ham = Hamiltonian(
+            [(10.0, "ZZII"), (0.1, "XXII"), (0.1, "IIXX")]
+        )
+        _, group_terms = assign_terms_to_groups(ham)
+        return group_terms
+
+    def test_weighted_favors_heavy_groups(self):
+        group_terms = self.make_groups()
+        allocation = allocate_shots(group_terms, 3000, strategy="weighted")
+        masses = [
+            sum(abs(c) for c, _ in members) for members in group_terms
+        ]
+        heavy = masses.index(max(masses))
+        assert allocation[heavy] == max(allocation)
+        assert sum(allocation) == 3000
+
+    def test_uniform_strategy(self):
+        group_terms = self.make_groups()
+        allocation = allocate_shots(group_terms, 300, strategy="uniform")
+        assert allocation == uniform_allocation(300, len(group_terms))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            allocate_shots(self.make_groups(), 100, strategy="magic")

@@ -1,0 +1,74 @@
+"""Unit tests for the workload/estimator factory."""
+
+import pytest
+
+from repro.core import VarSawEstimator
+from repro.mitigation import JigSawEstimator
+from repro.noise import SimulatorBackend, ibm_lagos_like
+from repro.vqe import BaselineEstimator, IdealEstimator
+from repro.workloads import ESTIMATOR_KINDS, make_estimator, make_workload
+
+
+class TestMakeWorkload:
+    def test_defaults_match_section_5_1(self):
+        w = make_workload("H2-4")
+        assert w.ansatz.reps == 2
+        assert w.ansatz.entanglement == "full"
+        assert w.device.name == "ibmq_mumbai_like"
+        assert w.ideal_energy == pytest.approx(10.46)
+
+    def test_ansatz_width_matches_molecule(self):
+        w = make_workload("CH4-6")
+        assert w.ansatz.n_qubits == 6 == w.n_qubits
+
+    def test_custom_ansatz_knobs(self):
+        w = make_workload("H2-4", reps=4, entanglement="linear")
+        assert w.ansatz.reps == 4
+        assert w.ansatz.entanglement == "linear"
+
+    def test_device_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("CH4-8", device=ibm_lagos_like())
+
+    def test_unknown_molecule(self):
+        with pytest.raises(KeyError):
+            make_workload("Xe-99")
+
+
+class TestMakeEstimator:
+    @pytest.fixture
+    def setup(self):
+        w = make_workload("H2-4", reps=1, entanglement="linear")
+        return w, SimulatorBackend(w.device, seed=0)
+
+    def test_all_kinds_construct(self, setup):
+        w, backend = setup
+        expected_types = {
+            "ideal": IdealEstimator,
+            "baseline": BaselineEstimator,
+            "jigsaw": JigSawEstimator,
+            "varsaw": VarSawEstimator,
+            "varsaw_no_sparsity": VarSawEstimator,
+            "varsaw_max_sparsity": VarSawEstimator,
+        }
+        assert set(ESTIMATOR_KINDS) == set(expected_types)
+        for kind, cls in expected_types.items():
+            est = make_estimator(kind, w, backend, shots=16)
+            assert isinstance(est, cls)
+
+    def test_sparsity_modes_wired(self, setup):
+        w, backend = setup
+        no_sparsity = make_estimator("varsaw_no_sparsity", w, backend)
+        max_sparsity = make_estimator("varsaw_max_sparsity", w, backend)
+        assert no_sparsity.scheduler.mode == "always"
+        assert max_sparsity.scheduler.mode == "never"
+
+    def test_unknown_kind(self, setup):
+        w, backend = setup
+        with pytest.raises(ValueError):
+            make_estimator("magic", w, backend)
+
+    def test_kwargs_passthrough(self, setup):
+        w, backend = setup
+        est = make_estimator("varsaw", w, backend, initial_period=8)
+        assert est.scheduler.period == 8
