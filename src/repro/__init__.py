@@ -16,11 +16,13 @@ Quick start::
     result = run_vqe(estimator, max_iterations=100, seed=7)
     print(result.energy, "vs ideal", workload.ideal_energy)
 
-Package map (see DESIGN.md for the full inventory):
+Package map (see README.md for the full inventory):
 
 * :mod:`repro.core` — VarSaw itself (spatial + temporal + cost model).
 * :mod:`repro.mitigation` — JigSaw and matrix-based mitigation.
 * :mod:`repro.vqe`, :mod:`repro.optimizers` — the VQE stack.
+* :mod:`repro.engine` — batched, caching, parallel circuit execution
+  (every estimator submits through it).
 * :mod:`repro.circuits`, :mod:`repro.sim`, :mod:`repro.noise` — the
   quantum execution substrate.
 * :mod:`repro.pauli`, :mod:`repro.hamiltonian`, :mod:`repro.ansatz` —
@@ -31,6 +33,7 @@ Package map (see DESIGN.md for the full inventory):
 from .ansatz import EfficientSU2
 from .clifford import CliffordTableau, diagonalize_commuting
 from .core import GlobalScheduler, VarSawEstimator, varsaw_subset_plan
+from .engine import EngineConfig, EngineStats, ExecutionEngine
 from .hamiltonian import Hamiltonian, build_hamiltonian, ground_state_energy
 from .mitigation import JigSawEstimator, MatrixMitigator
 from .noise import SimulatorBackend, ibmq_mumbai_like
@@ -38,7 +41,7 @@ from .pauli import PauliString
 from .qaoa import QAOAAnsatz, make_qaoa_workload, maxcut_hamiltonian
 from .trotter import evolve_exact, trotter_circuit
 from .vqe import BaselineEstimator, IdealEstimator, VQEResult, run_vqe
-from .workloads import make_estimator, make_workload
+from .workloads import make_engine, make_estimator, make_workload
 
 __version__ = "1.0.0"
 
@@ -61,6 +64,10 @@ __all__ = [
     "VQEResult",
     "make_workload",
     "make_estimator",
+    "make_engine",
+    "ExecutionEngine",
+    "EngineConfig",
+    "EngineStats",
     "CliffordTableau",
     "diagonalize_commuting",
     "QAOAAnsatz",

@@ -25,7 +25,12 @@ from .hamiltonian import MOLECULES, build_hamiltonian, molecule_keys
 from .noise import DEVICE_PRESETS, SimulatorBackend, characterize_readout
 from .optimizers import SPSA
 from .vqe import run_vqe
-from .workloads import ESTIMATOR_KINDS, make_estimator, make_workload
+from .workloads import (
+    ESTIMATOR_KINDS,
+    make_engine,
+    make_estimator,
+    make_workload,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--entanglement", default="full",
         choices=("full", "linear", "circular", "asymmetric"),
     )
+    _add_engine_arguments(run)
 
     character = sub.add_parser(
         "characterize", help="readout characterization report"
@@ -95,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     qaoa.add_argument("--shots", type=int, default=256)
     qaoa.add_argument("--seed", type=int, default=0)
     qaoa.add_argument("--noise-scale", type=float, default=2.0)
+    _add_engine_arguments(qaoa)
 
     route = sub.add_parser(
         "route", help="ansatz routing report on a device topology"
@@ -106,6 +113,56 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--qubits", type=int, default=6)
     route.add_argument("--reps", type=int, default=2)
     return parser
+
+
+def _int_at_least(minimum: int):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"must be >= {minimum}")
+        return value
+
+    return parse
+
+
+def _add_engine_arguments(parser) -> None:
+    """Execution-engine knobs shared by the VQE-running subcommands.
+
+    Defaults are ``None`` so :func:`repro.workloads.make_engine` falls
+    through to :class:`~repro.engine.EngineConfig`'s canonical values.
+    """
+    parser.add_argument(
+        "--workers", type=_int_at_least(1), default=None,
+        help="parallel simulation workers (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-size", type=_int_at_least(0), default=None,
+        help="PMF memoization entries; 0 disables caching",
+    )
+
+
+def _make_cli_estimator(args, workload, backend):
+    """Estimator + engine for a run/qaoa invocation's arguments."""
+    engine = make_engine(
+        backend, workers=args.workers, cache_size=args.cache_size
+    )
+    estimator = make_estimator(
+        args.scheme, workload, backend, shots=args.shots, engine=engine
+    )
+    return estimator, engine
+
+
+def _print_engine_stats(engine) -> None:
+    stats = engine.stats
+    print(
+        f"engine: {stats.jobs_submitted} jobs, "
+        f"{stats.simulations} simulations, "
+        f"cache hit rate {stats.pmf_cache.hit_rate:.1%} "
+        f"({stats.pmf_cache.hits}/{stats.pmf_cache.requests})"
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -155,9 +212,7 @@ def _cmd_run(args) -> int:
     )
     device = workload.device.with_noise_scale(args.noise_scale)
     backend = SimulatorBackend(device, seed=args.seed)
-    estimator = make_estimator(
-        args.scheme, workload, backend, shots=args.shots
-    )
+    estimator, engine = _make_cli_estimator(args, workload, backend)
     print(
         f"{workload.key}: {workload.n_qubits} qubits, "
         f"{workload.hamiltonian.num_terms} terms, "
@@ -182,6 +237,7 @@ def _cmd_run(args) -> int:
     fraction = getattr(estimator, "global_fraction", None)
     if fraction is not None:
         print(f"global fraction: {fraction:.3f}")
+    _print_engine_stats(engine)
     return 0
 
 
@@ -239,9 +295,7 @@ def _cmd_qaoa(args) -> int:
         return 2
     device = workload.device.with_noise_scale(args.noise_scale)
     backend = SimulatorBackend(device, seed=args.seed)
-    estimator = make_estimator(
-        args.scheme, workload, backend, shots=args.shots
-    )
+    estimator, engine = _make_cli_estimator(args, workload, backend)
     print(
         f"{workload.key}: QAOA p={args.reps}, max cut "
         f"{-workload.ideal_energy:.0f}"
@@ -257,6 +311,7 @@ def _cmd_qaoa(args) -> int:
         f"{result.iterations} iterations, "
         f"{result.circuits_executed} circuits"
     )
+    _print_engine_stats(engine)
     return 0
 
 

@@ -135,21 +135,6 @@ class SelectiveVarSawEstimator(VarSawEstimator):
 
     # ------------------------------------------------------------- execution
 
-    def _run_selected_subsets(self, state: np.ndarray) -> dict[int, PMF]:
-        gate_load = self.ansatz.gate_load
-        locals_: dict[int, PMF] = {}
-        for i in self._active_subsets:
-            counts = self.backend.run_from_state(
-                state,
-                self._subset_rotations[i],
-                self.plan.support(i),
-                self.subset_shots,
-                map_to_best=True,
-                gate_load=gate_load,
-            )
-            locals_[i] = counts.to_pmf()
-        return locals_
-
     def evaluate(self, params: np.ndarray) -> float:
         t = self._evaluation_index
         if self.phase_policy is not None and not self.phase_policy.active(t):
@@ -157,7 +142,13 @@ class SelectiveVarSawEstimator(VarSawEstimator):
             # keep the evaluation clock ticking for the policy.
             self._evaluation_index += 1
             state = self.prepare_state(params)
-            pmfs = [self._run_global(state, basis) for basis in self.bases]
+            batch = self.engine.new_batch()
+            handles = [
+                self._submit_global(batch, state, basis)
+                for basis in self.bases
+            ]
+            batch.run()
+            pmfs = [self._global_pmf(h) for h in handles]
             return energy_from_group_pmfs(
                 self.hamiltonian, pmfs, self.group_terms
             )
@@ -171,23 +162,40 @@ class SelectiveVarSawEstimator(VarSawEstimator):
         from ..mitigation.reconstruction import bayesian_reconstruct
 
         state = self.prepare_state(params)
-        local_pmfs = self._run_selected_subsets(state)
         t = self._evaluation_index
         self._evaluation_index += 1
         have_prior = self._prior is not None
         run_globals = self.scheduler.due(t) or not have_prior
+
+        # One whole-iteration batch: the subsets any mitigated group
+        # needs, then one Global per group that requires it (unselected
+        # groups always; selected groups only on Global evaluations).
+        batch = self.engine.new_batch()
+        subset_handles = {
+            i: self._submit_subset(batch, state, i)
+            for i in self._active_subsets
+        }
+        global_handles: dict[int, object] = {}
+        for g, basis in enumerate(self.bases):
+            if g not in self.mitigated_groups or run_globals:
+                global_handles[g] = self._submit_global(batch, state, basis)
+        batch.run()
+        local_pmfs = {
+            i: h.result().to_pmf() for i, h in subset_handles.items()
+        }
+
         pmfs: list[PMF] = []
         new_prior: list[PMF] = []
         for g, basis in enumerate(self.bases):
             if g not in self.mitigated_groups:
                 # Unselected: raw global every evaluation (baseline path).
-                raw = self._run_global(state, basis)
+                raw = self._global_pmf(global_handles[g])
                 pmfs.append(raw)
                 new_prior.append(raw)
                 continue
             locals_g = [local_pmfs[i] for i in self._compatible[g]]
             if run_globals:
-                prior = self._run_global(state, basis)
+                prior = self._global_pmf(global_handles[g])
             else:
                 prior = self._prior[g]
             mitigated = bayesian_reconstruct(prior, locals_g)

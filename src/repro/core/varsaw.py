@@ -65,8 +65,9 @@ class VarSawEstimator(EstimatorBase):
         initial_period: int = 2,
         max_period: int = 1024,
         mbm=None,
+        engine=None,
     ):
-        super().__init__(hamiltonian, ansatz, backend, shots)
+        super().__init__(hamiltonian, ansatz, backend, shots, engine=engine)
         self.window = window
         self.subset_shots = subset_shots if subset_shots else shots
         self.plan: SubsetPlan = varsaw_subset_plan(hamiltonian, window)
@@ -90,24 +91,20 @@ class VarSawEstimator(EstimatorBase):
 
     # ------------------------------------------------------------- execution
 
-    def _run_subsets(self, state: np.ndarray) -> list[PMF]:
-        """Execute every reduced subset circuit once; return Local-PMFs."""
-        gate_load = self.ansatz.gate_load
-        locals_: list[PMF] = []
-        for i, rotation in enumerate(self._subset_rotations):
-            counts = self.backend.run_from_state(
-                state,
-                rotation,
-                self.plan.support(i),
-                self.subset_shots,
-                map_to_best=True,
-                gate_load=gate_load,
-            )
-            locals_.append(counts.to_pmf())
-        return locals_
+    def _submit_subset(self, batch, state: np.ndarray, index: int):
+        """Queue one reduced subset circuit; return its job handle."""
+        return batch.submit_state(
+            state,
+            self._subset_rotations[index],
+            self.plan.support(index),
+            self.subset_shots,
+            map_to_best=True,
+            gate_load=self.ansatz.gate_load,
+        )
 
-    def _run_global(self, state: np.ndarray, basis: PauliString) -> PMF:
-        counts = self.backend.run_from_state(
+    def _submit_global(self, batch, state: np.ndarray, basis: PauliString):
+        """Queue one Global circuit; return its job handle."""
+        return batch.submit_state(
             state,
             self.rotation_for(basis),
             range(self.n_qubits),
@@ -115,7 +112,10 @@ class VarSawEstimator(EstimatorBase):
             map_to_best=False,
             gate_load=self.ansatz.gate_load,
         )
-        pmf = counts.to_pmf()
+
+    def _global_pmf(self, handle) -> PMF:
+        """Global-PMF from a finished handle (MBM applied when stacked)."""
+        pmf = handle.result().to_pmf()
         if self.mbm is not None:
             pmf = self.mbm.mitigate_pmf(pmf)
         return pmf
@@ -124,21 +124,36 @@ class VarSawEstimator(EstimatorBase):
 
     def evaluate(self, params: np.ndarray) -> float:
         state = self.prepare_state(params)
-        local_pmfs = self._run_subsets(state)
         t = self._evaluation_index
         self._evaluation_index += 1
         have_prior = self._prior is not None
         run_globals = self.scheduler.due(t) or not have_prior
+
+        # One whole-iteration batch: every subset, plus the Globals when
+        # the temporal scheduler says they are due this evaluation.
+        batch = self.engine.new_batch()
+        subset_handles = [
+            self._submit_subset(batch, state, i)
+            for i in range(self.plan.num_subsets)
+        ]
+        global_handles = (
+            [self._submit_global(batch, state, b) for b in self.bases]
+            if run_globals
+            else []
+        )
+        batch.run()
+        local_pmfs = [h.result().to_pmf() for h in subset_handles]
 
         def locals_for(group: int) -> list[PMF]:
             return [local_pmfs[i] for i in self._compatible[group]]
 
         if run_globals:
             fresh: list[PMF] = []
-            for g, basis in enumerate(self.bases):
-                global_pmf = self._run_global(state, basis)
+            for g, handle in enumerate(global_handles):
                 fresh.append(
-                    bayesian_reconstruct(global_pmf, locals_for(g))
+                    bayesian_reconstruct(
+                        self._global_pmf(handle), locals_for(g)
+                    )
                 )
             self.scheduler.record_global(t)
             if have_prior:

@@ -1,0 +1,111 @@
+"""Bounded memoization for exact distributions and prepared states.
+
+Exact noisy PMFs are deterministic functions of (circuit content, device
+config, noise flags, readout mapping) — all captured by the engine's
+cache keys — so memoizing them is semantically invisible: only the
+sampling step consumes randomness.  Across VQE iterations the same
+measurement circuits recur whenever the tuner revisits parameters
+(SPSA's paired perturbations, trial repeats, benchmark sweeps), which is
+exactly what a bounded LRU exploits.
+
+:class:`LRUCache` is deliberately generic; the engine instantiates one
+for PMFs and one for prepared statevectors.  Hit/miss/eviction counters
+are kept per cache and surfaced through :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters for one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A size-bounded least-recently-used map with usage counters.
+
+    ``maxsize=0`` disables storage entirely: every lookup misses and
+    nothing is retained (useful as a null object — callers need no
+    special-casing).
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key):
+        """Return the cached value or ``None``, updating hit/miss stats."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert ``value``, evicting the least-recently-used overflow."""
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._data.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"<LRUCache {s.size}/{s.maxsize} entries, "
+            f"{s.hits} hits / {s.misses} misses, {s.evictions} evicted>"
+        )

@@ -1,0 +1,69 @@
+"""Engine configuration.
+
+One frozen record controls everything operational about an
+:class:`~repro.engine.ExecutionEngine`: how many simulation workers run
+concurrently, how large the PMF/state memoization caches may grow, and
+which RNG discipline sampling follows.
+
+The two RNG modes trade compatibility against scheduling freedom:
+
+* ``"shared"`` (default) — every job samples from the backend's single
+  RNG stream *in submission order*.  Because PMF simulation itself
+  consumes no randomness, this reproduces the pre-engine serial
+  semantics bit for bit (same counts, same energies, same ledger) no
+  matter how many workers simulated the PMFs.
+* ``"per_job"`` — each job samples from its own child RNG spawned
+  deterministically from the backend seed and the job's global sequence
+  number.  Each job's result then depends only on its position in the
+  submission sequence, never on worker scheduling — the discipline a
+  distributed deployment needs; the stream differs from the legacy
+  serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig", "RNG_MODES"]
+
+#: Supported sampling disciplines (see module docstring).
+RNG_MODES = ("shared", "per_job")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Operational knobs for an :class:`~repro.engine.ExecutionEngine`.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent PMF simulations.  ``1`` runs inline on the caller's
+        thread (no pool); higher values use a thread pool — the dense
+        ``tensordot`` kernels release the GIL inside NumPy, so threads
+        scale on multi-core hosts without pickling circuits.
+    cache_size:
+        Maximum memoized exact-PMF entries; ``0`` disables the cache.
+    state_cache_size:
+        Maximum memoized prepared-statevector entries (ansatz states
+        reused across measurement bases and repeated parameters);
+        ``0`` disables.
+    rng_mode:
+        ``"shared"`` or ``"per_job"`` — see the module docstring.
+    """
+
+    workers: int = 1
+    cache_size: int = 256
+    state_cache_size: int = 64
+    rng_mode: str = "shared"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.state_cache_size < 0:
+            raise ValueError("state_cache_size must be >= 0")
+        if self.rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"rng_mode must be one of {RNG_MODES}, got {self.rng_mode!r}"
+            )

@@ -1,0 +1,308 @@
+"""The batched, caching, parallel circuit-execution engine.
+
+Estimators no longer call the backend circuit-by-circuit.  They open a
+:class:`Batch`, submit every execution of the current objective
+evaluation as a spec, and receive :class:`JobHandle` futures; one
+``run()`` then drives the whole batch through three phases:
+
+1. **Dedup** — specs are grouped by content fingerprint (mixed with the
+   backend's device/noise fingerprint); structurally identical circuits
+   simulate once and fan their exact PMF out to every submitter.
+2. **Simulate** — unique PMFs are computed through the configured
+   executor (inline or thread pool), consulting the bounded LRU
+   memoization cache first.  Simulation is deterministic, so neither
+   caching nor scheduling can change any numeric result.
+3. **Sample & charge** — in *submission order*, every job samples its
+   own shots from its PMF and charges the backend ledger exactly as a
+   direct ``run``/``run_from_state`` call would: one circuit plus
+   ``shots`` per submitted spec, duplicates included.  The paper's cost
+   metric is therefore bit-identical to the serial path.
+
+Under the default ``rng_mode="shared"`` the sampling pass consumes the
+backend's single RNG stream in submission order, reproducing the legacy
+serial semantics exactly for any worker count.  ``rng_mode="per_job"``
+gives each job a child RNG spawned from the backend seed and the job's
+global sequence number instead, decoupling results from submission
+interleaving entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..sim import PMF, Counts
+from .cache import CacheStats, LRUCache
+from .config import EngineConfig
+from .executor import make_executor
+from .spec import (
+    CircuitSpec,
+    StateSpec,
+    circuit_fingerprint,
+    device_fingerprint,
+    state_digest,
+)
+
+__all__ = ["ExecutionEngine", "Batch", "JobHandle", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Lifetime counters for one engine instance."""
+
+    jobs_submitted: int
+    batches_run: int
+    simulations: int
+    dedup_coalesced: int
+    pmf_cache: CacheStats
+    state_cache: CacheStats
+
+
+class JobHandle:
+    """Future-style handle for one submitted spec.
+
+    ``result()``/``pmf()`` become available once the owning batch has
+    run; accessing them earlier raises.
+    """
+
+    __slots__ = ("spec", "index", "_fingerprint", "_counts", "_pmf")
+
+    def __init__(self, spec, index: int):
+        self.spec = spec
+        self.index = index
+        self._fingerprint = spec.fingerprint()
+        self._counts: Counts | None = None
+        self._pmf: PMF | None = None
+
+    def done(self) -> bool:
+        return self._counts is not None
+
+    def result(self) -> Counts:
+        """Sampled counts for this spec (after the batch has run)."""
+        if self._counts is None:
+            raise RuntimeError("job has not been executed; run its batch")
+        return self._counts
+
+    def pmf(self) -> PMF:
+        """The exact noisy PMF this job's counts were sampled from."""
+        if self._pmf is None:
+            raise RuntimeError("job has not been executed; run its batch")
+        return self._pmf
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"<JobHandle #{self.index} {state}>"
+
+
+class Batch:
+    """An ordered set of specs executed together by one engine pass."""
+
+    def __init__(self, engine: "ExecutionEngine"):
+        self._engine = engine
+        self._jobs: list[JobHandle] = []
+        self._ran = False
+        # Whole-iteration batches submit many specs over one prepared
+        # state; hash each distinct array once.  Keyed by id(): safe
+        # here because the specs keep their arrays alive for the
+        # batch's lifetime.
+        self._state_digests: dict[int, str] = {}
+
+    def submit(self, spec) -> JobHandle:
+        """Queue a :class:`CircuitSpec`/:class:`StateSpec`; get a handle."""
+        if self._ran:
+            raise RuntimeError("batch already ran; open a new one")
+        handle = JobHandle(spec, self._engine._next_job_index())
+        self._jobs.append(handle)
+        return handle
+
+    def submit_circuit(
+        self, circuit: Circuit, shots: int, map_to_best: bool = False
+    ) -> JobHandle:
+        """Queue a full bound circuit (mirrors ``backend.run``)."""
+        return self.submit(CircuitSpec(circuit, shots, map_to_best))
+
+    def submit_state(
+        self,
+        state: np.ndarray,
+        suffix: Circuit | None,
+        measured_qubits,
+        shots: int,
+        map_to_best: bool = False,
+        gate_load: tuple[int, int] = (0, 0),
+    ) -> JobHandle:
+        """Queue a prepared state + basis suffix (``run_from_state``)."""
+        digest = self._state_digests.get(id(state))
+        if digest is None:
+            digest = state_digest(state)
+            self._state_digests[id(state)] = digest
+        return self.submit(
+            StateSpec(
+                state=state,
+                suffix=suffix,
+                measured_qubits=tuple(measured_qubits),
+                shots=shots,
+                map_to_best=map_to_best,
+                gate_load=gate_load,
+                digest=digest,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def run(self) -> list[Counts]:
+        """Execute all queued jobs; fill every handle; return its counts."""
+        if self._ran:
+            raise RuntimeError("batch already ran; open a new one")
+        self._ran = True
+        self._engine._execute(self._jobs)
+        return [job.result() for job in self._jobs]
+
+
+class ExecutionEngine:
+    """Batched execution front-end for one :class:`SimulatorBackend`.
+
+    Parameters
+    ----------
+    backend:
+        The execution substrate.  The engine charges this backend's
+        ``circuits_run``/``shots_run`` ledger per submitted spec and (in
+        ``shared`` RNG mode) samples from its RNG stream.
+    config:
+        An :class:`~repro.engine.EngineConfig`; defaults preserve the
+        pre-engine serial semantics bit for bit.
+    """
+
+    def __init__(self, backend, config: EngineConfig | None = None):
+        self.backend = backend
+        self.config = config if config is not None else EngineConfig()
+        self._executor = make_executor(self.config.workers)
+        self._pmf_cache = LRUCache(self.config.cache_size)
+        self._state_cache = LRUCache(self.config.state_cache_size)
+        self._job_counter = 0
+        self._batches_run = 0
+        self._simulations = 0
+        self._dedup_coalesced = 0
+        seed = getattr(backend, "seed", None)
+        if seed is None:
+            # Unseeded backend: draw a per-engine root so per_job streams
+            # are still independent, just not reproducible across runs.
+            seed = int(np.random.SeedSequence().entropy % (2**63))
+        self._rng_root = int(seed)
+
+    # ------------------------------------------------------------ submission
+
+    def new_batch(self) -> Batch:
+        return Batch(self)
+
+    def run_spec(self, spec) -> Counts:
+        """Convenience: execute a single spec as its own batch."""
+        batch = self.new_batch()
+        handle = batch.submit(spec)
+        batch.run()
+        return handle.result()
+
+    def _next_job_index(self) -> int:
+        index = self._job_counter
+        self._job_counter += 1
+        return index
+
+    # ------------------------------------------------------ state preparation
+
+    def prepare_state(self, circuit: Circuit) -> np.ndarray:
+        """Memoized ansatz-state preparation (never charged, noise-free).
+
+        Callers must treat the returned statevector as read-only — the
+        backend's ``run_statevector`` copies it before applying suffixes,
+        so the cached array is never mutated downstream.
+        """
+        key = circuit_fingerprint(circuit)
+        state = self._state_cache.get(key)
+        if state is None:
+            state = self.backend.prepare_state(circuit)
+            self._state_cache.put(key, state)
+        return state
+
+    # -------------------------------------------------------------- execution
+
+    def _simulate(self, spec) -> PMF:
+        if isinstance(spec, CircuitSpec):
+            return self.backend.exact_pmf(
+                spec.circuit, map_to_best=spec.map_to_best
+            )
+        return self.backend.pmf_from_state(
+            spec.state,
+            spec.suffix,
+            spec.measured_qubits,
+            map_to_best=spec.map_to_best,
+            gate_load=spec.gate_load,
+        )
+
+    def _execute(self, jobs: list[JobHandle]) -> None:
+        if not jobs:
+            return
+        self._batches_run += 1
+        device_fp = device_fingerprint(self.backend)
+
+        # Phase 1+2: one simulation per unique fingerprint, cache first.
+        futures: dict[tuple, object] = {}
+        resolved: dict[tuple, PMF] = {}
+        for job in jobs:
+            key = (device_fp, job._fingerprint)
+            if key in resolved or key in futures:
+                self._dedup_coalesced += 1
+                continue
+            cached = self._pmf_cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                futures[key] = self._executor.submit(self._simulate, job.spec)
+                self._simulations += 1
+        for key, future in futures.items():
+            pmf = future.result()
+            resolved[key] = pmf
+            self._pmf_cache.put(key, pmf)
+
+        # Phase 3: sample and charge in submission order.
+        shared = self.config.rng_mode == "shared"
+        for job in jobs:
+            pmf = resolved[(device_fp, job._fingerprint)]
+            if shared:
+                rng = self.backend.rng
+            else:
+                rng = np.random.default_rng((self._rng_root, job.index))
+            counts = Counts.from_pmf_samples(pmf, job.spec.shots, rng)
+            self.backend.charge(job.spec.shots)
+            job._pmf = pmf
+            job._counts = counts
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            jobs_submitted=self._job_counter,
+            batches_run=self._batches_run,
+            simulations=self._simulations,
+            dedup_coalesced=self._dedup_coalesced,
+            pmf_cache=self._pmf_cache.stats,
+            state_cache=self._state_cache.stats,
+        )
+
+    def clear_caches(self) -> None:
+        self._pmf_cache.clear()
+        self._state_cache.clear()
+
+    def close(self) -> None:
+        """Shut down the worker pool (caches stay usable)."""
+        self._executor.shutdown()
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"<ExecutionEngine workers={self.config.workers} "
+            f"jobs={s.jobs_submitted} sims={s.simulations} "
+            f"cache={s.pmf_cache.hits}/{s.pmf_cache.requests} hits>"
+        )

@@ -1,0 +1,67 @@
+"""Simulation executors: inline or thread-pooled.
+
+The engine splits every batch into *unique* simulation tasks (pure
+functions producing exact PMFs) and a serial sampling/accounting pass.
+Only the first half goes through an executor, so parallelism can never
+reorder RNG consumption or ledger charges.
+
+Threads, not processes: the statevector kernels spend their time inside
+NumPy ``tensordot``/``matmul`` calls that release the GIL, so a thread
+pool scales on multi-core hosts without having to pickle circuits or
+device models.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+
+__all__ = ["SerialExecutor", "PoolExecutor", "make_executor"]
+
+
+class SerialExecutor:
+    """Runs tasks inline on the caller's thread, wrapped in futures.
+
+    Keeps the engine's execution code identical across worker counts:
+    callers always receive :class:`concurrent.futures.Future` objects.
+    """
+
+    workers = 1
+
+    def submit(self, fn, *args) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # propagate on .result(), like a pool
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self) -> None:
+        pass
+
+
+class PoolExecutor:
+    """A lazily-started :class:`ThreadPoolExecutor` wrapper."""
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError("PoolExecutor needs >= 2 workers")
+        self.workers = int(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def submit(self, fn, *args) -> Future:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-engine",
+            )
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(workers: int):
+    """Pick the executor implementation for a worker count."""
+    return SerialExecutor() if workers <= 1 else PoolExecutor(workers)

@@ -1,0 +1,175 @@
+"""Execution job specs and content-addressed fingerprints.
+
+A *spec* is everything needed to reproduce one device execution: either a
+full bound circuit (:class:`CircuitSpec`) or a prepared ansatz state plus
+a measurement-basis suffix (:class:`StateSpec` — the backend's
+``run_from_state`` fast path).  Specs are immutable once submitted.
+
+Each spec exposes a :meth:`fingerprint`: a digest over the exact content
+that determines its noisy outcome distribution — circuit structure,
+statevector bytes, measured qubits, readout mapping mode, and the gate
+load charged to depolarizing noise.  Shots are deliberately *excluded*:
+two specs that differ only in shot count share one exact PMF, so they
+dedup to a single simulation while still sampling (and being charged)
+separately.  The engine mixes a device/noise-flag fingerprint into its
+cache keys so a cache is never polluted across backend configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits import Circuit
+
+__all__ = [
+    "CircuitSpec",
+    "StateSpec",
+    "circuit_fingerprint",
+    "device_fingerprint",
+    "state_digest",
+]
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.blake2b(digest_size=16)
+
+
+def _feed_circuit(h, circuit: Circuit) -> None:
+    h.update(f"c:{circuit.n_qubits}".encode())
+    for ins in circuit.instructions:
+        param = ins.param
+        if param is not None and not isinstance(param, (int, float)):
+            raise ValueError(
+                f"cannot fingerprint unbound parameter {param!r}; "
+                "bind the circuit before submitting it"
+            )
+        h.update(
+            f"|{ins.name}:{','.join(map(str, ins.qubits))}:"
+            f"{'' if param is None else float(param).hex()}".encode()
+        )
+    h.update(
+        f"|m:{','.join(map(str, sorted(circuit.measured_qubits)))}".encode()
+    )
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Structural digest of a bound circuit (gates + measured qubits)."""
+    h = _hasher()
+    _feed_circuit(h, circuit)
+    return h.hexdigest()
+
+
+def device_fingerprint(backend) -> str:
+    """Digest of everything on a backend that shapes exact PMFs.
+
+    Covers per-qubit readout rates, crosstalk, gate-noise rates/scales,
+    and the backend's noise kill-switches — but *not* its RNG state,
+    which only affects sampling.
+    """
+    device = backend.device
+    h = _hasher()
+    h.update(
+        f"d:{device.name}:{device.n_qubits}"
+        f":ro{int(backend.readout_enabled)}"
+        f":gn{int(backend.gate_noise_enabled)}".encode()
+    )
+    readout = device.readout
+    h.update(
+        f"|x:{readout.crosstalk_strength.hex()}"
+        f":{readout.scale.hex()}".encode()
+    )
+    for err in readout.qubit_errors:
+        h.update(f"|q:{err.p01.hex()}:{err.p10.hex()}".encode())
+    gn = device.gate_noise
+    h.update(
+        f"|g:{gn.error_1q.hex()}:{gn.error_2q.hex()}:{gn.scale.hex()}".encode()
+    )
+    return h.hexdigest()
+
+
+def state_digest(state: np.ndarray) -> str:
+    """Content digest of a statevector's bytes.
+
+    Whole-iteration batches submit many specs sharing one prepared
+    state; callers that hold the array can compute this once and pass
+    it to every :class:`StateSpec` instead of re-hashing per spec.
+    """
+    h = _hasher()
+    h.update(np.ascontiguousarray(state).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One full-circuit execution request (mirrors ``backend.run``)."""
+
+    circuit: Circuit
+    shots: int
+    map_to_best: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shots < 1:
+            raise ValueError("shots must be positive")
+        if not self.circuit.measured_qubits:
+            raise ValueError("circuit measures no qubits")
+
+    def fingerprint(self) -> str:
+        h = _hasher()
+        _feed_circuit(h, self.circuit)
+        h.update(f"|b:{int(self.map_to_best)}".encode())
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class StateSpec:
+    """One prepared-state execution request (``backend.run_from_state``).
+
+    ``gate_load`` is the (one-qubit, two-qubit) gate count of the state
+    preparation, charged to depolarizing noise on top of the suffix.
+    ``digest`` is an optional precomputed :func:`state_digest` of
+    ``state`` (an optimization for batches whose specs share a state);
+    when given, it MUST match the array's content.
+    """
+
+    state: np.ndarray = field(repr=False)
+    suffix: Circuit | None
+    measured_qubits: tuple[int, ...]
+    shots: int
+    map_to_best: bool = False
+    gate_load: tuple[int, int] = (0, 0)
+    digest: str | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "measured_qubits",
+            tuple(int(q) for q in self.measured_qubits),
+        )
+        object.__setattr__(
+            self,
+            "gate_load",
+            (int(self.gate_load[0]), int(self.gate_load[1])),
+        )
+        if self.shots < 1:
+            raise ValueError("shots must be positive")
+        if not self.measured_qubits:
+            raise ValueError("no measured qubits")
+
+    def fingerprint(self) -> str:
+        h = _hasher()
+        h.update(b"s:")
+        digest = self.digest
+        if digest is None:
+            digest = state_digest(self.state)
+        h.update(digest.encode())
+        if self.suffix is not None:
+            _feed_circuit(h, self.suffix)
+        h.update(
+            f"|m:{','.join(map(str, sorted(self.measured_qubits)))}"
+            f"|b:{int(self.map_to_best)}"
+            f"|l:{self.gate_load[0]},{self.gate_load[1]}".encode()
+        )
+        return h.hexdigest()

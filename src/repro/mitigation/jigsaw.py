@@ -48,8 +48,9 @@ class JigSawEstimator(EstimatorBase):
         shots: int = 1024,
         window: int = 2,
         subset_shots: int | None = None,
+        engine=None,
     ):
-        super().__init__(hamiltonian, ansatz, backend, shots)
+        super().__init__(hamiltonian, ansatz, backend, shots, engine=engine)
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window
@@ -58,20 +59,21 @@ class JigSawEstimator(EstimatorBase):
 
     def evaluate(self, params: np.ndarray) -> float:
         state = self.prepare_state(params)
-        pmfs = [
-            self.mitigated_group_pmf(state, basis) for basis in self.bases
+        batch = self.engine.new_batch()
+        handles = [
+            self._submit_group(batch, state, basis) for basis in self.bases
         ]
+        batch.run()
+        pmfs = [self._reconstruct_group(h) for h in handles]
         return energy_from_group_pmfs(
             self.hamiltonian, pmfs, self.group_terms
         )
 
-    def mitigated_group_pmf(
-        self, state: np.ndarray, basis: PauliString
-    ) -> PMF:
-        """Global + subset runs + Bayesian reconstruction for one group."""
+    def _submit_group(self, batch, state: np.ndarray, basis: PauliString):
+        """Queue one group's Global + subset circuits; return the handles."""
         gate_load = self.ansatz.gate_load
         rotation = self.rotation_for(basis)
-        global_counts = self.backend.run_from_state(
+        global_handle = batch.submit_state(
             state,
             rotation,
             range(self.n_qubits),
@@ -79,9 +81,8 @@ class JigSawEstimator(EstimatorBase):
             map_to_best=False,
             gate_load=gate_load,
         )
-        locals_ = []
-        for window in self.windows:
-            counts = self.backend.run_from_state(
+        local_handles = [
+            batch.submit_state(
                 state,
                 rotation,
                 window,
@@ -89,8 +90,24 @@ class JigSawEstimator(EstimatorBase):
                 map_to_best=True,
                 gate_load=gate_load,
             )
-            locals_.append(counts.to_pmf())
-        return bayesian_reconstruct(global_counts.to_pmf(), locals_)
+            for window in self.windows
+        ]
+        return global_handle, local_handles
+
+    @staticmethod
+    def _reconstruct_group(handles) -> PMF:
+        global_handle, local_handles = handles
+        locals_ = [h.result().to_pmf() for h in local_handles]
+        return bayesian_reconstruct(global_handle.result().to_pmf(), locals_)
+
+    def mitigated_group_pmf(
+        self, state: np.ndarray, basis: PauliString
+    ) -> PMF:
+        """Global + subset runs + Bayesian reconstruction for one group."""
+        batch = self.engine.new_batch()
+        handles = self._submit_group(batch, state, basis)
+        batch.run()
+        return self._reconstruct_group(handles)
 
     @property
     def circuits_per_evaluation(self) -> int:

@@ -49,6 +49,7 @@ class SimulatorBackend:
         gate_noise_enabled: bool = True,
     ):
         self.device = device if device is not None else ideal_device()
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.readout_enabled = readout_enabled
         self.gate_noise_enabled = gate_noise_enabled
@@ -64,6 +65,14 @@ class SimulatorBackend:
     def _charge(self, shots: int) -> None:
         self.circuits_run += 1
         self.shots_run += shots
+
+    def charge(self, shots: int) -> None:
+        """Record one executed circuit of ``shots`` shots on the ledger.
+
+        Public so :class:`~repro.engine.ExecutionEngine` can charge per
+        submitted spec even when deduplication simulated a circuit once.
+        """
+        self._charge(shots)
 
     # ------------------------------------------------------------- execution
 
@@ -123,6 +132,19 @@ class SimulatorBackend:
             sorted(circuit.measured_qubits),
             map_to_best,
             (g1, g2),
+        )
+
+    def pmf_from_state(
+        self,
+        state: np.ndarray,
+        suffix: Circuit | None,
+        measured_qubits,
+        map_to_best: bool = False,
+        gate_load: tuple[int, int] = (0, 0),
+    ) -> PMF:
+        """Exact noisy PMF of a prepared state + basis suffix (uncharged)."""
+        return self._pmf_from_state(
+            state, suffix, measured_qubits, map_to_best, gate_load
         )
 
     def _pmf_from_state(

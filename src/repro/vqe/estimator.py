@@ -5,6 +5,13 @@ energy value: the Hamiltonian's measurement grouping, the ansatz, the
 execution backend, and the shots-per-circuit policy.  JigSaw and VarSaw
 provide alternative estimators (in :mod:`repro.mitigation` and
 :mod:`repro.core`) that plug into the same VQE runner.
+
+Estimators do not call the backend circuit-by-circuit: each objective
+evaluation is submitted as one batch to a
+:class:`~repro.engine.ExecutionEngine`, which deduplicates identical
+circuit specs, memoizes exact noisy PMFs across iterations, and can
+simulate on a worker pool — while charging the backend's cost ledger
+per submitted spec, exactly like the serial path did.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import numpy as np
 
 from ..ansatz import EfficientSU2
 from ..circuits import Circuit
+from ..engine import ensure_engine
 from ..hamiltonian import Hamiltonian
 from ..noise import SimulatorBackend
 from ..pauli import PauliString
@@ -31,6 +39,7 @@ class EstimatorBase:
         ansatz: EfficientSU2,
         backend: SimulatorBackend,
         shots: int = 1024,
+        engine=None,
     ):
         if ansatz.n_qubits != hamiltonian.n_qubits:
             raise ValueError(
@@ -42,6 +51,7 @@ class EstimatorBase:
         self.hamiltonian = hamiltonian
         self.ansatz = ansatz
         self.backend = backend
+        self.engine = ensure_engine(engine, backend)
         self.shots = shots
         self.bases, self.group_terms = assign_terms_to_groups(hamiltonian)
         self._rotations: dict[PauliString, Circuit] = {
@@ -58,7 +68,7 @@ class EstimatorBase:
         return len(self.bases)
 
     def prepare_state(self, params: np.ndarray) -> np.ndarray:
-        return self.backend.prepare_state(self.ansatz.bind(params))
+        return self.engine.prepare_state(self.ansatz.bind(params))
 
     def rotation_for(self, basis: PauliString) -> Circuit:
         return self._rotations[basis]
@@ -79,9 +89,9 @@ class BaselineEstimator(EstimatorBase):
     def evaluate(self, params: np.ndarray) -> float:
         state = self.prepare_state(params)
         gate_load = self.ansatz.gate_load
-        pmfs: list[PMF] = []
-        for basis in self.bases:
-            counts = self.backend.run_from_state(
+        batch = self.engine.new_batch()
+        handles = [
+            batch.submit_state(
                 state,
                 self.rotation_for(basis),
                 range(self.n_qubits),
@@ -89,7 +99,10 @@ class BaselineEstimator(EstimatorBase):
                 map_to_best=False,
                 gate_load=gate_load,
             )
-            pmfs.append(counts.to_pmf())
+            for basis in self.bases
+        ]
+        batch.run()
+        pmfs: list[PMF] = [h.result().to_pmf() for h in handles]
         return energy_from_group_pmfs(
             self.hamiltonian, pmfs, self.group_terms
         )
@@ -111,9 +124,10 @@ class IdealEstimator(EstimatorBase):
         hamiltonian: Hamiltonian,
         ansatz: EfficientSU2,
         backend: SimulatorBackend | None = None,
+        engine=None,
     ):
         backend = backend if backend is not None else SimulatorBackend()
-        super().__init__(hamiltonian, ansatz, backend, shots=1)
+        super().__init__(hamiltonian, ansatz, backend, shots=1, engine=engine)
 
     def evaluate(self, params: np.ndarray) -> float:
         state = self.prepare_state(params)

@@ -37,8 +37,9 @@ class GeneralCommutationEstimator(EstimatorBase):
         backend: SimulatorBackend,
         shots: int = 1024,
         method: str = "color",
+        engine=None,
     ):
-        super().__init__(hamiltonian, ansatz, backend, shots)
+        super().__init__(hamiltonian, ansatz, backend, shots, engine=engine)
         self.gc_groups: list[DiagonalizedGroup] = diagonalized_groups(
             [p for _, p in hamiltonian.non_identity_terms()],
             hamiltonian.n_qubits,
@@ -62,10 +63,9 @@ class GeneralCommutationEstimator(EstimatorBase):
     def evaluate(self, params: np.ndarray) -> float:
         state = self.prepare_state(params)
         gate_load = self.ansatz.gate_load
-        energy = self.hamiltonian.identity_coefficient
-        seen: set = set()
-        for group in self.gc_groups:
-            counts = self.backend.run_from_state(
+        batch = self.engine.new_batch()
+        handles = [
+            batch.submit_state(
                 state,
                 group.circuit,
                 range(self.n_qubits),
@@ -73,7 +73,13 @@ class GeneralCommutationEstimator(EstimatorBase):
                 map_to_best=False,
                 gate_load=gate_load,
             )
-            probs = counts.to_pmf().probs
+            for group in self.gc_groups
+        ]
+        batch.run()
+        energy = self.hamiltonian.identity_coefficient
+        seen: set = set()
+        for group, handle in zip(self.gc_groups, handles):
+            probs = handle.result().to_pmf().probs
             for index, member in enumerate(group.members):
                 if member in seen:
                     continue  # duplicate term placed in another group

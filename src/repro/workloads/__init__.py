@@ -5,6 +5,7 @@ from .registry import (
     ESTIMATOR_KINDS,
     SPIN_MODELS,
     Workload,
+    make_engine,
     make_estimator,
     make_spin_workload,
     make_workload,
@@ -15,6 +16,7 @@ __all__ = [
     "make_workload",
     "make_spin_workload",
     "make_estimator",
+    "make_engine",
     "ESTIMATOR_KINDS",
     "SPIN_MODELS",
     "MOLECULES",

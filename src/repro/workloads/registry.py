@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..ansatz import EfficientSU2
 from ..core import VarSawEstimator
+from ..engine import EngineConfig, ExecutionEngine
 from ..hamiltonian import (
     MOLECULES,
     Hamiltonian,
@@ -28,6 +29,7 @@ __all__ = [
     "make_workload",
     "make_spin_workload",
     "make_estimator",
+    "make_engine",
     "ESTIMATOR_KINDS",
     "SPIN_MODELS",
 ]
@@ -142,35 +144,101 @@ def make_spin_workload(
     )
 
 
+def make_engine(
+    backend: SimulatorBackend,
+    workers: int | None = None,
+    cache_size: int | None = None,
+    rng_mode: str | None = None,
+    state_cache_size: int | None = None,
+) -> ExecutionEngine:
+    """Build an :class:`~repro.engine.ExecutionEngine` for a backend.
+
+    Convenience wrapper for scripts/CLI; library code can construct the
+    engine (or just an :class:`~repro.engine.EngineConfig`) directly.
+    ``None`` for any knob defers to :class:`~repro.engine.EngineConfig`'s
+    default.  ``cache_size=0`` disables *all* memoization (the
+    statevector cache included, unless ``state_cache_size`` overrides
+    it); note intra-batch dedup of structurally identical specs is
+    always active, so even an uncached engine can simulate fewer
+    circuits than the old serial path (results are unaffected).
+    """
+    overrides = {
+        key: value
+        for key, value in (
+            ("workers", workers),
+            ("cache_size", cache_size),
+            ("rng_mode", rng_mode),
+            ("state_cache_size", state_cache_size),
+        )
+        if value is not None
+    }
+    if cache_size == 0 and state_cache_size is None:
+        overrides["state_cache_size"] = 0
+    return ExecutionEngine(backend, EngineConfig(**overrides))
+
+
 def make_estimator(
     kind: str,
     workload: Workload,
     backend: SimulatorBackend,
     shots: int = 1024,
     window: int = 2,
+    engine=None,
+    workers: int | None = None,
+    cache_size: int | None = None,
     **kwargs,
 ):
     """Build one of the paper's comparison schemes for a workload.
 
     ``kind`` is one of :data:`ESTIMATOR_KINDS`; extra keyword arguments
     pass through to the estimator's constructor.
+
+    Execution engine configuration
+    ------------------------------
+    ``engine`` may be a ready :class:`~repro.engine.ExecutionEngine`
+    (e.g. shared between estimators on one backend) or an
+    :class:`~repro.engine.EngineConfig`.  Alternatively pass ``workers``
+    and/or ``cache_size`` to configure a fresh engine in place; with
+    neither given the estimator builds a default-configured engine.
     """
+    if workers is not None or cache_size is not None:
+        if engine is not None:
+            raise ValueError(
+                "pass either engine= or workers=/cache_size=, not both"
+            )
+        engine = make_engine(backend, workers=workers, cache_size=cache_size)
     common = (workload.hamiltonian, workload.ansatz, backend)
     if kind == "ideal":
-        return IdealEstimator(workload.hamiltonian, workload.ansatz, backend)
+        return IdealEstimator(
+            workload.hamiltonian, workload.ansatz, backend, engine=engine
+        )
     if kind == "baseline":
-        return BaselineEstimator(*common, shots=shots, **kwargs)
+        return BaselineEstimator(*common, shots=shots, engine=engine, **kwargs)
     if kind == "jigsaw":
-        return JigSawEstimator(*common, shots=shots, window=window, **kwargs)
+        return JigSawEstimator(
+            *common, shots=shots, window=window, engine=engine, **kwargs
+        )
     if kind == "varsaw":
-        return VarSawEstimator(*common, shots=shots, window=window, **kwargs)
+        return VarSawEstimator(
+            *common, shots=shots, window=window, engine=engine, **kwargs
+        )
     if kind == "varsaw_no_sparsity":
         return VarSawEstimator(
-            *common, shots=shots, window=window, global_mode="always", **kwargs
+            *common,
+            shots=shots,
+            window=window,
+            global_mode="always",
+            engine=engine,
+            **kwargs,
         )
     if kind == "varsaw_max_sparsity":
         return VarSawEstimator(
-            *common, shots=shots, window=window, global_mode="never", **kwargs
+            *common,
+            shots=shots,
+            window=window,
+            global_mode="never",
+            engine=engine,
+            **kwargs,
         )
     raise ValueError(
         f"unknown estimator kind {kind!r}; choose from {ESTIMATOR_KINDS}"

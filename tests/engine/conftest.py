@@ -1,0 +1,21 @@
+"""Shared fixtures for the execution-engine tests."""
+
+import pytest
+
+from repro import make_workload
+from repro.noise import SimulatorBackend, ibmq_mumbai_like
+
+
+@pytest.fixture(scope="module")
+def h2_workload():
+    return make_workload("H2-4")
+
+
+@pytest.fixture(scope="module")
+def noisy_device():
+    return ibmq_mumbai_like(scale=2.0)
+
+
+@pytest.fixture
+def backend(noisy_device):
+    return SimulatorBackend(noisy_device, seed=7)

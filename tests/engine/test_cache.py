@@ -1,0 +1,65 @@
+"""Unit tests for the engine's bounded LRU cache."""
+
+import pytest
+
+from repro.engine import LRUCache
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_respects_bound(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+        # Only the three most recent entries survive.
+        assert 9 in cache and 8 in cache and 7 in cache
+        assert 0 not in cache
+
+    def test_lru_ordering(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_zero_size_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert cache.stats.evictions == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert LRUCache(2).stats.hit_rate == 0.0

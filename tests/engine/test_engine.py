@@ -1,0 +1,286 @@
+"""Behavioral tests for ExecutionEngine: dedup, caching, charging, RNG."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.engine import (
+    CircuitSpec,
+    EngineConfig,
+    ExecutionEngine,
+    StateSpec,
+    circuit_fingerprint,
+    ensure_engine,
+)
+from repro.noise import SimulatorBackend
+from repro.pauli import PauliString
+
+
+def ghz(n=3):
+    qc = Circuit(n)
+    qc.h(0)
+    for q in range(n - 1):
+        qc.cx(q, q + 1)
+    qc.measure_all()
+    return qc
+
+
+class TestDedupFanOut:
+    def test_identical_specs_simulate_once_but_charge_per_spec(self, backend):
+        engine = ExecutionEngine(backend)
+        batch = engine.new_batch()
+        handles = [batch.submit_circuit(ghz(), shots=100) for _ in range(4)]
+        batch.run()
+        stats = engine.stats
+        assert stats.simulations == 1
+        assert stats.dedup_coalesced == 3
+        # Ledger: one circuit + 100 shots per *submitted* spec.
+        assert backend.circuits_run == 4
+        assert backend.shots_run == 400
+        # Every handle got its own sampled result over the right qubits.
+        for h in handles:
+            assert h.result().shots == 100
+            assert h.result().qubits == (0, 1, 2)
+
+    def test_duplicates_sample_independently(self, backend):
+        engine = ExecutionEngine(backend)
+        batch = engine.new_batch()
+        h1 = batch.submit_circuit(ghz(), shots=4096)
+        h2 = batch.submit_circuit(ghz(), shots=4096)
+        batch.run()
+        # Same exact PMF underneath, but independent shot noise on top.
+        assert h1.pmf() is h2.pmf()
+        assert h1.result().data != h2.result().data
+
+    def test_different_shots_share_one_simulation(self, backend):
+        engine = ExecutionEngine(backend)
+        batch = engine.new_batch()
+        batch.submit_circuit(ghz(), shots=10)
+        batch.submit_circuit(ghz(), shots=20)
+        batch.run()
+        assert engine.stats.simulations == 1
+        assert backend.circuits_run == 2
+        assert backend.shots_run == 30
+
+
+class TestPMFCache:
+    def test_hits_across_batches(self, backend):
+        engine = ExecutionEngine(backend)
+        engine.run_spec(CircuitSpec(ghz(), shots=10))
+        engine.run_spec(CircuitSpec(ghz(), shots=10))
+        stats = engine.stats.pmf_cache
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert engine.stats.simulations == 1
+        assert backend.circuits_run == 2
+
+    def test_eviction_respects_configured_bound(self, backend):
+        engine = ExecutionEngine(backend, EngineConfig(cache_size=2))
+        circuits = []
+        for theta in (0.1, 0.2, 0.3, 0.4):
+            qc = Circuit(2)
+            qc.ry(theta, 0)
+            qc.cx(0, 1)
+            qc.measure_all()
+            circuits.append(qc)
+        for qc in circuits:
+            engine.run_spec(CircuitSpec(qc, shots=5))
+        stats = engine.stats.pmf_cache
+        assert stats.size <= 2
+        assert stats.evictions == 2
+
+    def test_cache_disabled_resimulates(self, backend):
+        engine = ExecutionEngine(backend, EngineConfig(cache_size=0))
+        engine.run_spec(CircuitSpec(ghz(), shots=10))
+        engine.run_spec(CircuitSpec(ghz(), shots=10))
+        assert engine.stats.simulations == 2
+
+    def test_caching_does_not_change_results(self, noisy_device):
+        outcomes = []
+        for size in (0, 64):
+            backend = SimulatorBackend(noisy_device, seed=11)
+            engine = ExecutionEngine(backend, EngineConfig(cache_size=size))
+            counts = [
+                engine.run_spec(CircuitSpec(ghz(), shots=50)).data
+                for _ in range(3)
+            ]
+            outcomes.append(counts)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestStatePreparation:
+    def test_prepare_state_cached_and_uncharged(self, backend, h2_workload):
+        engine = ExecutionEngine(backend)
+        circ = h2_workload.ansatz.bind(
+            np.zeros(h2_workload.ansatz.num_parameters)
+        )
+        s1 = engine.prepare_state(circ)
+        s2 = engine.prepare_state(circ)
+        assert s1 is s2
+        assert engine.stats.state_cache.hits == 1
+        assert backend.circuits_run == 0
+
+
+class TestRNGModes:
+    def test_shared_mode_matches_direct_backend_path(self, noisy_device):
+        direct = SimulatorBackend(noisy_device, seed=3)
+        c_direct = [direct.run(ghz(), shots=64) for _ in range(3)]
+
+        engined = SimulatorBackend(noisy_device, seed=3)
+        engine = ExecutionEngine(engined)
+        batch = engine.new_batch()
+        handles = [batch.submit_circuit(ghz(), shots=64) for _ in range(3)]
+        batch.run()
+        for direct_counts, handle in zip(c_direct, handles):
+            assert handle.result().data == direct_counts.data
+        assert (direct.circuits_run, direct.shots_run) == (
+            engined.circuits_run,
+            engined.shots_run,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_per_job_mode_reproducible_across_worker_counts(
+        self, noisy_device, workers
+    ):
+        def run(workers):
+            backend = SimulatorBackend(noisy_device, seed=5)
+            engine = ExecutionEngine(
+                backend,
+                EngineConfig(workers=workers, rng_mode="per_job"),
+            )
+            batch = engine.new_batch()
+            handles = []
+            for pauli in ("XXX", "YYY", "ZZZ", "XYZ"):
+                suffix = PauliString(pauli).basis_rotation()
+                state = engine.prepare_state(ghz())
+                handles.append(
+                    batch.submit_state(state, suffix, range(3), shots=32)
+                )
+            batch.run()
+            engine.close()
+            return [h.result().data for h in handles]
+
+        assert run(1) == run(workers)
+
+
+class TestWorkers:
+    def test_thread_pool_matches_serial_in_shared_mode(self, noisy_device):
+        def run(workers):
+            backend = SimulatorBackend(noisy_device, seed=9)
+            engine = ExecutionEngine(backend, EngineConfig(workers=workers))
+            batch = engine.new_batch()
+            handles = []
+            for theta in np.linspace(0.0, 1.0, 6):
+                qc = Circuit(3)
+                qc.ry(float(theta), 0)
+                qc.cx(0, 1)
+                qc.cx(1, 2)
+                qc.measure_all()
+                handles.append(batch.submit_circuit(qc, shots=40))
+            batch.run()
+            engine.close()
+            return [h.result().data for h in handles], backend.circuits_run
+
+        assert run(1) == run(4)
+
+
+class TestBatchLifecycle:
+    def test_result_before_run_raises(self, backend):
+        engine = ExecutionEngine(backend)
+        handle = engine.new_batch().submit_circuit(ghz(), shots=5)
+        assert not handle.done()
+        with pytest.raises(RuntimeError):
+            handle.result()
+
+    def test_batch_runs_only_once(self, backend):
+        engine = ExecutionEngine(backend)
+        batch = engine.new_batch()
+        batch.submit_circuit(ghz(), shots=5)
+        batch.run()
+        with pytest.raises(RuntimeError):
+            batch.run()
+        with pytest.raises(RuntimeError):
+            batch.submit_circuit(ghz(), shots=5)
+
+    def test_empty_batch_is_a_no_op(self, backend):
+        engine = ExecutionEngine(backend)
+        assert engine.new_batch().run() == []
+        assert backend.circuits_run == 0
+
+
+class TestSpecs:
+    def test_unmeasured_circuit_rejected(self):
+        qc = Circuit(2)
+        qc.h(0)
+        with pytest.raises(ValueError):
+            CircuitSpec(qc, shots=10)
+
+    def test_nonpositive_shots_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitSpec(ghz(), shots=0)
+        with pytest.raises(ValueError):
+            StateSpec(
+                state=np.array([1.0 + 0j, 0.0]),
+                suffix=None,
+                measured_qubits=(0,),
+                shots=0,
+            )
+
+    def test_unbound_circuit_fingerprint_rejected(self):
+        from repro.circuits.parameter import Parameter
+
+        qc = Circuit(1)
+        qc.ry(Parameter("theta"), 0)
+        qc.measure_all()
+        with pytest.raises(ValueError):
+            circuit_fingerprint(qc)
+
+    def test_fingerprint_sensitivity(self):
+        base = ghz()
+        assert circuit_fingerprint(base) == circuit_fingerprint(ghz())
+        other = ghz()
+        other.z(2)
+        assert circuit_fingerprint(base) != circuit_fingerprint(other)
+
+    def test_device_config_partitions_the_cache(self, noisy_device):
+        # Same circuit, different noise flags -> distinct cache entries.
+        b1 = SimulatorBackend(noisy_device, seed=1)
+        b2 = SimulatorBackend(noisy_device, seed=1, readout_enabled=False)
+        from repro.engine import device_fingerprint
+
+        assert device_fingerprint(b1) != device_fingerprint(b2)
+
+
+class TestEnsureEngine:
+    def test_none_builds_default(self, backend):
+        engine = ensure_engine(None, backend)
+        assert isinstance(engine, ExecutionEngine)
+        assert engine.backend is backend
+
+    def test_config_builds_engine(self, backend):
+        engine = ensure_engine(EngineConfig(workers=2), backend)
+        assert engine.config.workers == 2
+        engine.close()
+
+    def test_existing_engine_passes_through(self, backend):
+        engine = ExecutionEngine(backend)
+        assert ensure_engine(engine, backend) is engine
+
+    def test_mismatched_backend_rejected(self, backend, noisy_device):
+        other = SimulatorBackend(noisy_device, seed=0)
+        with pytest.raises(ValueError):
+            ensure_engine(ExecutionEngine(other), backend)
+
+    def test_bad_type_rejected(self, backend):
+        with pytest.raises(TypeError):
+            ensure_engine("turbo", backend)
+
+
+class TestConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+        with pytest.raises(ValueError):
+            EngineConfig(cache_size=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(rng_mode="chaotic")
