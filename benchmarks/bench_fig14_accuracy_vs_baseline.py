@@ -4,61 +4,69 @@ For each temporal workload, VarSaw and the noisy baseline tune for the
 same number of iterations; the bar is the share of the baseline's gap to
 the Ideal that VarSaw closes (paper: 13%-86%, mean 45%).  The secondary
 axis is the optimal fraction of Global executions (paper: ~0.01-0.1).
+
+Ported to a declarative :class:`~repro.sweeps.SweepSpec`: the workload x
+scheme grid runs through the checkpointed sweep runner and the figure's
+rows are reassembled from the stored records (energy, ideal energy, and
+Global fraction are all captured per point).  Rows are identical to the
+pre-sweep ad-hoc loop.
 """
 
 from conftest import fmt, print_table
 
-from repro.analysis import (
-    optimal_parameters,
-    percent_inaccuracy_mitigated,
-    run_tuning,
-    scaled,
-)
+from repro.analysis import percent_inaccuracy_mitigated, scaled
 from repro.hamiltonian import molecule_keys
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
+from repro.sweeps import ResultStore, run_sweep, select, SweepSpec
 
 QUICK_KEYS = ["LiH-6", "H2O-6", "CH4-6"]
 FULL_KEYS = molecule_keys(temporal_only=True)
 
 
-def test_fig14_accuracy_vs_baseline(benchmark):
+def test_fig14_accuracy_vs_baseline(benchmark, tmp_path):
     keys = scaled(QUICK_KEYS, FULL_KEYS)
     iterations = scaled(80, 2000)
     shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-
     warm = scaled(True, False)
 
+    spec = SweepSpec(
+        name="fig14_accuracy_vs_baseline",
+        base={
+            "device": {"preset": "ibmq_mumbai_like", "scale": 2.0},
+            "max_iterations": iterations,
+            "shots": shots,
+            "seed": 14,
+            "warm_start_iterations": 300 if warm else None,
+        },
+        axes={
+            "workload": [{"key": key} for key in keys],
+            "scheme": ["baseline", "varsaw"],
+        },
+    )
+    store = ResultStore(tmp_path / "fig14.jsonl")
+
     def experiment():
+        report = run_sweep(spec, store)
+        records = list(report.records.values())
         rows = []
         for key in keys:
-            workload = make_workload(key)
-            initial = (
-                optimal_parameters(workload, iterations=300)
-                if warm
-                else None
+            base, = select(
+                records, point__workload__key=key, point__scheme="baseline"
             )
-            base = run_tuning(
-                "baseline", workload, max_iterations=iterations,
-                shots=shots, seed=14, device=device,
-                initial_params=initial,
-            )
-            var = run_tuning(
-                "varsaw", workload, max_iterations=iterations,
-                shots=shots, seed=14, device=device,
-                initial_params=initial,
+            var, = select(
+                records, point__workload__key=key, point__scheme="varsaw"
             )
             rows.append(
                 {
                     "key": key,
-                    "ideal": workload.ideal_energy,
-                    "baseline": base.energy,
-                    "varsaw": var.energy,
+                    "ideal": base["result"]["ideal_energy"],
+                    "baseline": base["result"]["energy"],
+                    "varsaw": var["result"]["energy"],
                     "mitigated": percent_inaccuracy_mitigated(
-                        workload.ideal_energy, base.energy, var.energy
+                        base["result"]["ideal_energy"],
+                        base["result"]["energy"],
+                        var["result"]["energy"],
                     ),
-                    "global_fraction": var.global_fraction,
+                    "global_fraction": var["result"]["global_fraction"],
                 }
             )
         return rows
@@ -76,6 +84,9 @@ def test_fig14_accuracy_vs_baseline(benchmark):
     )
     mean = sum(r["mitigated"] for r in rows) / len(rows)
     print(f"mean % mitigated: {mean:.0f}% (paper: 45%)")
+
+    # The grid is fully checkpointed: a re-run executes nothing.
+    assert run_sweep(spec, store).executed == []
 
     # VarSaw improves on the baseline for most workloads and on average.
     improved = [r for r in rows if r["mitigated"] > 0]

@@ -5,16 +5,18 @@ No-Sparsity, and VarSaw Max-Sparsity tune under a fixed budget at each
 scale.  Paper findings: Max-Sparsity beats the baseline at every scale and
 tracks (sometimes beats) No-Sparsity; when noise vanishes, sparsity's
 advantage disappears.
+
+Ported to a declarative :class:`~repro.sweeps.SweepSpec`: the scale x
+scheme grid runs through the checkpointed sweep runner (so an
+interrupted full-scale regeneration resumes instead of restarting), and
+the printed table is aggregated back out of the JSONL store.  Rows are
+identical to the pre-sweep ad-hoc loop.
 """
 
 from conftest import fmt, print_table
 
-from repro.analysis import (
-    fixed_budget_runs,
-    optimal_parameters,
-    scaled,
-)
-from repro.noise import ibmq_mumbai_like
+from repro.analysis import scaled
+from repro.sweeps import ResultStore, pivot, run_sweep, SweepSpec
 from repro.workloads import make_workload
 
 QUICK_SCALES = (5.0, 3.0, 1.0, 0.1)
@@ -22,7 +24,7 @@ FULL_SCALES = (5.0, 3.0, 1.0, 0.8, 0.5, 0.1, 0.05)
 KINDS = ("baseline", "varsaw_no_sparsity", "varsaw_max_sparsity")
 
 
-def test_table5_noise_sweep(benchmark):
+def test_table5_noise_sweep(benchmark, tmp_path):
     scales = scaled(QUICK_SCALES, FULL_SCALES)
     shots = scaled(256, 1024)
     workload = make_workload("H2O-6")
@@ -30,23 +32,35 @@ def test_table5_noise_sweep(benchmark):
     budget = scaled(120, 2000) * groups
     warm = scaled(True, False)
 
+    spec = SweepSpec(
+        name="table5_noise_sweep",
+        base={
+            "workload": {"key": "H2O-6"},
+            "circuit_budget": budget,
+            "shots": shots,
+            "seed": 5,
+            "max_iterations": 100_000,
+            "warm_start_iterations": 300 if warm else None,
+        },
+        axes={
+            "device": [
+                {"preset": "ibmq_mumbai_like", "scale": scale}
+                for scale in scales
+            ],
+            "scheme": list(KINDS),
+        },
+    )
+    store = ResultStore(tmp_path / "table5.jsonl")
+
     def experiment():
-        initial = (
-            optimal_parameters(workload, iterations=300) if warm else None
+        report = run_sweep(spec, store)
+        _, _, cells = pivot(
+            report.records.values(), "point.device.scale", "point.scheme"
         )
-        table = {}
-        for scale in scales:
-            device = ibmq_mumbai_like(scale=scale)
-            table[scale] = fixed_budget_runs(
-                KINDS,
-                workload,
-                circuit_budget=budget,
-                shots=shots,
-                seed=5,
-                device=device,
-                initial_params=initial,
-            )
-        return table
+        return {
+            scale: {kind: cells[(scale, kind)] for kind in KINDS}
+            for scale in scales
+        }
 
     table = benchmark.pedantic(experiment, iterations=1, rounds=1)
     print_table(
@@ -55,28 +69,26 @@ def test_table5_noise_sweep(benchmark):
         ["Noise scale", "Baseline", "VarSaw (No Sparsity)",
          "VarSaw (Max Sparsity)"],
         [
-            [f"{scale:g}"] + [fmt(table[scale][k].energy) for k in KINDS]
+            [f"{scale:g}"] + [fmt(table[scale][k]) for k in KINDS]
             for scale in scales
         ],
     )
 
+    # The grid is fully checkpointed: a re-run executes nothing.
+    assert run_sweep(spec, store).executed == []
+
     wins = 0
     for scale in scales:
         runs = table[scale]
-        if (
-            runs["varsaw_max_sparsity"].energy
-            <= runs["baseline"].energy + 1e-9
-        ):
+        if runs["varsaw_max_sparsity"] <= runs["baseline"] + 1e-9:
             wins += 1
         # Max-Sparsity tracks No-Sparsity (within a scale-dependent band).
         band = 0.3 + 0.4 * scale
         assert (
-            runs["varsaw_max_sparsity"].energy
-            - runs["varsaw_no_sparsity"].energy
-            < band
+            runs["varsaw_max_sparsity"] - runs["varsaw_no_sparsity"] < band
         ), scale
     # Max-Sparsity beats the unmitigated baseline at (almost) every scale.
     assert wins >= len(scales) - 1
     # Energies degrade (rise) as noise grows for the baseline.
-    energies = [table[s]["baseline"].energy for s in sorted(scales)]
+    energies = [table[s]["baseline"] for s in sorted(scales)]
     assert energies[0] < energies[-1]

@@ -12,9 +12,16 @@ full scale, so statistical repetition is deliberately disabled).
 
 from __future__ import annotations
 
+import os
 import pathlib
+import threading
 
 import pytest
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: fall back to the in-process lock only
+    fcntl = None
 
 #: Every table printed by a benchmark is also appended here, so the
 #: regenerated figures survive even when pytest captures stdout (i.e.
@@ -23,9 +30,37 @@ RESULTS_FILE = pathlib.Path(__file__).resolve().parent.parent / (
     "benchmark_results.txt"
 )
 
+#: Serializes appends from concurrent in-process writers; cross-process
+#: writers (pytest-xdist workers, parallel invocations) additionally
+#: take an exclusive flock on the results file itself.
+_RESULTS_LOCK = threading.Lock()
+
+
+def _append_results(text: str) -> None:
+    """Append one table as a single locked write (never interleaved)."""
+    try:
+        with _RESULTS_LOCK:
+            with RESULTS_FILE.open("a") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    handle.write(text)
+                    handle.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    except OSError:
+        pass
+
 
 def pytest_sessionstart(session):
-    """Start each benchmark session with a fresh results file."""
+    """Start each benchmark session with a fresh results file.
+
+    Only the controlling process truncates — xdist workers start after
+    it and must not wipe rows their siblings already appended.
+    """
+    if os.environ.get("PYTEST_XDIST_WORKER"):
+        return
     try:
         RESULTS_FILE.write_text("")
     except OSError:
@@ -63,11 +98,7 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
         )
     text = "\n".join(lines)
     print(text)
-    try:
-        with RESULTS_FILE.open("a") as handle:
-            handle.write(text + "\n")
-    except OSError:
-        pass
+    _append_results(text + "\n")
 
 
 def fmt(value, digits=2):

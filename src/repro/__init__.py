@@ -28,6 +28,8 @@ Package map (see README.md for the full inventory):
 * :mod:`repro.pauli`, :mod:`repro.hamiltonian`, :mod:`repro.ansatz` —
   operators and circuits.
 * :mod:`repro.workloads`, :mod:`repro.analysis` — experiment harness.
+* :mod:`repro.sweeps` — declarative, resumable, parallel experiment
+  sweeps with a checkpointed JSONL results store.
 """
 
 from .ansatz import EfficientSU2
@@ -39,6 +41,7 @@ from .mitigation import JigSawEstimator, MatrixMitigator
 from .noise import SimulatorBackend, ibmq_mumbai_like
 from .pauli import PauliString
 from .qaoa import QAOAAnsatz, make_qaoa_workload, maxcut_hamiltonian
+from .sweeps import Point, ResultStore, SweepSpec, run_sweep
 from .trotter import evolve_exact, trotter_circuit
 from .vqe import BaselineEstimator, IdealEstimator, VQEResult, run_vqe
 from .workloads import make_engine, make_estimator, make_workload
@@ -75,5 +78,9 @@ __all__ = [
     "make_qaoa_workload",
     "trotter_circuit",
     "evolve_exact",
+    "SweepSpec",
+    "Point",
+    "ResultStore",
+    "run_sweep",
     "__version__",
 ]

@@ -13,7 +13,6 @@ from functools import lru_cache
 import numpy as np
 
 from ..noise import DeviceModel, SimulatorBackend
-from ..optimizers import SPSA
 from ..vqe import VQEResult, run_vqe
 from ..workloads import Workload, make_estimator, make_workload
 from .metrics import arithmetic_mean
@@ -135,22 +134,24 @@ def run_tuning(
     ``initial_params`` warm-starts the tuner (quick-scale benchmarks start
     near the optimum so achievable accuracy, not the SPSA transient,
     dominates the comparison).
+
+    The mechanics live in :func:`repro.sweeps.runner.execute_tuning` —
+    the same code path the declarative sweep runner uses.
     """
-    device = device if device is not None else workload.device
-    backend = SimulatorBackend(device, seed=seed)
-    estimator = make_estimator(
-        kind, workload, backend, shots=shots, **estimator_kwargs
-    )
-    result = run_vqe(
-        estimator,
-        optimizer=SPSA(a=spsa_gain, seed=seed),
+    from ..sweeps.runner import execute_tuning
+
+    return execute_tuning(
+        kind,
+        workload,
         max_iterations=max_iterations,
         circuit_budget=circuit_budget,
-        initial_params=initial_params,
+        shots=shots,
         seed=seed,
+        device=device,
+        spsa_gain=spsa_gain,
+        initial_params=initial_params,
+        **estimator_kwargs,
     )
-    fraction = getattr(estimator, "global_fraction", None)
-    return TuningRun(kind=kind, result=result, global_fraction=fraction)
 
 
 def fixed_budget_runs(
@@ -164,18 +165,20 @@ def fixed_budget_runs(
     initial_params: np.ndarray | None = None,
     **estimator_kwargs,
 ) -> dict[str, TuningRun]:
-    """Run several schemes under the same executed-circuit budget."""
-    return {
-        kind: run_tuning(
-            kind,
-            workload,
-            max_iterations=max_iterations,
-            circuit_budget=circuit_budget,
-            shots=shots,
-            seed=seed,
-            device=device,
-            initial_params=initial_params,
-            **estimator_kwargs,
-        )
-        for kind in kinds
-    }
+    """Run several schemes under the same executed-circuit budget.
+
+    Delegates to :func:`repro.sweeps.runner.execute_fixed_budget`.
+    """
+    from ..sweeps.runner import execute_fixed_budget
+
+    return execute_fixed_budget(
+        kinds,
+        workload,
+        circuit_budget=circuit_budget,
+        shots=shots,
+        seed=seed,
+        max_iterations=max_iterations,
+        device=device,
+        initial_params=initial_params,
+        **estimator_kwargs,
+    )

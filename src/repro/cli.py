@@ -9,6 +9,7 @@ Gives the repository's main workflows one-line entry points::
     python -m repro grouping LiH-6            # QWC vs GC report (§3.1)
     python -m repro qaoa --nodes 6            # VarSaw on MaxCut (§7.3)
     python -m repro route --qubits 6          # routing cost on heavy-hex
+    python -m repro sweep grid.json --resume  # checkpointed sweep
 
 Everything the CLI does is a thin veneer over the public API, so scripts
 can graduate to the library without relearning concepts.
@@ -112,6 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument("--qubits", type=int, default=6)
     route.add_argument("--reps", type=int, default=2)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment sweep with checkpoint/resume",
+    )
+    sweep.add_argument(
+        "spec", help="path to a SweepSpec JSON file (name/base/axes)"
+    )
+    sweep.add_argument(
+        "--out", default=None,
+        help="JSONL results store (default: <spec name>.results.jsonl)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="continue into an existing store, skipping completed points",
+    )
+    sweep.add_argument(
+        "--workers", type=_int_at_least(1), default=1,
+        help="points executed concurrently",
+    )
+    sweep.add_argument(
+        "--limit", type=_int_at_least(0), default=None,
+        help="execute at most this many pending points",
+    )
     return parser
 
 
@@ -142,12 +167,20 @@ def _add_engine_arguments(parser) -> None:
         "--cache-size", type=_int_at_least(0), default=None,
         help="PMF memoization entries; 0 disables caching",
     )
+    parser.add_argument(
+        "--cache-bytes", type=_int_at_least(0), default=None,
+        help="PMF cache byte budget (default: auto-scale with 2**n_qubits; "
+        "0 removes the byte bound)",
+    )
 
 
 def _make_cli_estimator(args, workload, backend):
     """Estimator + engine for a run/qaoa invocation's arguments."""
     engine = make_engine(
-        backend, workers=args.workers, cache_size=args.cache_size
+        backend,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        cache_bytes=args.cache_bytes,
     )
     estimator = make_estimator(
         args.scheme, workload, backend, shots=args.shots, engine=engine
@@ -361,6 +394,90 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import pathlib
+
+    from .sweeps import ResultStore, SweepSpec, pivot, run_sweep
+
+    try:
+        spec = SweepSpec.from_json_file(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load sweep spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    out = pathlib.Path(
+        args.out if args.out else f"{spec.name}.results.jsonl"
+    )
+    if out.exists() and not args.resume:
+        print(
+            f"store {out} already exists; pass --resume to continue it "
+            f"(completed points are skipped) or choose another --out",
+            file=sys.stderr,
+        )
+        return 2
+    store = ResultStore(out)
+    report = store.load_report
+    if report and (report.corrupt_lines or report.incompatible_records):
+        print(
+            f"store: ignored {report.corrupt_lines} corrupt lines, "
+            f"{report.incompatible_records} incompatible records"
+        )
+    print(f"sweep '{spec.name}': {len(spec)} points -> {out}")
+
+    def progress(done, total, point, record):
+        result = record["result"]
+        print(
+            f"  [{done}/{total}] {point.label()}: "
+            f"energy {result['energy']:.4f} "
+            f"({result['circuits']} circuits, "
+            f"{record['wall_time_s']:.2f}s)"
+        )
+
+    outcome = run_sweep(
+        spec, store, workers=args.workers, progress=progress,
+        limit=args.limit,
+    )
+    print(f"sweep '{spec.name}': {outcome.summary()}")
+
+    hints = spec.report or {}
+    rows_path = hints.get("rows")
+    cols_path = hints.get("cols")
+    records = list(outcome.records.values())
+    if rows_path and cols_path and records:
+        value = hints.get("value", "result.energy")
+        try:
+            row_labels, col_labels, cells = pivot(
+                records, rows_path, cols_path, value=value
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            # The sweep itself is checkpointed and complete; a bad
+            # report hint must not make the run look failed.
+            print(
+                f"cannot aggregate report ({exc}); the store at {out} "
+                f"is complete",
+                file=sys.stderr,
+            )
+            return 0
+        widths = [
+            max(len(str(c)), 10) for c in col_labels
+        ]
+        print(f"\n{rows_path} \\ {cols_path} ({value})")
+        print(
+            " " * 12
+            + "  ".join(str(c).rjust(w) for c, w in zip(col_labels, widths))
+        )
+        for row in row_labels:
+            cells_text = [
+                (
+                    f"{cells[(row, col)]:.4f}"
+                    if (row, col) in cells
+                    else "-"
+                ).rjust(width)
+                for col, width in zip(col_labels, widths)
+            ]
+            print(str(row).ljust(12) + "  ".join(cells_text))
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "subsets": _cmd_subsets,
@@ -369,6 +486,7 @@ _COMMANDS = {
     "grouping": _cmd_grouping,
     "qaoa": _cmd_qaoa,
     "route": _cmd_route,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -20,8 +20,13 @@ Typical use::
     print(engine.stats.pmf_cache.hit_rate)
 
 Estimators accept ``engine=`` as an :class:`ExecutionEngine`, an
-:class:`EngineConfig`, or ``None`` (engine with default config); see
-:func:`ensure_engine`.
+:class:`EngineConfig`, or ``None``; see :func:`ensure_engine`.  ``None``
+resolves to *one shared default engine per backend*, so several
+estimators built over the same :class:`SimulatorBackend` pool their
+PMF/state caches instead of each holding a private copy.  Both caches
+are bounded by entry count *and* an approximate byte budget that scales
+with the device width (see :class:`EngineConfig.cache_bytes`), closing
+the old failure mode where 256 cached 20-qubit PMFs pinned GiBs.
 """
 
 from __future__ import annotations
@@ -54,17 +59,36 @@ __all__ = [
     "circuit_fingerprint",
     "device_fingerprint",
     "ensure_engine",
+    "shared_engine",
 ]
+
+
+def shared_engine(backend) -> ExecutionEngine:
+    """The backend's lazily-created shared default engine.
+
+    One engine (and therefore one PMF/state cache pair) per backend is
+    the default sharing discipline: estimators that don't ask for a
+    specific engine all pool their memoization.  Semantically invisible
+    under the default ``shared`` RNG mode — caches never touch sampling
+    randomness — but note that in ``per_job`` mode job sequence numbers
+    are per-engine, so explicitly-constructed engines stay private.
+    """
+    engine = getattr(backend, "_repro_shared_engine", None)
+    if engine is None:
+        engine = ExecutionEngine(backend)
+        backend._repro_shared_engine = engine
+    return engine
 
 
 def ensure_engine(engine, backend) -> ExecutionEngine:
     """Coerce an ``engine=`` argument into an :class:`ExecutionEngine`.
 
     Accepts a ready engine (validated against ``backend``), an
-    :class:`EngineConfig`, or ``None`` for a default-configured engine.
+    :class:`EngineConfig` (fresh private engine), or ``None`` for the
+    backend's :func:`shared_engine`.
     """
     if engine is None:
-        return ExecutionEngine(backend)
+        return shared_engine(backend)
     if isinstance(engine, EngineConfig):
         return ExecutionEngine(backend, engine)
     if isinstance(engine, ExecutionEngine):

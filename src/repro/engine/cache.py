@@ -9,19 +9,48 @@ measurement circuits recur whenever the tuner revisits parameters
 exactly what a bounded LRU exploits.
 
 :class:`LRUCache` is deliberately generic; the engine instantiates one
-for PMFs and one for prepared statevectors.  Hit/miss/eviction counters
-are kept per cache and surfaced through :class:`CacheStats`.
+for PMFs and one for prepared statevectors.  Two bounds compose:
+
+* ``maxsize`` — an entry-count cap (the original bound, now secondary);
+* ``max_bytes`` — an approximate byte budget over the *payload* sizes of
+  the cached values (:func:`approx_nbytes`: a PMF's probability vector,
+  a statevector's buffer).  Entries above the budget evict LRU-first, so
+  256 cached 20-qubit PMFs can no longer silently pin gigabytes.
+
+Hit/miss/eviction counters plus the live byte footprint are kept per
+cache and surfaced through :class:`CacheStats`.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["CacheStats", "LRUCache"]
+__all__ = ["CacheStats", "LRUCache", "approx_nbytes"]
 
 _MISSING = object()
+
+
+def approx_nbytes(value) -> int:
+    """Approximate heap footprint of a cached value in bytes.
+
+    Understands the engine's two payload types without importing them:
+    objects exposing a ``probs`` array (:class:`~repro.sim.PMF`) and
+    array-likes exposing ``nbytes`` (prepared statevectors).  Anything
+    else falls back to ``sys.getsizeof``.  A small constant covers the
+    wrapping object/key overhead; this is budget accounting, not a
+    profiler.
+    """
+    overhead = 64
+    probs = getattr(value, "probs", None)
+    if probs is not None and hasattr(probs, "nbytes"):
+        return int(probs.nbytes) + overhead
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes) + overhead
+    return int(sys.getsizeof(value))
 
 
 @dataclass(frozen=True)
@@ -33,6 +62,8 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: int
+    bytes: int = 0
+    max_bytes: int = 0
 
     @property
     def requests(self) -> int:
@@ -46,18 +77,38 @@ class CacheStats:
 
 
 class LRUCache:
-    """A size-bounded least-recently-used map with usage counters.
+    """A doubly-bounded least-recently-used map with usage counters.
 
-    ``maxsize=0`` disables storage entirely: every lookup misses and
-    nothing is retained (useful as a null object — callers need no
-    special-casing).
+    Parameters
+    ----------
+    maxsize:
+        Entry-count cap.  ``maxsize=0`` disables storage entirely: every
+        lookup misses and nothing is retained (useful as a null object —
+        callers need no special-casing).
+    max_bytes:
+        Approximate byte budget over the payload sizes of cached values;
+        ``0`` means unbounded bytes (entry cap only).  A single value
+        larger than the whole budget is simply not retained.
+    sizeof:
+        Payload-size estimator; defaults to :func:`approx_nbytes`.
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(
+        self,
+        maxsize: int,
+        max_bytes: int = 0,
+        sizeof: Callable[[Any], int] = approx_nbytes,
+    ):
         if maxsize < 0:
             raise ValueError("maxsize must be >= 0")
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.maxsize = int(maxsize)
+        self.max_bytes = int(max_bytes)
+        self._sizeof = sizeof
         self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._sizes: dict[Any, int] = {}
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -79,19 +130,41 @@ class LRUCache:
         return value
 
     def put(self, key, value) -> None:
-        """Insert ``value``, evicting the least-recently-used overflow."""
+        """Insert ``value``, evicting least-recently-used overflow.
+
+        Overflow is whatever violates either bound: more than ``maxsize``
+        entries, or (when ``max_bytes`` is set) a total payload footprint
+        above the byte budget.
+        """
         if self.maxsize == 0:
+            return
+        size = int(self._sizeof(value))
+        if self.max_bytes and size > self.max_bytes:
+            # Oversized values are not retained — and must not flush
+            # every smaller entry on their way through.  Drop any stale
+            # value previously stored under this key.
+            if key in self._data:
+                del self._data[key]
+                self.bytes -= self._sizes.pop(key)
             return
         if key in self._data:
             self._data.move_to_end(key)
+            self.bytes -= self._sizes[key]
         self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        self._sizes[key] = size
+        self.bytes += size
+        while len(self._data) > self.maxsize or (
+            self.max_bytes and self.bytes > self.max_bytes
+        ):
+            evicted_key, _ = self._data.popitem(last=False)
+            self.bytes -= self._sizes.pop(evicted_key)
             self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         self._data.clear()
+        self._sizes.clear()
+        self.bytes = 0
 
     @property
     def stats(self) -> CacheStats:
@@ -101,11 +174,14 @@ class LRUCache:
             evictions=self.evictions,
             size=len(self._data),
             maxsize=self.maxsize,
+            bytes=self.bytes,
+            max_bytes=self.max_bytes,
         )
 
     def __repr__(self) -> str:
         s = self.stats
         return (
             f"<LRUCache {s.size}/{s.maxsize} entries, "
+            f"{s.bytes}/{s.max_bytes or '∞'} bytes, "
             f"{s.hits} hits / {s.misses} misses, {s.evictions} evicted>"
         )

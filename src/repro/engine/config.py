@@ -43,10 +43,22 @@ class EngineConfig:
         scale on multi-core hosts without pickling circuits.
     cache_size:
         Maximum memoized exact-PMF entries; ``0`` disables the cache.
+        This entry cap is the *secondary* bound — the byte budget below
+        is what keeps wide-workload caches from pinning gigabytes.
     state_cache_size:
         Maximum memoized prepared-statevector entries (ansatz states
         reused across measurement bases and repeated parameters);
         ``0`` disables.
+    cache_bytes:
+        Approximate byte budget for the PMF cache.  ``None`` (default)
+        scales the budget with the backend's device width: room for
+        ``32`` full-width PMFs (``8 * 2**n_qubits`` bytes each), floored
+        at 16 MiB so narrow workloads are effectively entry-bounded
+        only.  ``0`` removes the byte bound; a positive value is an
+        explicit budget.
+    state_cache_bytes:
+        Same, for the statevector cache (``16 * 2**n_qubits`` bytes per
+        entry, auto budget of 16 entries, same 16 MiB floor).
     rng_mode:
         ``"shared"`` or ``"per_job"`` — see the module docstring.
     """
@@ -54,6 +66,8 @@ class EngineConfig:
     workers: int = 1
     cache_size: int = 256
     state_cache_size: int = 64
+    cache_bytes: int | None = None
+    state_cache_bytes: int | None = None
     rng_mode: str = "shared"
 
     def __post_init__(self) -> None:
@@ -63,6 +77,10 @@ class EngineConfig:
             raise ValueError("cache_size must be >= 0")
         if self.state_cache_size < 0:
             raise ValueError("state_cache_size must be >= 0")
+        for name in ("cache_bytes", "state_cache_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0 or None (auto)")
         if self.rng_mode not in RNG_MODES:
             raise ValueError(
                 f"rng_mode must be one of {RNG_MODES}, got {self.rng_mode!r}"

@@ -47,6 +47,28 @@ from .spec import (
 
 __all__ = ["ExecutionEngine", "Batch", "JobHandle", "EngineStats"]
 
+#: Auto byte-budget shape: room for this many full-width payloads ...
+_AUTO_PMF_ENTRIES = 32
+_AUTO_STATE_ENTRIES = 16
+#: ... but never a budget smaller than this (narrow workloads stay
+#: effectively entry-bounded).
+_AUTO_FLOOR_BYTES = 16 * 2**20
+
+
+def _resolve_byte_budget(
+    configured: int | None, entry_bytes: int, entries: int
+) -> int:
+    """Turn a config byte knob into a concrete LRU budget.
+
+    ``None`` means auto: scale with the device width (``entry_bytes`` is
+    the full-width payload size, ``8|16 * 2**n_qubits``), floored at
+    :data:`_AUTO_FLOOR_BYTES`.  ``0`` disables the byte bound; positive
+    values pass through.
+    """
+    if configured is not None:
+        return int(configured)
+    return max(_AUTO_FLOOR_BYTES, entry_bytes * entries)
+
 
 @dataclass(frozen=True)
 class EngineStats:
@@ -179,8 +201,23 @@ class ExecutionEngine:
         self.backend = backend
         self.config = config if config is not None else EngineConfig()
         self._executor = make_executor(self.config.workers)
-        self._pmf_cache = LRUCache(self.config.cache_size)
-        self._state_cache = LRUCache(self.config.state_cache_size)
+        n_qubits = getattr(
+            getattr(backend, "device", None), "n_qubits", 0
+        )
+        self._pmf_cache = LRUCache(
+            self.config.cache_size,
+            max_bytes=_resolve_byte_budget(
+                self.config.cache_bytes, 8 * 2**n_qubits, _AUTO_PMF_ENTRIES
+            ),
+        )
+        self._state_cache = LRUCache(
+            self.config.state_cache_size,
+            max_bytes=_resolve_byte_budget(
+                self.config.state_cache_bytes,
+                16 * 2**n_qubits,
+                _AUTO_STATE_ENTRIES,
+            ),
+        )
         self._job_counter = 0
         self._batches_run = 0
         self._simulations = 0

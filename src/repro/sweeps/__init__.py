@@ -1,0 +1,64 @@
+"""repro.sweeps — declarative, resumable, parallel experiment sweeps.
+
+Every table/figure in the paper is a grid sweep: workload x scheme x
+budget x seed x device, each cell one deterministic tuning run.  This
+package turns those grids from ad-hoc loops into data:
+
+* :mod:`~repro.sweeps.spec` — :class:`SweepSpec`/:class:`Point`
+  describe the grid declaratively; every point has a content-addressed
+  fingerprint.
+* :mod:`~repro.sweeps.store` — :class:`ResultStore`, an append-only
+  JSONL store keyed by point fingerprint with atomic line writes,
+  schema versioning, and tolerant load/merge — a killed sweep resumes
+  by skipping completed points.
+* :mod:`~repro.sweeps.runner` — :func:`run_sweep` executes pending
+  points serially or on a thread pool with per-point deterministic
+  seeding, one shared engine per backend, progress callbacks, and
+  wall-clock + circuit/shot-ledger capture per point.
+* :mod:`~repro.sweeps.aggregate` — groupby/mean/CI reductions and
+  pivots from stored records back into the row/series shapes the
+  figures print.
+
+Typical use::
+
+    from repro.sweeps import SweepSpec, ResultStore, run_sweep, pivot
+
+    spec = SweepSpec(
+        name="noise-sweep",
+        base={"workload": {"key": "H2O-6"}, "shots": 256, "seed": 5},
+        axes={
+            "device": [{"preset": "ibmq_mumbai_like", "scale": s}
+                       for s in (0.1, 1.0, 3.0)],
+            "scheme": ["baseline", "varsaw"],
+        },
+    )
+    store = ResultStore("noise-sweep.jsonl")
+    report = run_sweep(spec, store, workers=4)   # kill it, re-run: resumes
+    rows, cols, cells = pivot(
+        store.records(), "point.device.scale", "point.scheme"
+    )
+"""
+
+from __future__ import annotations
+
+from .aggregate import aggregate, get_path, group_records, pivot, select
+from .runner import SweepReport, execute_point, run_sweep
+from .spec import POINT_SCHEMA_VERSION, Point, SweepSpec
+from .store import RESULT_SCHEMA_VERSION, ResultStore, load_records
+
+__all__ = [
+    "Point",
+    "SweepSpec",
+    "POINT_SCHEMA_VERSION",
+    "ResultStore",
+    "RESULT_SCHEMA_VERSION",
+    "load_records",
+    "run_sweep",
+    "execute_point",
+    "SweepReport",
+    "aggregate",
+    "group_records",
+    "pivot",
+    "select",
+    "get_path",
+]

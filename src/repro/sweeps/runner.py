@@ -1,0 +1,330 @@
+"""Sweep execution: pending points -> checkpointed records.
+
+The runner owns the experiment *mechanics* that used to live inside
+``analysis/experiments.py`` — backend construction, per-point
+deterministic seeding, estimator wiring, the VQE loop — exposed at two
+levels:
+
+* :func:`execute_tuning` / :func:`execute_fixed_budget` work on live
+  ``Workload``/``DeviceModel`` objects; :func:`repro.analysis.run_tuning`
+  and :func:`repro.analysis.fixed_budget_runs` are thin delegates, so
+  every experiment in the repository runs through one code path.
+* :func:`execute_point` / :func:`run_sweep` work on declarative
+  :class:`~repro.sweeps.spec.Point` grids: materialize the workload,
+  run the tuning, and checkpoint a JSON record (result + wall clock +
+  circuit/shot ledger) into a :class:`~repro.sweeps.store.ResultStore`.
+
+Every point is self-contained — its own freshly-seeded backend, its own
+(per-backend shared) engine — so points may execute in any order and on
+any number of worker threads without changing a single stored number:
+``workers=4`` produces bit-identical records to a serial run.  Workload
+materialization and warm-start parameter tuning happen serially before
+the pool starts, keeping their module-level caches race-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..noise import DEVICE_PRESETS, DeviceModel, SimulatorBackend
+from ..optimizers import SPSA
+from ..vqe import run_vqe
+from ..workloads import (
+    Workload,
+    make_estimator,
+    make_spin_workload,
+    make_workload,
+)
+from .spec import Point, SweepSpec, canonical_json
+from .store import ResultStore
+
+__all__ = [
+    "execute_tuning",
+    "execute_fixed_budget",
+    "materialize_workload",
+    "materialize_device",
+    "execute_point",
+    "SweepReport",
+    "run_sweep",
+]
+
+
+def execute_tuning(
+    kind: str,
+    workload: Workload,
+    max_iterations: int,
+    circuit_budget: int | None = None,
+    shots: int = 256,
+    seed: int = 0,
+    device: DeviceModel | None = None,
+    spsa_gain: float | None = 0.3,
+    initial_params: np.ndarray | None = None,
+    backend: SimulatorBackend | None = None,
+    **estimator_kwargs,
+):
+    """One scheme's full VQE tuning loop (the repository's one code path).
+
+    Returns a :class:`~repro.analysis.TuningRun`.  ``backend=None``
+    builds a fresh ``SimulatorBackend(device or workload.device, seed)``
+    — the deterministic per-trial discipline; pass an existing backend
+    to keep reading its ledger afterwards (the sweep runner does).
+    """
+    from ..analysis.experiments import TuningRun
+
+    if backend is None:
+        device = device if device is not None else workload.device
+        backend = SimulatorBackend(device, seed=seed)
+    estimator = make_estimator(
+        kind, workload, backend, shots=shots, **estimator_kwargs
+    )
+    result = run_vqe(
+        estimator,
+        optimizer=SPSA(a=spsa_gain, seed=seed),
+        max_iterations=max_iterations,
+        circuit_budget=circuit_budget,
+        initial_params=initial_params,
+        seed=seed,
+    )
+    fraction = getattr(estimator, "global_fraction", None)
+    return TuningRun(kind=kind, result=result, global_fraction=fraction)
+
+
+def execute_fixed_budget(
+    kinds,
+    workload: Workload,
+    circuit_budget: int,
+    shots: int = 256,
+    seed: int = 0,
+    max_iterations: int = 100_000,
+    device: DeviceModel | None = None,
+    initial_params: np.ndarray | None = None,
+    **estimator_kwargs,
+) -> dict:
+    """Run several schemes under the same executed-circuit budget."""
+    return {
+        kind: execute_tuning(
+            kind,
+            workload,
+            max_iterations=max_iterations,
+            circuit_budget=circuit_budget,
+            shots=shots,
+            seed=seed,
+            device=device,
+            initial_params=initial_params,
+            **estimator_kwargs,
+        )
+        for kind in kinds
+    }
+
+
+# --------------------------------------------------------- materialization
+
+
+def materialize_workload(description: Mapping) -> Workload:
+    """Build the live :class:`Workload` a point's description names."""
+    description = dict(description)
+    if "key" in description:
+        return make_workload(description.pop("key"), **description)
+    return make_spin_workload(
+        description.pop("model"),
+        description.pop("n_qubits"),
+        **description,
+    )
+
+
+def materialize_device(description: Mapping | None) -> DeviceModel | None:
+    """Build the device a point names (``None`` -> workload default)."""
+    if description is None:
+        return None
+    description = dict(description)
+    preset = description.pop("preset")
+    if preset not in DEVICE_PRESETS:
+        raise ValueError(
+            f"unknown device preset {preset!r}; "
+            f"choose from {sorted(DEVICE_PRESETS)}"
+        )
+    return DEVICE_PRESETS[preset](**description)
+
+
+def _prepare_point(
+    point: Point, workload_cache: dict
+) -> tuple[Workload, DeviceModel | None, np.ndarray | None]:
+    """Materialize a point's live objects (workloads cached by content)."""
+    from ..analysis.experiments import optimal_parameters
+
+    cache_key = canonical_json(point.workload)
+    workload = workload_cache.get(cache_key)
+    if workload is None:
+        workload = materialize_workload(point.workload)
+        workload_cache[cache_key] = workload
+    device = materialize_device(point.device)
+    initial = None
+    if point.warm_start_iterations is not None:
+        initial = optimal_parameters(
+            workload, iterations=point.warm_start_iterations
+        )
+    return workload, device, initial
+
+
+def execute_point(
+    point: Point, workload_cache: dict | None = None
+) -> tuple[dict, float]:
+    """Run one grid cell; return ``(json-safe result, wall seconds)``.
+
+    The result captures the tuned energy, its error against the
+    workload's ideal energy, iteration count, the backend's full
+    circuit/shot ledger for the run, and the scheme's Global fraction
+    where it has one.
+    """
+    workload_cache = workload_cache if workload_cache is not None else {}
+    workload, device, initial = _prepare_point(point, workload_cache)
+    backend = SimulatorBackend(
+        device if device is not None else workload.device, seed=point.seed
+    )
+    start = time.perf_counter()
+    run = execute_tuning(
+        point.scheme,
+        workload,
+        max_iterations=point.max_iterations,
+        circuit_budget=point.circuit_budget,
+        shots=point.shots,
+        seed=point.seed,
+        spsa_gain=point.spsa_gain,
+        initial_params=initial,
+        backend=backend,
+        **point.estimator,
+    )
+    wall = time.perf_counter() - start
+    fraction = run.global_fraction
+    result = {
+        "energy": float(run.energy),
+        "ideal_energy": float(workload.ideal_energy),
+        "error": float(abs(run.energy - workload.ideal_energy)),
+        "iterations": int(run.result.iterations),
+        "circuits": int(run.result.circuits_executed),
+        "shots": int(run.result.shots_executed),
+        "global_fraction": None if fraction is None else float(fraction),
+        "stop_reason": run.result.stop_reason,
+    }
+    return result, wall
+
+
+# ------------------------------------------------------------ the sweep
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` call did."""
+
+    total: int
+    skipped: int
+    executed: list[str] = field(default_factory=list)
+    records: dict = field(default_factory=dict)
+
+    @property
+    def pending_after(self) -> int:
+        """Grid cells still missing from the store (``limit`` leftovers)."""
+        return self.total - len(self.records)
+
+    def summary(self) -> str:
+        return (
+            f"executed {len(self.executed)} points, skipped {self.skipped} "
+            f"already complete ({self.total} total"
+            + (f", {self.pending_after} still pending" if self.pending_after
+               else "")
+            + ")"
+        )
+
+
+def run_sweep(
+    spec: SweepSpec | Iterable[Point],
+    store: ResultStore,
+    workers: int = 1,
+    progress: Callable[[int, int, Point, dict], None] | None = None,
+    limit: int | None = None,
+) -> SweepReport:
+    """Execute every grid point not already checkpointed in ``store``.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` or any iterable of :class:`Point`\\ s.
+    store:
+        Completed points (matched by fingerprint) are skipped — re-run
+        after a crash and only the missing cells execute.  Every
+        finished point is checkpointed immediately.
+    workers:
+        ``1`` executes inline; more uses a thread pool.  Stored results
+        are bit-identical either way — each point is self-contained and
+        deterministically seeded.
+    progress:
+        Called as ``progress(done, pending_total, point, record)`` after
+        each executed point (from worker threads when ``workers>1``).
+    limit:
+        Execute at most this many pending points this call (useful for
+        drip-feeding or deliberately "interrupting" a sweep).
+
+    Returns a :class:`SweepReport`; ``report.records`` maps fingerprint
+    -> record for every grid point present in the store after the run.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    points = list(spec.points() if isinstance(spec, SweepSpec) else spec)
+    fingerprints = [point.fingerprint() for point in points]
+    seen: set[str] = set()
+    pending: list[tuple[Point, str]] = []
+    for point, fingerprint in zip(points, fingerprints):
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        if fingerprint not in store:
+            pending.append((point, fingerprint))
+    skipped = len(seen) - len(pending)
+    if limit is not None:
+        pending = pending[: max(0, limit)]
+
+    report = SweepReport(total=len(seen), skipped=skipped)
+
+    # Serial prepare phase: workload construction and warm-start tuning
+    # are cached (dict / lru_cache) — populate those caches before any
+    # worker threads race on them.
+    workload_cache: dict = {}
+    for point, _ in pending:
+        _prepare_point(point, workload_cache)
+
+    done = 0
+    done_lock = threading.Lock()
+
+    def run_one(item: tuple[Point, str]) -> tuple[str, dict]:
+        nonlocal done
+        point, fingerprint = item
+        result, wall = execute_point(point, workload_cache)
+        record = store.append(
+            point, result, wall_time_s=wall, fingerprint=fingerprint
+        )
+        with done_lock:
+            done += 1
+            count = done
+        if progress is not None:
+            progress(count, len(pending), point, record)
+        return fingerprint, record
+
+    if workers == 1 or len(pending) <= 1:
+        executed = [run_one(item) for item in pending]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            executed = list(pool.map(run_one, pending))
+
+    report.executed = [fingerprint for fingerprint, _ in executed]
+    report.records = {
+        fingerprint: store.get(fingerprint)
+        for fingerprint in dict.fromkeys(fingerprints)
+        if fingerprint in store
+    }
+    return report

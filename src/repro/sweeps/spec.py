@@ -1,0 +1,238 @@
+"""Declarative sweep specifications and content-addressed points.
+
+A :class:`Point` is one cell of an experiment grid — everything needed
+to reproduce one tuning run, written entirely in JSON-serializable
+values (workload *descriptions*, device *presets*) rather than live
+objects, so a point can be fingerprinted, stored, compared across
+processes, and re-materialized later.
+
+A :class:`SweepSpec` is a named grid: a ``base`` point template plus
+``axes`` mapping field names to lists of values; :meth:`SweepSpec.points`
+yields the cross product.  The spec round-trips through JSON, which is
+what the ``repro sweep`` CLI consumes.
+
+Fingerprints are blake2b digests of a canonical JSON encoding of the
+point plus :data:`POINT_SCHEMA_VERSION` — stable across processes,
+dict orderings, and sweep-axis orderings, and deliberately invalidated
+when the point schema itself changes meaning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["POINT_SCHEMA_VERSION", "Point", "SweepSpec"]
+
+#: Bumped whenever a Point field changes meaning; part of every
+#: fingerprint, so stores never silently mix incompatible schemas.
+POINT_SCHEMA_VERSION = 1
+
+
+def _canonical(value):
+    """Normalize a value tree for canonical JSON encoding."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"point fields must be JSON-serializable scalars/lists/dicts; "
+        f"got {type(value).__name__}"
+    )
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON: sorted keys, compact separators, exact floats."""
+    return json.dumps(
+        _canonical(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+@dataclass(frozen=True)
+class Point:
+    """One grid cell: a fully-described, reproducible tuning run.
+
+    Parameters
+    ----------
+    workload:
+        A workload description — either a Table 2 molecule,
+        ``{"key": "H2O-6", "reps": 2, "entanglement": "full"}`` (only
+        ``key`` required), or a spin chain,
+        ``{"model": "tfim", "n_qubits": 6, ...constructor kwargs}``.
+    scheme:
+        Estimator kind (see :data:`repro.workloads.ESTIMATOR_KINDS`).
+    device:
+        ``{"preset": <DEVICE_PRESETS name>, "scale": <noise scale>}``;
+        ``None`` uses the workload's default device.
+    seed:
+        Trial seed — seeds the backend RNG and the SPSA tuner, exactly
+        as :func:`repro.analysis.run_tuning` does.
+    shots / max_iterations / circuit_budget / spsa_gain:
+        Passed through to the tuning run.
+    warm_start_iterations:
+        When set, tuning warm-starts from
+        :func:`repro.analysis.optimal_parameters` computed with this
+        many ideal iterations (the quick-scale benchmark idiom).
+        Molecule workloads only.
+    estimator:
+        Extra keyword arguments for the estimator constructor
+        (``window``, selective-mitigation knobs, ...).
+    """
+
+    workload: Mapping[str, Any]
+    scheme: str
+    device: Mapping[str, Any] | None = None
+    seed: int = 0
+    shots: int = 256
+    max_iterations: int = 100
+    circuit_budget: int | None = None
+    spsa_gain: float | None = 0.3
+    warm_start_iterations: int | None = None
+    estimator: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        workload = dict(self.workload)
+        if ("key" in workload) == ("model" in workload):
+            raise ValueError(
+                "workload must name exactly one of 'key' (molecule) "
+                f"or 'model' (spin chain); got {workload!r}"
+            )
+        if not self.scheme or not isinstance(self.scheme, str):
+            raise ValueError("scheme must be a non-empty string")
+        if self.shots < 1:
+            raise ValueError("shots must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        if self.circuit_budget is not None and self.circuit_budget < 1:
+            raise ValueError("circuit_budget must be positive or None")
+        if self.device is not None and "preset" not in self.device:
+            raise ValueError("device must be {'preset': ..., 'scale': ...}")
+        if self.warm_start_iterations is not None and "model" in workload:
+            # optimal_parameters' cached ideal tuning only covers the
+            # Table 2 molecule registry today.
+            raise ValueError(
+                "warm_start_iterations requires a molecule workload "
+                "('key'); spin-model workloads tune from a cold start"
+            )
+        object.__setattr__(self, "workload", workload)
+        if self.device is not None:
+            object.__setattr__(self, "device", dict(self.device))
+        object.__setattr__(self, "estimator", dict(self.estimator))
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Point":
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Content digest of this point (stable across processes)."""
+        payload = {"v": POINT_SCHEMA_VERSION, "point": self.to_dict()}
+        h = hashlib.blake2b(digest_size=16)
+        h.update(canonical_json(payload).encode())
+        return h.hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell label for progress output."""
+        workload = self.workload.get("key") or (
+            f"{self.workload['model']}-{self.workload.get('n_qubits', '?')}"
+        )
+        parts = [workload, self.scheme, f"seed={self.seed}"]
+        if self.device is not None:
+            scale = self.device.get("scale", 1.0)
+            parts.append(f"{self.device['preset']}@{scale:g}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named parameter grid: base point template x sweep axes.
+
+    ``axes`` maps :class:`Point` field names to candidate values; the
+    grid is the cross product in axis-insertion order (first axis
+    outermost).  ``report`` optionally carries aggregation hints for
+    the CLI — ``{"rows": <path>, "cols": <path>, "value": <path>}``
+    with dotted record paths (see :func:`repro.sweeps.get_path`).
+    """
+
+    name: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    axes: Mapping[str, list] = field(default_factory=dict)
+    report: Mapping[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec needs a name")
+        valid = set(Point.__dataclass_fields__)
+        unknown = (set(self.base) | set(self.axes)) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown point fields {sorted(unknown)}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        overlap = set(self.base) & set(self.axes)
+        if overlap:
+            raise ValueError(
+                f"fields {sorted(overlap)} appear in both base and axes"
+            )
+        for axis, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"axis {axis!r} needs a non-empty list")
+        object.__setattr__(self, "base", dict(self.base))
+        object.__setattr__(
+            self, "axes", {k: list(v) for k, v in self.axes.items()}
+        )
+        if self.report is not None:
+            object.__setattr__(self, "report", dict(self.report))
+        # Materialize eagerly so malformed cells fail at spec build
+        # time, not halfway through a sweep.
+        object.__setattr__(self, "_points", tuple(self._build_points()))
+
+    def _build_points(self) -> Iterator[Point]:
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            yield Point(**{**self.base, **dict(zip(names, combo))})
+
+    def points(self) -> tuple[Point, ...]:
+        """Every grid cell, first axis outermost."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "base": dict(self.base),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+        }
+        if self.report is not None:
+            data["report"] = dict(self.report)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        return cls(
+            name=data["name"],
+            base=data.get("base", {}),
+            axes=data.get("axes", {}),
+            report=data.get("report"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_json_file(cls, path) -> "SweepSpec":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

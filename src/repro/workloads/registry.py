@@ -150,17 +150,21 @@ def make_engine(
     cache_size: int | None = None,
     rng_mode: str | None = None,
     state_cache_size: int | None = None,
+    cache_bytes: int | None = None,
+    state_cache_bytes: int | None = None,
 ) -> ExecutionEngine:
     """Build an :class:`~repro.engine.ExecutionEngine` for a backend.
 
     Convenience wrapper for scripts/CLI; library code can construct the
     engine (or just an :class:`~repro.engine.EngineConfig`) directly.
     ``None`` for any knob defers to :class:`~repro.engine.EngineConfig`'s
-    default.  ``cache_size=0`` disables *all* memoization (the
-    statevector cache included, unless ``state_cache_size`` overrides
-    it); note intra-batch dedup of structurally identical specs is
-    always active, so even an uncached engine can simulate fewer
-    circuits than the old serial path (results are unaffected).
+    default — for ``cache_bytes``/``state_cache_bytes`` that default is
+    an automatic byte budget scaling with ``2**n_qubits`` (pass ``0``
+    for unbounded bytes).  ``cache_size=0`` disables *all* memoization
+    (the statevector cache included, unless ``state_cache_size``
+    overrides it); note intra-batch dedup of structurally identical
+    specs is always active, so even an uncached engine can simulate
+    fewer circuits than the old serial path (results are unaffected).
     """
     overrides = {
         key: value
@@ -169,6 +173,8 @@ def make_engine(
             ("cache_size", cache_size),
             ("rng_mode", rng_mode),
             ("state_cache_size", state_cache_size),
+            ("cache_bytes", cache_bytes),
+            ("state_cache_bytes", state_cache_bytes),
         )
         if value is not None
     }

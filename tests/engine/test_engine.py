@@ -257,6 +257,27 @@ class TestEnsureEngine:
         assert isinstance(engine, ExecutionEngine)
         assert engine.backend is backend
 
+    def test_none_resolves_to_shared_engine_per_backend(self, backend):
+        # Estimators that don't ask for a specific engine pool one
+        # engine (and its caches) per backend.
+        assert ensure_engine(None, backend) is ensure_engine(None, backend)
+
+    def test_estimators_on_one_backend_share_the_engine(
+        self, h2_workload, backend
+    ):
+        from repro import make_estimator
+
+        baseline = make_estimator("baseline", h2_workload, backend, shots=32)
+        jigsaw = make_estimator("jigsaw", h2_workload, backend, shots=32)
+        assert baseline.engine is jigsaw.engine
+
+    def test_config_still_builds_private_engines(self, backend):
+        config = EngineConfig(cache_size=8)
+        first = ensure_engine(config, backend)
+        second = ensure_engine(config, backend)
+        assert first is not second
+        assert first is not ensure_engine(None, backend)
+
     def test_config_builds_engine(self, backend):
         engine = ensure_engine(EngineConfig(workers=2), backend)
         assert engine.config.workers == 2

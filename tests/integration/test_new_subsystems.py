@@ -140,3 +140,43 @@ class TestRoutedExecutionOnRealTopology:
         layout = noise_aware_path_layout(5, coupling, device.readout)
         routed = route_circuit(bound, coupling, layout)
         assert routed.swaps_inserted == 0
+
+
+class TestSweepsThroughTheFullStack:
+    def test_sweep_record_matches_direct_run_tuning(self, tmp_path):
+        """A declarative point reproduces the imperative path bit for bit.
+
+        ``analysis.run_tuning`` and the sweep runner share one code path
+        (``sweeps.runner.execute_tuning``); a stored sweep record must
+        therefore carry exactly the energy a direct call produces.
+        """
+        from repro.analysis import run_tuning
+        from repro.sweeps import Point, ResultStore, run_sweep
+        from repro.workloads import make_workload
+
+        workload = make_workload("H2-4")
+        device = ibmq_mumbai_like(scale=2.0)
+        direct = run_tuning(
+            "varsaw", workload, max_iterations=4, shots=64, seed=9,
+            device=device,
+        )
+
+        point = Point(
+            workload={"key": "H2-4"},
+            scheme="varsaw",
+            device={"preset": "ibmq_mumbai_like", "scale": 2.0},
+            seed=9,
+            shots=64,
+            max_iterations=4,
+        )
+        report = run_sweep([point], ResultStore(tmp_path / "s.jsonl"))
+        record = report.records[point.fingerprint()]
+        assert record["result"]["energy"] == direct.energy
+        assert record["result"]["iterations"] == direct.result.iterations
+        assert (
+            record["result"]["circuits"]
+            == direct.result.circuits_executed
+        )
+        assert record["result"]["global_fraction"] == pytest.approx(
+            direct.global_fraction
+        )

@@ -110,3 +110,53 @@ class TestCommands:
             ["route", "--device", "ibm_lagos_like", "--qubits", "9"]
         )
         assert code == 2
+
+
+class TestSweepCommand:
+    SPEC = """{
+        "name": "cli-grid",
+        "base": {"workload": {"key": "H2-4"}, "shots": 16,
+                 "max_iterations": 2},
+        "axes": {"scheme": ["baseline"], "seed": [0, 1]},
+        "report": {"rows": "point.seed", "cols": "point.scheme"}
+    }"""
+
+    def write_spec(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(self.SPEC)
+        return path
+
+    def test_sweep_then_resume_executes_nothing(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out_path = tmp_path / "store.jsonl"
+        assert main(["sweep", str(spec), "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "executed 2 points" in out
+        assert "baseline" in out  # the report pivot printed
+
+        code = main(
+            ["sweep", str(spec), "--out", str(out_path), "--resume"]
+        )
+        assert code == 0
+        assert "executed 0 points" in capsys.readouterr().out
+
+    def test_existing_store_requires_resume_flag(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out_path = tmp_path / "store.jsonl"
+        out_path.write_text("")
+        assert main(["sweep", str(spec), "--out", str(out_path)]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        code = main(["sweep", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load sweep spec" in capsys.readouterr().err
+
+    def test_limit_drips_points(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out_path = tmp_path / "store.jsonl"
+        code = main(
+            ["sweep", str(spec), "--out", str(out_path), "--limit", "1"]
+        )
+        assert code == 0
+        assert "1 still pending" in capsys.readouterr().out
