@@ -6,105 +6,31 @@ qubits."  On a device where half the readout lines are nearly perfect,
 a calibration gate prunes the subset windows confined to those lines —
 saving per-iteration circuits at (near) zero accuracy cost.  Sweeping
 the gate threshold traces the cost/coverage trade-off.
+
+Ported to the declarative catalog (entry ``ext_calibration_gating``):
+one ``calibration_gate`` point per threshold; rows are byte-identical
+to the pre-port output.
 """
 
-import numpy as np
-from conftest import fmt, print_table, run_once
+from conftest import print_tables
 
-from repro.core import (
-    CalibrationGate,
-    CalibrationGatedVarSawEstimator,
-    VarSawEstimator,
-)
-from repro.noise import (
-    DepolarizingGateNoise,
-    DeviceModel,
-    QubitReadoutError,
-    ReadoutErrorModel,
-    SimulatorBackend,
-)
-from repro.vqe import IdealEstimator
-from repro.workloads import make_workload
-
-#: H2-4 on a device whose qubits 0-1 read out nearly perfectly.
-ERRORS = [2e-4, 5e-4, 0.05, 0.07]
+from repro.sweeps import ResultStore, get_entry, run_entry
 
 
-def split_device():
-    readout = ReadoutErrorModel(
-        [QubitReadoutError(e, 1.4 * e) for e in ERRORS],
-        crosstalk_strength=0.1,
+def test_calibration_gate_threshold_sweep(benchmark, tmp_path):
+    entry = get_entry("ext_calibration_gating")
+    store = ResultStore(tmp_path / "gating.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
-    return DeviceModel(
-        "split-quality",
-        readout,
-        DepolarizingGateNoise(error_1q=1e-4, error_2q=2e-3),
-    )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
 
-
-def test_calibration_gate_threshold_sweep(benchmark):
-    def experiment():
-        device = split_device()
-        workload = make_workload("H2-4", device=device)
-        params = np.full(workload.ansatz.num_parameters, 0.1)
-        exact = IdealEstimator(
-            workload.hamiltonian, workload.ansatz
-        ).evaluate(params)
-
-        def mean_error_and_cost(factory, trials=6):
-            errors, circuits = [], 0
-            for seed in range(trials):
-                backend = SimulatorBackend(device, seed=200 + seed)
-                estimator = factory(backend)
-                before = backend.circuits_run
-                errors.append(abs(estimator.evaluate(params) - exact))
-                circuits = backend.circuits_run - before
-            return float(np.mean(errors)), circuits
-
-        rows = []
-        err, cost = mean_error_and_cost(
-            lambda be: VarSawEstimator(
-                workload.hamiltonian, workload.ansatz, be, shots=2048
-            )
-        )
-        rows.append({"threshold": "off", "error": err, "circuits": cost,
-                     "skipped": 0})
-        for threshold in (0.0001, 0.01, 0.1):
-            skipped = {}
-
-            def factory(be, th=threshold):
-                est = CalibrationGatedVarSawEstimator(
-                    workload.hamiltonian,
-                    workload.ansatz,
-                    be,
-                    shots=2048,
-                    gate=CalibrationGate(error_threshold=th),
-                )
-                skipped["n"] = est.subsets_skipped
-                return est
-
-            err, cost = mean_error_and_cost(factory)
-            rows.append(
-                {
-                    "threshold": f"{threshold:g}",
-                    "error": err,
-                    "circuits": cost,
-                    "skipped": skipped["n"],
-                }
-            )
-        return rows
-
-    rows = run_once(benchmark, experiment)
-    print_table(
-        "Extension: calibration-gated subsetting on a split-quality "
-        "device (H2-4, first evaluation incl. Globals)",
-        ["gate threshold", "subsets skipped", "circuits/eval", "|error| (Ha)"],
-        [
-            [r["threshold"], r["skipped"], r["circuits"], fmt(r["error"], 3)]
-            for r in rows
-        ],
-    )
-    by = {r["threshold"]: r for r in rows}
+    by = {}
+    for record in outcome.records:
+        threshold = record["point"]["options"]["threshold"]
+        label = "off" if threshold is None else f"{threshold:g}"
+        by[label] = record["result"]
     # A permissive threshold keeps everything (== VarSaw).
     assert by["0.0001"]["skipped"] == 0
     assert by["0.0001"]["circuits"] == by["off"]["circuits"]

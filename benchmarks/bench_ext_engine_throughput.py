@@ -1,116 +1,50 @@
 """Extension: execution-engine throughput on a repeated-parameter trace.
 
-The estimators now submit whole-iteration batches to
-:mod:`repro.engine`, which memoizes exact noisy PMFs and deduplicates
-structurally identical circuits.  This bench replays one H2-4 VQE
-parameter trace — with the parameter revisits that real tuning produces
-(line searches, SPSA re-evaluations, multi-scheme comparisons over the
-same trace) — through two engine configurations:
+The estimators submit whole-iteration batches to :mod:`repro.engine`,
+which memoizes exact noisy PMFs and deduplicates structurally identical
+circuits.  This bench replays one H2-4 VQE parameter trace — with the
+parameter revisits that real tuning produces — through two engine
+configurations (caches disabled vs the default bounded cache) and
+asserts identical ledgers/energies with fewer simulations.
 
-* **direct** — caches disabled: every unique submitted circuit is
-  simulated every time (intra-batch dedup of structurally identical
-  specs stays on — it is semantically invisible and always active);
-* **engine** — default bounded cache: repeated circuits are served from
-  the memo and only sampled.
-
-Both paths charge identical circuit/shot ledgers (the paper's cost
-metric counts submissions, not simulations) and, with the default
-shared-RNG discipline, produce bit-identical energies.
+Ported to the declarative catalog (entry ``ext_engine_throughput``):
+each replay is one ``engine_replay`` point.  The wall-clock column is
+inherently volatile, so the golden-parity suite compares this entry
+under the catalog's normalizer (timing cells masked).
 """
 
-from __future__ import annotations
+from conftest import print_table
 
-import time
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-from conftest import fmt, print_table, run_once
-
-import numpy as np
-
-from repro.engine import EngineConfig, ExecutionEngine
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.vqe import initial_parameters
-from repro.workloads import make_estimator, make_workload
-
-#: Distinct parameter vectors in the trace, and times each is revisited.
-TRACE_POINTS = 12
-TRACE_REPEATS = 3
+ENTRY = "ext_engine_throughput"
+_STATE: dict = {}
 
 
-def h2_trace(num_parameters: int) -> list[np.ndarray]:
-    """A repeated-parameter VQE trace: a walk revisited REPEATS times."""
-    rng = np.random.default_rng(21)
-    theta = initial_parameters(num_parameters, seed=21)
-    points = []
-    for _ in range(TRACE_POINTS):
-        theta = theta + rng.normal(0.0, 0.05, size=num_parameters)
-        points.append(theta.copy())
-    return points * TRACE_REPEATS
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
 
 
-def replay(config: EngineConfig) -> dict:
-    workload = make_workload("H2-4")
-    device = ibmq_mumbai_like(scale=2.0)
-    backend = SimulatorBackend(device, seed=7)
-    engine = ExecutionEngine(backend, config)
-    estimator = make_estimator(
-        "varsaw", workload, backend, shots=256, engine=engine
-    )
-    trace = h2_trace(workload.ansatz.num_parameters)
-    start = time.perf_counter()
-    energies = [estimator.evaluate(theta) for theta in trace]
-    elapsed = time.perf_counter() - start
-    stats = engine.stats
-    engine.close()
-    return {
-        "energies": energies,
-        "seconds": elapsed,
-        "circuits": backend.circuits_run,
-        "shots": backend.shots_run,
-        "simulations": stats.simulations,
-        "hit_rate": stats.pmf_cache.hit_rate,
-        "dedup": stats.dedup_coalesced,
-    }
+def test_engine_throughput_on_repeated_trace(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
 
-
-def test_engine_throughput_on_repeated_trace(benchmark):
-    def experiment():
-        direct = replay(EngineConfig(cache_size=0, state_cache_size=0))
-        engine = replay(EngineConfig())
-        return {"direct": direct, "engine": engine}
-
-    stats = run_once(benchmark, experiment)
-    direct, engine = stats["direct"], stats["engine"]
-    speedup = direct["seconds"] / engine["seconds"]
-    print_table(
-        "Extension: engine-batched vs direct execution "
-        f"(H2-4 VarSaw trace, {TRACE_POINTS} points x {TRACE_REPEATS} visits)",
-        [
-            "path",
-            "wall-clock (s)",
-            "circuits",
-            "simulations",
-            "cache hit rate",
-            "speedup",
-        ],
-        [
-            [
-                "direct (no cache)",
-                fmt(direct["seconds"], 3),
-                direct["circuits"],
-                direct["simulations"],
-                "-",
-                "1.00x",
-            ],
-            [
-                "engine (cached)",
-                fmt(engine["seconds"], 3),
-                engine["circuits"],
-                engine["simulations"],
-                f"{engine['hit_rate']:.1%}",
-                f"{speedup:.2f}x",
-            ],
-        ],
-    )
+    records = state["outcome"].records
+    direct = select(records, point__options={"cache": False})[0]["result"]
+    engine = select(records, point__options={})[0]["result"]
     # The paper's cost metric is untouched: identical ledgers...
     assert engine["circuits"] == direct["circuits"]
     assert engine["shots"] == direct["shots"]
@@ -123,25 +57,15 @@ def test_engine_throughput_on_repeated_trace(benchmark):
     assert engine["simulations"] < direct["simulations"]
 
 
-def test_worker_scaling_is_deterministic(benchmark):
+def test_worker_scaling_is_deterministic(benchmark, tmp_path_factory):
     """workers=4 must reproduce workers=1 bit-for-bit on the same trace."""
-
-    def experiment():
-        results = {}
-        for workers in (1, 4):
-            workload = make_workload("H2-4")
-            backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=7)
-            engine = ExecutionEngine(backend, EngineConfig(workers=workers))
-            estimator = make_estimator(
-                "varsaw", workload, backend, shots=256, engine=engine
-            )
-            trace = h2_trace(workload.ansatz.num_parameters)[:8]
-            results[workers] = (
-                [estimator.evaluate(theta) for theta in trace],
-                backend.circuits_run,
-            )
-            engine.close()
-        return results
-
-    results = run_once(benchmark, experiment)
-    assert results[1] == results[4]
+    state = _run(benchmark, tmp_path_factory)
+    records = state["outcome"].records
+    results = {
+        workers: select(
+            records, point__options__workers=workers
+        )[0]["result"]
+        for workers in (1, 4)
+    }
+    assert results[1]["energies"] == results[4]["energies"]
+    assert results[1]["circuits"] == results[4]["circuits"]

@@ -8,71 +8,44 @@ GC needs fewer measurement circuits per iteration, but each circuit
 carries an entangling Clifford rotation, while QWC rotations are
 single-qubit only.  This bench quantifies the trade on the Table 2
 molecules.
+
+Ported to the declarative catalog (entry ``ext_gc_grouping``):
+``gc_grouping`` / ``gc_validity`` / ``gc_end_to_end`` points; rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table, run_once
+from conftest import print_table
 
-from repro.hamiltonian import build_hamiltonian
-from repro.pauli import (
-    color_general_commuting,
-    diagonalized_groups,
-    group_qwc,
-)
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-WORKLOADS = ["H2-4", "LiH-6", "H2O-6", "CH4-6"]
+ENTRY = "ext_gc_grouping"
+_STATE: dict = {}
 
 
-def test_gc_versus_qwc_grouping(benchmark):
-    def experiment():
-        rows = []
-        for key in WORKLOADS:
-            hamiltonian = build_hamiltonian(key)
-            n = hamiltonian.n_qubits
-            paulis = [p for _, p in hamiltonian.non_identity_terms()]
-            qwc_groups = group_qwc(paulis, n)
-            gc_groups = diagonalized_groups(paulis, n, method="color")
-            qwc_cx = 0  # QWC basis rotations are 1-qubit gates only
-            gc_cx = sum(g.entangling_gates for g in gc_groups)
-            rows.append(
-                {
-                    "workload": key,
-                    "paulis": len(paulis),
-                    "qwc_groups": len(qwc_groups),
-                    "gc_groups": len(gc_groups),
-                    "group_ratio": len(qwc_groups) / len(gc_groups),
-                    "qwc_rotation_cx": qwc_cx,
-                    "gc_rotation_cx": gc_cx,
-                }
-            )
-        return rows
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
 
-    rows = run_once(benchmark, experiment)
-    print_table(
-        "Extension: QWC vs GC measurement grouping "
-        "(fewer circuits vs entangling rotations)",
-        [
-            "workload",
-            "paulis",
-            "QWC groups",
-            "GC groups",
-            "QWC/GC",
-            "QWC rot. CX",
-            "GC rot. CX",
-        ],
-        [
-            [
-                r["workload"],
-                r["paulis"],
-                r["qwc_groups"],
-                r["gc_groups"],
-                f"{r['group_ratio']:.2f}x",
-                r["qwc_rotation_cx"],
-                r["gc_rotation_cx"],
-            ]
-            for r in rows
-        ],
-    )
-    for r in rows:
+
+def test_gc_versus_qwc_grouping(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+    for record in select(
+        state["outcome"].records, point__task="gc_grouping"
+    ):
+        r = record["result"]
         # GC always merges at least as well as QWC...
         assert r["gc_groups"] <= r["qwc_groups"]
         # ...but pays with entangling gates QWC never needs (the paper's
@@ -81,27 +54,17 @@ def test_gc_versus_qwc_grouping(benchmark):
             assert r["gc_rotation_cx"] > 0
 
 
-def test_gc_group_validity(benchmark):
+def test_gc_group_validity(benchmark, tmp_path_factory):
     """Every GC group is internally commuting and diagonalizable."""
-
-    def experiment():
-        hamiltonian = build_hamiltonian("LiH-6")
-        paulis = [p for _, p in hamiltonian.non_identity_terms()]
-        groups = color_general_commuting(paulis, hamiltonian.n_qubits)
-        checked = 0
-        for group in groups:
-            for i, a in enumerate(group):
-                for b in group[i + 1:]:
-                    assert a.commutes_with(b)
-                    checked += 1
-        return {"groups": len(groups), "pairs_checked": checked}
-
-    stats = run_once(benchmark, experiment)
-    assert stats["groups"] >= 1
-    assert stats["pairs_checked"] > 0
+    state = _run(benchmark, tmp_path_factory)
+    stats, = select(
+        state["outcome"].records, point__task="gc_validity"
+    )
+    assert stats["result"]["groups"] >= 1
+    assert stats["result"]["pairs_checked"] > 0
 
 
-def test_gc_versus_qwc_end_to_end(benchmark):
+def test_gc_versus_qwc_end_to_end(benchmark, tmp_path_factory):
     """Full noisy energy evaluation: the Section 3.1 trade-off, measured.
 
     Equal shots per circuit.  GC needs ~5x fewer circuits; under the
@@ -109,64 +72,21 @@ def test_gc_versus_qwc_end_to_end(benchmark):
     while under amplified *gate* noise the entangling measurement
     rotations start to bite — both sides of the paper's stated trade-off.
     """
-    import numpy as np
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
 
-    from repro.noise import SimulatorBackend, ibmq_mumbai_like
-    from repro.vqe import (
-        BaselineEstimator,
-        GeneralCommutationEstimator,
-        IdealEstimator,
-    )
-    from repro.workloads import make_workload
+    def result(scheme):
+        record, = select(
+            state["outcome"].records, point__task="gc_end_to_end",
+            point__options__regime="standard",
+            point__options__estimator=scheme,
+        )
+        return record["result"]
 
-    def experiment():
-        workload = make_workload("LiH-6")
-        params = np.full(workload.ansatz.num_parameters, 0.09)
-        exact = IdealEstimator(
-            workload.hamiltonian, workload.ansatz
-        ).evaluate(params)
-        rows = []
-        for label, device in (
-            ("standard", ibmq_mumbai_like()),
-            ("10x gate noise", ibmq_mumbai_like()),
-        ):
-            trials = {}
-            for name, cls in (
-                ("QWC baseline", BaselineEstimator),
-                ("GC estimator", GeneralCommutationEstimator),
-            ):
-                errors = []
-                circuits = 0
-                for seed in range(5):
-                    backend = SimulatorBackend(device, seed=100 + seed)
-                    if label == "10x gate noise":
-                        backend.device = device.with_noise_scale(1.0)
-                        backend.device.gate_noise.scale = 10.0
-                    est = cls(
-                        workload.hamiltonian,
-                        workload.ansatz,
-                        backend,
-                        shots=2048,
-                    )
-                    errors.append(abs(est.evaluate(params) - exact))
-                    circuits = est.circuits_per_evaluation
-                trials[name] = (float(np.mean(errors)), circuits)
-            rows.append((label, trials))
-        return {"exact": exact, "rows": rows}
-
-    stats = run_once(benchmark, experiment)
-    table_rows = []
-    for label, trials in stats["rows"]:
-        for name, (err, circuits) in trials.items():
-            table_rows.append([label, name, fmt(err, 3), circuits])
-    print_table(
-        "Extension: QWC vs GC end-to-end energy error "
-        "(LiH-6 at fixed params, 2048 shots/circuit, 5 trials)",
-        ["noise regime", "scheme", "|error| (Ha)", "circuits/eval"],
-        table_rows,
-    )
-    standard = dict(stats["rows"])["standard"]
+    qwc = result("QWC baseline")
+    gc = result("GC estimator")
     # GC runs several-fold fewer circuits...
-    assert standard["GC estimator"][1] * 2 < standard["QWC baseline"][1]
+    assert gc["circuits"] * 2 < qwc["circuits"]
     # ...at comparable accuracy in the readout-dominated regime.
-    assert standard["GC estimator"][0] < 2.5 * standard["QWC baseline"][0]
+    assert gc["error"] < 2.5 * qwc["error"]

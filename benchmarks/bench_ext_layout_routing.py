@@ -11,60 +11,47 @@ here:
    asymmetric sweep) has very different *routing* costs on a real
    heavy-hex topology: full entanglement pays a large SWAP overhead that
    linear entanglement avoids entirely.
+
+Ported to the declarative catalog (entry ``ext_layout_routing``):
+``readout_placement`` / ``routing`` points; rows are byte-identical to
+the pre-port output.
 """
 
-import numpy as np
-from conftest import fmt, print_table, run_once
+from conftest import print_table
 
-from repro.ansatz import ENTANGLEMENT_TYPES, EfficientSU2
-from repro.layout import (
-    noise_aware_layout,
-    noise_aware_path_layout,
-    route_circuit,
-)
-from repro.noise import ibmq_mumbai_like
+from repro.sweeps import ResultStore, get_entry, run_entry, select
+
+ENTRY = "ext_layout_routing"
+_STATE: dict = {}
 
 
-def test_subset_placement_readout_gain(benchmark):
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
+
+
+def test_subset_placement_readout_gain(benchmark, tmp_path_factory):
     """Best-qubit measurement placement vs default placement."""
-
-    def experiment():
-        device = ibmq_mumbai_like()
-        readout = device.readout
-        rows = []
-        for window in (2, 3, 4):
-            default = [
-                readout.qubit_errors[q].mean_error for q in range(window)
-            ]
-            best = [
-                readout.qubit_errors[q].mean_error
-                for q in readout.best_qubits(window)
-            ]
-            rows.append(
-                {
-                    "window": window,
-                    "default": float(np.mean(default)),
-                    "best": float(np.mean(best)),
-                    "gain": float(np.mean(default)) / float(np.mean(best)),
-                }
-            )
-        return rows
-
-    rows = run_once(benchmark, experiment)
-    print_table(
-        "Extension: subset measurement placement on ibmq_mumbai_like "
-        "(mean readout error of measured window)",
-        ["window", "default qubits", "best qubits", "gain"],
-        [
-            [
-                r["window"],
-                fmt(r["default"], 4),
-                fmt(r["best"], 4),
-                f"{r['gain']:.1f}x",
-            ]
-            for r in rows
-        ],
-    )
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+    rows = [
+        record["result"]
+        for record in select(
+            state["outcome"].records, point__task="readout_placement"
+        )
+    ]
     for r in rows:
         assert r["best"] <= r["default"]
     # best-k mean error is monotone nondecreasing in the window size:
@@ -73,51 +60,17 @@ def test_subset_placement_readout_gain(benchmark):
     assert best_means == sorted(best_means)
 
 
-def test_ansatz_routing_overhead(benchmark):
+def test_ansatz_routing_overhead(benchmark, tmp_path_factory):
     """SWAP cost of Table 3's ansatz types on the heavy-hex topology."""
-
-    def experiment():
-        device = ibmq_mumbai_like()
-        coupling = device.coupling_map
-        rows = []
-        for entanglement in ENTANGLEMENT_TYPES:
-            ansatz = EfficientSU2(6, reps=2, entanglement=entanglement)
-            bound = ansatz.bind(np.zeros(ansatz.num_parameters))
-            # Ladder-shaped entanglement wants consecutive logicals on a
-            # physical path; dense entanglement wants a compact region.
-            if entanglement == "full":
-                layout = noise_aware_layout(6, coupling, device.readout)
-            else:
-                layout = noise_aware_path_layout(
-                    6, coupling, device.readout
-                )
-            routed = route_circuit(bound, coupling, layout)
-            rows.append(
-                {
-                    "entanglement": entanglement,
-                    "logical_cx": bound.num_two_qubit_gates,
-                    "swaps": routed.swaps_inserted,
-                    "native_cx": bound.num_two_qubit_gates
-                    + routed.overhead,
-                }
-            )
-        return rows
-
-    rows = run_once(benchmark, experiment)
-    print_table(
-        "Extension: EfficientSU2(6, p=2) routing cost on heavy-hex "
-        "(one more reason hardware-efficient = sparse entanglement)",
-        ["entanglement", "logical CX", "SWAPs", "native CX"],
-        [
-            [
-                r["entanglement"],
-                r["logical_cx"],
-                r["swaps"],
-                r["native_cx"],
-            ]
-            for r in rows
-        ],
-    )
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
+    rows = [
+        record["result"]
+        for record in select(
+            state["outcome"].records, point__task="routing"
+        )
+    ]
     by_type = {r["entanglement"]: r for r in rows}
     # Linear entanglement routes SWAP-free on a line-containing topology;
     # full entanglement cannot.

@@ -10,91 +10,50 @@ readout-error victim — reporting distribution fidelity and circuit cost:
 * MBM             — full tensored confusion-matrix inversion [IBM]
 * M3              — observed-subspace inversion [Nation'21 / Qiskit]
 * JigSaw          — subsetting + Bayesian reconstruction [Das'21]
+
+Ported to the declarative catalog (entry ``ext_mitigation_shootout``):
+one ``mitigation_shootout`` point per GHZ width plus the stacking
+point; rows are byte-identical to the pre-port output.
 """
 
-import numpy as np
-from conftest import fmt, print_table, run_once
+from conftest import print_table
 
-from repro.circuits import Circuit
-from repro.mitigation import (
-    M3Mitigator,
-    MatrixMitigator,
-    invert_and_measure,
-    jigsaw_mitigate,
-)
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.sim import PMF
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-SHOTS = 8192
-NOISE_SCALE = 2.0
+ENTRY = "ext_mitigation_shootout"
+WIDTHS = (4, 6, 8)
+_STATE: dict = {}
 
 
-def ghz(n):
-    qc = Circuit(n)
-    qc.h(0)
-    for q in range(n - 1):
-        qc.cx(q, q + 1)
-    qc.measure_all()
-    return qc
-
-
-def ghz_target(n):
-    probs = np.zeros(2**n)
-    probs[0] = probs[-1] = 0.5
-    return PMF(probs)
-
-
-def run_shootout(n_qubits):
-    device = ibmq_mumbai_like(scale=NOISE_SCALE)
-    circuit = ghz(n_qubits)
-    target = ghz_target(n_qubits)
-
-    def fresh():
-        return SimulatorBackend(device, seed=37)
-
-    results = {}
-
-    backend = fresh()
-    raw = backend.run(circuit, SHOTS).to_pmf()
-    results["raw"] = (raw.tvd(target), 1)
-
-    backend = fresh()
-    averaged = invert_and_measure(backend, circuit, SHOTS)
-    results["bias-aware"] = (averaged.tvd(target), 2)
-
-    backend = fresh()
-    counts = backend.run(circuit, SHOTS)
-    mbm = MatrixMitigator.from_device(backend, range(n_qubits), n_qubits)
-    results["MBM"] = (mbm.mitigate_pmf(counts.to_pmf()).tvd(target), 1)
-
-    backend = fresh()
-    counts = backend.run(circuit, SHOTS)
-    m3 = M3Mitigator.from_device(backend, range(n_qubits), n_qubits)
-    results["M3"] = (m3.mitigate_counts(counts).tvd(target), 1)
-
-    backend = fresh()
-    jig = jigsaw_mitigate(backend, circuit, shots=SHOTS, window=2)
-    results["JigSaw"] = (jig.output.tvd(target), jig.circuits_executed)
-
-    return results
-
-
-def test_mitigation_shootout(benchmark):
-    def experiment():
-        return {n: run_shootout(n) for n in (4, 6, 8)}
-
-    stats = run_once(benchmark, experiment)
-    for n, results in stats.items():
-        print_table(
-            f"Extension: mitigation shootout, GHZ-{n} on "
-            f"ibmq_mumbai_like(x{NOISE_SCALE:g}) — TVD to ideal "
-            "(lower is better)",
-            ["technique", "TVD", "circuits"],
-            [
-                [name, fmt(tvd, 4), circuits]
-                for name, (tvd, circuits) in results.items()
-            ],
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
         )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
+
+
+def test_mitigation_shootout(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    for table in state["tables"][:3]:
+        print_table(table.title, table.headers, table.rows)
+
+    stats = {
+        n: select(
+            state["outcome"].records,
+            point__task="mitigation_shootout",
+            point__options__n_qubits=n,
+        )[0]["result"]
+        for n in WIDTHS
+    }
     for n, results in stats.items():
         raw_tvd = results["raw"][0]
         # JigSaw beats raw at every width — subsetting degrades
@@ -114,34 +73,13 @@ def test_mitigation_shootout(benchmark):
     assert stats[8]["JigSaw"][0] < 0.5 * stats[8]["raw"][0]
 
 
-def test_mitigation_stacking(benchmark):
-    """M3-corrected Globals inside JigSaw: Fig. 18's stacking, per circuit.
-
-    The legitimate composition mitigates the *Global* distribution before
-    Bayesian reconstruction (correcting JigSaw's already-mitigated output
-    would double-count the inverse channel).
-    """
-    from repro.mitigation import bayesian_reconstruct
-
-    def experiment():
-        n = 6
-        device = ibmq_mumbai_like(scale=NOISE_SCALE)
-        target = ghz_target(n)
-        backend = SimulatorBackend(device, seed=41)
-        jig = jigsaw_mitigate(backend, ghz(n), shots=SHOTS, window=2)
-        m3 = M3Mitigator.from_device(backend, range(n), n)
-        corrected_global = m3.mitigate_pmf(jig.global_pmf)
-        stacked = bayesian_reconstruct(corrected_global, jig.local_pmfs)
-        return {
-            "jigsaw": jig.output.tvd(target),
-            "jigsaw+m3 global": stacked.tvd(target),
-        }
-
-    stats = run_once(benchmark, experiment)
-    print_table(
-        "Extension: M3-corrected Globals inside JigSaw (GHZ-6)",
-        ["scheme", "TVD"],
-        [[k, fmt(v, 4)] for k, v in stats.items()],
-    )
+def test_mitigation_stacking(benchmark, tmp_path_factory):
+    """M3-corrected Globals inside JigSaw: Fig. 18's stacking, per circuit."""
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][3]
+    print_table(table.title, table.headers, table.rows)
+    stacking = select(
+        state["outcome"].records, point__task="mitigation_stacking"
+    )[0]["result"]
     # Fig. 18's shape: stacking helps or is negligible, never a blow-up.
-    assert stats["jigsaw+m3 global"] < stats["jigsaw"] * 1.1
+    assert stacking["jigsaw+m3 global"] < stacking["jigsaw"] * 1.1

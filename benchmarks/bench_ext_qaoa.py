@@ -6,110 +6,67 @@ iterations), while the *spatial* benefit is muted because a MaxCut
 Hamiltonian is single-basis (all terms are Z/ZZ — one commuting family,
 so the baseline already needs only one circuit per iteration).  This
 bench verifies both halves of that prediction on a 6-node ring.
+
+Ported to the declarative catalog (entry ``ext_qaoa``): the structure
+point and the budgeted tuning runs use the declarative
+``{"qaoa": ...}`` workload kind; rows are byte-identical to the
+pre-port output.
 """
 
-import os
+from conftest import print_table
 
-import numpy as np
-from conftest import fmt, print_table, run_once
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-from repro.core import count_jigsaw_subsets, count_varsaw_subsets
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.qaoa import make_qaoa_workload
-from repro.vqe import run_vqe
-from repro.workloads import make_estimator
-
-FULL = os.environ.get("REPRO_SCALE", "quick") == "full"
-N_NODES = 6
-BUDGET = 60_000 if FULL else 12_000
+ENTRY = "ext_qaoa"
+_STATE: dict = {}
 
 
-def test_qaoa_spatial_structure(benchmark):
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
+
+
+def test_qaoa_spatial_structure(benchmark, tmp_path_factory):
     """Single-basis problems leave little spatial redundancy to harvest."""
-
-    def experiment():
-        from repro.pauli import group_qwc
-
-        workload = make_qaoa_workload("ring", N_NODES, reps=2)
-        ham = workload.hamiltonian
-        paulis = [p for _, p in ham.non_identity_terms()]
-        return {
-            "paulis": len(paulis),
-            "baseline_groups": len(ham.measurement_groups()),
-            "qwc_families": len(group_qwc(paulis, ham.n_qubits)),
-            "jigsaw_subsets": count_jigsaw_subsets(ham, window=2),
-            "varsaw_subsets": count_varsaw_subsets(ham, window=2),
-        }
-
-    stats = run_once(benchmark, experiment)
-    print_table(
-        "Extension: QAOA ring-6 spatial structure "
-        "(all-Z terms are one QWC family)",
-        ["quantity", "count"],
-        [
-            ["ZZ Pauli terms", stats["paulis"]],
-            ["baseline cover circuits", stats["baseline_groups"]],
-            ["merged QWC families", stats["qwc_families"]],
-            ["JigSaw subsets / iteration", stats["jigsaw_subsets"]],
-            ["VarSaw subsets / iteration", stats["varsaw_subsets"]],
-        ],
-    )
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+    stats = select(
+        state["outcome"].records, point__task="structure"
+    )[0]["result"]
     # Every ZZ term lives in the single all-Z commuting family: the
     # spatial opportunity is structurally smaller than in VQE (§7.3).
     assert stats["qwc_families"] == 1
     # Spatial reduction still prunes the sliding-window subsets well
     # below the term count (shared 2-qubit windows merge).
-    assert stats["varsaw_subsets"] < stats["jigsaw_subsets"]
+    assert stats["varsaw"] < stats["jigsaw"]
 
 
-def test_qaoa_temporal_benefit(benchmark):
+def test_qaoa_temporal_benefit(benchmark, tmp_path_factory):
     """Sparse globals: more iterations and >= accuracy at fixed budget."""
-
-    def experiment():
-        rows = {}
-        for kind in ("baseline", "varsaw_no_sparsity", "varsaw_max_sparsity"):
-            workload = make_qaoa_workload("ring", N_NODES, reps=2)
-            backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=23)
-            estimator = make_estimator(kind, workload, backend, shots=256)
-            result = run_vqe(
-                estimator,
-                max_iterations=100_000,
-                circuit_budget=BUDGET,
-                seed=23,
-            )
-            rows[kind] = {
-                "energy": result.energy,
-                "iterations": result.iterations_completed(),
-                "circuits": result.circuits_executed,
-            }
-        rows["ideal_energy"] = make_qaoa_workload(
-            "ring", N_NODES
-        ).ideal_energy
-        return rows
-
-    stats = run_once(benchmark, experiment)
-    print_table(
-        f"Extension: QAOA ring-6 temporal benefit "
-        f"(fixed budget of {BUDGET} circuits; ideal "
-        f"{stats['ideal_energy']:.1f})",
-        ["scheme", "energy", "iterations", "circuits"],
-        [
-            [
-                kind,
-                fmt(stats[kind]["energy"], 3),
-                stats[kind]["iterations"],
-                stats[kind]["circuits"],
-            ]
-            for kind in (
-                "baseline",
-                "varsaw_no_sparsity",
-                "varsaw_max_sparsity",
-            )
-        ],
-    )
-    dense = stats["varsaw_no_sparsity"]
-    sparse = stats["varsaw_max_sparsity"]
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
+    runs = {
+        r["point"]["scheme"]: r["result"]
+        for r in select(state["outcome"].records, point__task="tuning")
+    }
+    dense = runs["varsaw_no_sparsity"]
+    sparse = runs["varsaw_max_sparsity"]
     # The temporal prediction: sparsity buys strictly more iterations...
-    assert sparse["iterations"] > dense["iterations"]
+    assert (
+        sparse["iterations_completed"] > dense["iterations_completed"]
+    )
     # ...and does not give up accuracy (small tolerance for tuner noise).
     assert sparse["energy"] <= dense["energy"] + 0.35

@@ -5,68 +5,52 @@ specific phases of VQA and to only specific terms in the Hamiltonian."
 This bench sweeps the term-selection mass fraction and reports the
 accuracy/cost trade-off curve at fixed parameters, plus a phase-gated
 tuning run.
+
+Ported to the declarative catalog (entry ``ext_selective_mitigation``):
+``energy`` / ``term_selective`` / ``phase_selective`` points; rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_table
 
-import numpy as np
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-from repro.analysis import optimal_parameters, scaled
-from repro.core import PhasePolicy, SelectiveVarSawEstimator, TermSelector
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.workloads import make_estimator, make_workload
-
-MASS_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+ENTRY = "ext_selective_mitigation"
+_STATE: dict = {}
 
 
-def test_ext_term_selective_tradeoff(benchmark):
-    workload = make_workload("CH4-6")
-    shots = scaled(2048, 8192)
-    device = ibmq_mumbai_like(scale=2.0)
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
 
-    def experiment():
-        params = optimal_parameters(workload, iterations=300)
-        ideal = make_estimator(
-            "ideal", workload, SimulatorBackend(seed=0)
-        ).evaluate(params)
-        baseline_backend = SimulatorBackend(device, seed=0)
-        baseline = make_estimator(
-            "baseline", workload, baseline_backend, shots=shots
-        ).evaluate(params)
-        rows = []
-        for fraction in MASS_FRACTIONS:
-            backend = SimulatorBackend(device, seed=0)
-            est = SelectiveVarSawEstimator(
-                workload.hamiltonian,
-                workload.ansatz,
-                backend,
-                shots=shots,
-                global_mode="always",
-                term_selector=TermSelector(fraction),
-            )
-            energy = est.evaluate(params)
-            rows.append(
-                {
-                    "fraction": fraction,
-                    "subsets": est.circuits_per_subset_pass,
-                    "error": abs(energy - ideal),
-                }
-            )
-        return ideal, baseline, rows
 
-    ideal, baseline, rows = benchmark.pedantic(
-        experiment, iterations=1, rounds=1
-    )
-    print_table(
-        f"Extension: term-selective mitigation on CH4-6 "
-        f"(ideal@params {ideal:.2f}, baseline error "
-        f"{abs(baseline - ideal):.3f})",
-        ["mass fraction", "subset circuits", "|error| vs ideal"],
-        [
-            [f"{r['fraction']:.2f}", r["subsets"], fmt(r["error"], 3)]
-            for r in rows
-        ],
-    )
+def test_ext_term_selective_tradeoff(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+
+    records = state["outcome"].records
+    ideal = select(
+        records, point__task="energy", point__scheme="ideal"
+    )[0]["result"]["energy"]
+    baseline = select(
+        records, point__task="energy", point__scheme="baseline"
+    )[0]["result"]["energy"]
+    rows = [
+        r["result"]
+        for r in select(records, point__task="term_selective")
+    ]
     # Subset cost grows with selected mass...
     costs = [r["subsets"] for r in rows]
     assert costs == sorted(costs)
@@ -77,54 +61,19 @@ def test_ext_term_selective_tradeoff(benchmark):
     assert rows[0]["subsets"] < rows[-1]["subsets"]
 
 
-def test_ext_phase_selective_run(benchmark):
+def test_ext_phase_selective_run(benchmark, tmp_path_factory):
     """Mitigate only the tuning endgame: cheaper than always-on, more
     accurate at the end than never-on."""
-    workload = make_workload(scaled("H2-4", "CH4-6"))
-    shots = scaled(256, 1024)
-    iterations = scaled(60, 600)
-    device = ibmq_mumbai_like(scale=2.0)
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
 
-    def experiment():
-        from repro.optimizers import SPSA
-        from repro.vqe import run_vqe
-
-        params0 = optimal_parameters(workload, iterations=300)
-        out = {}
-        for label, policy in (
-            ("always", None),
-            ("endgame", PhasePolicy(2 * iterations, start_fraction=0.5)),
-        ):
-            backend = SimulatorBackend(device, seed=7)
-            est = SelectiveVarSawEstimator(
-                workload.hamiltonian,
-                workload.ansatz,
-                backend,
-                shots=shots,
-                phase_policy=policy,
-            )
-            result = run_vqe(
-                est,
-                optimizer=SPSA(a=0.3, seed=7),
-                max_iterations=iterations,
-                initial_params=params0,
-                seed=7,
-            )
-            out[label] = {
-                "energy": result.energy,
-                "circuits": result.circuits_executed,
-            }
-        return out
-
-    out = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Extension: phase-selective mitigation",
-        ["policy", "final energy", "circuits"],
-        [
-            [label, fmt(v["energy"]), v["circuits"]]
-            for label, v in out.items()
-        ],
-    )
+    out = {
+        r["point"]["options"]["policy"]: r["result"]
+        for r in select(
+            state["outcome"].records, point__task="phase_selective"
+        )
+    }
     # Endgame-only mitigation is cheaper than always-on...
     assert out["endgame"]["circuits"] < out["always"]["circuits"]
     # ...at comparable accuracy.

@@ -5,126 +5,66 @@ XY — as the next applications, predicting both optimizations transfer
 because their Pauli terms spread across multiple measurement bases.  This
 bench quantifies that: spatial subset reduction on each model, plus a
 budgeted VQE run showing the temporal economics.
+
+Ported to the declarative catalog (entry ``ext_spin_models``): the spin
+chains are declarative ``{"model": ...}`` workloads and the noise-free
+pre-tune is the ``{"kind": "ideal_vqe"}`` warm start; rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_table
 
-from repro.analysis import fixed_budget_runs, scaled
-from repro.ansatz import EfficientSU2
-from repro.core import count_jigsaw_subsets, count_varsaw_subsets
-from repro.hamiltonian import (
-    ground_state_energy,
-    heisenberg_hamiltonian,
-    tfim_hamiltonian,
-    xy_hamiltonian,
-)
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import Workload
+from repro.sweeps import ResultStore, get_entry, run_entry, select
+
+ENTRY = "ext_spin_models"
+_STATE: dict = {}
 
 
-def spin_workloads(n_qubits: int):
-    return {
-        "TFIM": tfim_hamiltonian(n_qubits, coupling=1.0, field=0.7),
-        "Heisenberg": heisenberg_hamiltonian(n_qubits, field=0.3),
-        "XY": xy_hamiltonian(n_qubits, anisotropy=0.4, field=0.5),
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
+
+
+def test_ext_spin_model_spatial_reduction(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+    rows = {
+        r["point"]["workload"]["model"]: r["result"]
+        for r in select(state["outcome"].records, point__task="structure")
     }
-
-
-def test_ext_spin_model_spatial_reduction(benchmark):
-    n_qubits = scaled(8, 12)
-
-    def experiment():
-        rows = []
-        for name, ham in spin_workloads(n_qubits).items():
-            rows.append(
-                {
-                    "name": name,
-                    "terms": ham.num_terms,
-                    "baseline": len(ham.measurement_groups()),
-                    "jigsaw": count_jigsaw_subsets(ham),
-                    "varsaw": count_varsaw_subsets(ham),
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Extension: spatial reduction on {n_qubits}-qubit spin models",
-        ["model", "terms", "baseline circuits", "JigSaw subsets",
-         "VarSaw subsets", "reduction"],
-        [
-            [r["name"], r["terms"], r["baseline"], r["jigsaw"], r["varsaw"],
-             fmt(r["jigsaw"] / r["varsaw"], 1) + "x"]
-            for r in rows
-        ],
-    )
-    for r in rows:
-        assert r["varsaw"] < r["jigsaw"], r["name"]
+    for model, r in rows.items():
+        assert r["varsaw"] < r["jigsaw"], model
     # The multi-basis models (Heisenberg spans X/Y/Z) show the strongest
     # redundancy, as Section 7.3 predicts.
-    by_name = {r["name"]: r for r in rows}
-    heis_ratio = by_name["Heisenberg"]["jigsaw"] / by_name["Heisenberg"]["varsaw"]
-    assert heis_ratio > 2
+    heis = rows["heisenberg"]
+    assert heis["jigsaw"] / heis["varsaw"] > 2
 
 
-def test_ext_spin_model_temporal_economics(benchmark):
-    n_qubits = 6
-    budget = scaled(8_000, 80_000)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    def experiment():
-        from repro.noise import SimulatorBackend
-        from repro.vqe import IdealEstimator, run_vqe
-
-        out = {}
-        for name, ham in spin_workloads(n_qubits).items():
-            workload = Workload(
-                key=name,
-                hamiltonian=ham,
-                ansatz=EfficientSU2(n_qubits, reps=2, entanglement="full"),
-                device=device,
-                ideal_energy=ground_state_energy(ham),
+def test_ext_spin_model_temporal_economics(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
+    for model in ("tfim", "heisenberg", "xy"):
+        runs = {
+            r["point"]["scheme"]: r["result"]
+            for r in select(
+                state["outcome"].records, point__task="tuning",
+                point__workload__model=model,
             )
-            # Warm-start near the optimum so the budgeted phase compares
-            # achievable accuracy, not the cold-start transient (where a
-            # frozen Global misleads — the Fig. 9 noise-free effect).
-            ideal_est = IdealEstimator(ham, workload.ansatz)
-            warm = run_vqe(
-                ideal_est, max_iterations=scaled(200, 600), seed=73
-            ).parameters
-            out[name] = (
-                workload.ideal_energy,
-                fixed_budget_runs(
-                    ("varsaw_no_sparsity", "varsaw_max_sparsity"),
-                    workload,
-                    circuit_budget=budget,
-                    shots=shots,
-                    seed=73,
-                    initial_params=warm,
-                ),
-            )
-        return out
-
-    results = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Extension: temporal sparsity on {n_qubits}-qubit spin models "
-        f"(budget {budget})",
-        ["model", "ideal", "No-Sparsity E (iters)", "Max-Sparsity E (iters)"],
-        [
-            [
-                name,
-                fmt(ideal),
-                f"{fmt(runs['varsaw_no_sparsity'].energy)} "
-                f"({runs['varsaw_no_sparsity'].iterations})",
-                f"{fmt(runs['varsaw_max_sparsity'].energy)} "
-                f"({runs['varsaw_max_sparsity'].iterations})",
-            ]
-            for name, (ideal, runs) in results.items()
-        ],
-    )
-    for name, (ideal, runs) in results.items():
+        }
         sparse = runs["varsaw_max_sparsity"]
         dense = runs["varsaw_no_sparsity"]
-        assert sparse.iterations > 1.3 * dense.iterations, name
-        assert sparse.energy <= dense.energy + 0.4, name
+        assert sparse["iterations"] > 1.3 * dense["iterations"], model
+        assert sparse["energy"] <= dense["energy"] + 0.4, model

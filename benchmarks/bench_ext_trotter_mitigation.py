@@ -6,77 +6,44 @@ multiplicatively.  This bench regenerates the quench trace three ways
 (exact / noisy / JigSaw-mitigated) and asserts the mitigation recovers
 most of the bias at every evolution time; a second test pins the
 product-formula quality the experiment relies on.
+
+Ported to the declarative catalog (entry ``ext_trotter_mitigation``):
+``quench`` / ``trotter_error`` / ``quench_sweep`` points; rows are
+byte-identical to the pre-port output.
 """
 
-import numpy as np
-from conftest import fmt, print_table, run_once
+from conftest import print_table
 
-from repro.hamiltonian.tfim import tfim_hamiltonian
-from repro.mitigation import jigsaw_mitigate
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.sim.statevector import (
-    probabilities,
-    run_statevector,
-    zero_state,
-)
-from repro.trotter import (
-    average_magnetization,
-    evolve_exact,
-    trotter_circuit,
-)
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-N_QUBITS = 5
-FIELD = 1.2
-TIMES = (0.25, 0.5, 1.0, 2.0)
-SHOTS = 8192
+ENTRY = "ext_trotter_mitigation"
+_STATE: dict = {}
 
 
-def magnetization(probs: np.ndarray) -> float:
-    return average_magnetization(probs, N_QUBITS)
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
 
 
-def test_quench_mitigation(benchmark):
-    def experiment():
-        ham = tfim_hamiltonian(N_QUBITS, coupling=1.0, field=FIELD)
-        device = ibmq_mumbai_like(scale=2.0)
-        rows = []
-        for t in TIMES:
-            exact = magnetization(
-                probabilities(evolve_exact(ham, t, zero_state(N_QUBITS)))
-            )
-            circuit = trotter_circuit(ham, t, max(1, round(8 * t)), order=2)
-            circuit.measure_all()
-            backend = SimulatorBackend(device, seed=17)
-            noisy = magnetization(
-                backend.run(circuit, SHOTS).to_pmf().probs
-            )
-            backend = SimulatorBackend(device, seed=17)
-            mitigated = magnetization(
-                jigsaw_mitigate(
-                    backend, circuit, shots=SHOTS, window=2
-                ).output.probs
-            )
-            rows.append(
-                {
-                    "t": t,
-                    "exact": exact,
-                    "noisy": noisy,
-                    "jigsaw": mitigated,
-                }
-            )
-        return rows
-
-    rows = run_once(benchmark, experiment)
-    print_table(
-        "Extension: TFIM-5 quench magnetization "
-        "(2nd-order Trotter, 2x Mumbai noise)",
-        ["t", "exact", "noisy", "JigSaw"],
-        [
-            [r["t"], fmt(r["exact"], 3), fmt(r["noisy"], 3),
-             fmt(r["jigsaw"], 3)]
-            for r in rows
-        ],
-    )
+def test_quench_mitigation(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+    rows = [
+        r["result"]
+        for r in select(state["outcome"].records, point__task="quench")
+    ]
     improvements = 0
     for r in rows:
         noisy_err = abs(r["noisy"] - r["exact"])
@@ -87,36 +54,17 @@ def test_quench_mitigation(benchmark):
     assert improvements == len(rows)
 
 
-def test_trotter_formula_quality(benchmark):
+def test_trotter_formula_quality(benchmark, tmp_path_factory):
     """Product-formula error orders, as the library's docs claim."""
-
-    def experiment():
-        ham = tfim_hamiltonian(4, coupling=1.0, field=0.9)
-        rng = np.random.default_rng(7)
-        state = rng.normal(size=16) + 1j * rng.normal(size=16)
-        state /= np.linalg.norm(state)
-        exact = evolve_exact(ham, 1.0, state)
-        rows = []
-        for n_steps in (2, 4, 8, 16):
-            row = {"steps": n_steps}
-            for order in (1, 2):
-                circuit = trotter_circuit(ham, 1.0, n_steps, order=order)
-                evolved = run_statevector(
-                    circuit, initial_state=state.copy()
-                )
-                row[f"order{order}"] = 1.0 - abs(np.vdot(evolved, exact))
-            rows.append(row)
-        return rows
-
-    rows = run_once(benchmark, experiment)
-    print_table(
-        "Extension: Trotter infidelity vs steps (t=1, TFIM-4)",
-        ["steps", "order 1", "order 2"],
-        [
-            [r["steps"], f"{r['order1']:.2e}", f"{r['order2']:.2e}"]
-            for r in rows
-        ],
-    )
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
+    rows = [
+        r["result"]
+        for r in select(
+            state["outcome"].records, point__task="trotter_error"
+        )
+    ]
     # Monotone convergence, and order 2 dominates order 1 throughout.
     for a, b in zip(rows, rows[1:]):
         assert b["order1"] < a["order1"]
@@ -128,60 +76,23 @@ def test_trotter_formula_quality(benchmark):
     assert rows[-1]["order2"] < rows[0]["order2"] / 30
 
 
-def test_sparse_global_sweep(benchmark):
+def test_sparse_global_sweep(benchmark, tmp_path_factory):
     """VarSaw's temporal bet transplanted to the quench sweep.
 
     Adjacent time points share Globals: running a fresh Global only
     every 4th point costs a fraction of dense JigSaw at comparable
     accuracy — the Section 7.3 extension, end to end.
     """
-    from repro.sim.statevector import zero_state
-    from repro.trotter import evolve_exact, sparse_quench_sweep
-
-    SWEEP = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6)
-
-    def experiment():
-        ham = tfim_hamiltonian(N_QUBITS, coupling=1.0, field=FIELD)
-        device = ibmq_mumbai_like(scale=2.0)
-        exact = [
-            magnetization(
-                probabilities(evolve_exact(ham, t, zero_state(N_QUBITS)))
-            )
-            for t in SWEEP
-        ]
-        rows = {}
-        for label, period in (("dense (JigSaw/point)", 1), ("sparse", 4)):
-            backend = SimulatorBackend(device, seed=29)
-            result = sparse_quench_sweep(
-                backend,
-                ham,
-                SWEEP,
-                shots=4096,
-                global_period=period,
-            )
-            mags = [magnetization(o.probs) for o in result.outputs]
-            error = float(
-                np.mean([abs(m - e) for m, e in zip(mags, exact)])
-            )
-            rows[label] = {
-                "error": error,
-                "circuits": result.circuits_executed,
-                "globals": result.globals_executed,
-            }
-        return rows
-
-    stats = run_once(benchmark, experiment)
-    print_table(
-        "Extension: quench sweep with temporally sparse Globals "
-        f"(TFIM-{N_QUBITS}, {len(SWEEP)} time points)",
-        ["scheme", "mean |err|", "circuits", "globals"],
-        [
-            [label, fmt(row["error"], 3), row["circuits"], row["globals"]]
-            for label, row in stats.items()
-        ],
-    )
-    dense = stats["dense (JigSaw/point)"]
-    sparse = stats["sparse"]
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][2]
+    print_table(table.title, table.headers, table.rows)
+    by_period = {
+        r["point"]["options"]["period"]: r["result"]
+        for r in select(
+            state["outcome"].records, point__task="quench_sweep"
+        )
+    }
+    dense, sparse = by_period[1], by_period[4]
     assert sparse["circuits"] < dense["circuits"]
     assert sparse["globals"] == 2
     # The staleness bet: comparable accuracy at lower cost.

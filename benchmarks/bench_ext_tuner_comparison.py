@@ -6,63 +6,32 @@ with all three.  Expected shape: the noise-robust tuners (SPSA, ImFil)
 recover most of the start-to-ideal gap; Nelder-Mead improves but lags —
 the known simplex-collapse-under-shot-noise effect, which is exactly why
 Section 5.1 picks SPSA and ImFil in the first place.
+
+Ported to the declarative catalog (entry ``ext_tuner_comparison``): one
+``tuner_tuning`` point per tuner; rows are byte-identical to the
+pre-port output.
 """
 
-import os
+from conftest import print_tables
 
-import numpy as np
-from conftest import fmt, print_table, run_once
-
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.optimizers import SPSA, ImFil, NelderMead
-from repro.vqe import run_vqe
-from repro.workloads import make_estimator, make_workload
-
-FULL = os.environ.get("REPRO_SCALE", "quick") == "full"
-ITERATIONS = 400 if FULL else 120
+from repro.sweeps import ResultStore, get_entry, run_entry
 
 
-def test_tuner_robustness(benchmark):
-    def experiment():
-        workload = make_workload("H2-4")
-        start = np.full(workload.ansatz.num_parameters, 0.1)
-        tuners = {
-            "SPSA": SPSA(seed=19),
-            "ImFil": ImFil(),
-            "NelderMead": NelderMead(initial_step=0.3),
-        }
-        rows = {}
-        for name, tuner in tuners.items():
-            backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=19)
-            estimator = make_estimator(
-                "varsaw", workload, backend, shots=512
-            )
-            start_energy = estimator.evaluate(start)
-            result = run_vqe(
-                estimator,
-                optimizer=tuner,
-                max_iterations=ITERATIONS,
-                initial_params=start,
-            )
-            rows[name] = {
-                "start": start_energy,
-                "energy": result.energy,
-                "evals": result.iterations,
-            }
-        rows["ideal"] = workload.ideal_energy
-        return rows
-
-    stats = run_once(benchmark, experiment)
-    ideal = stats.pop("ideal")
-    print_table(
-        f"Extension: tuner ablation, VarSaw on H2-4 "
-        f"({ITERATIONS} iterations; ideal {ideal:.2f})",
-        ["tuner", "start", "final energy"],
-        [
-            [name, fmt(row["start"], 3), fmt(row["energy"], 3)]
-            for name, row in stats.items()
-        ],
+def test_tuner_robustness(benchmark, tmp_path):
+    entry = get_entry("ext_tuner_comparison")
+    store = ResultStore(tmp_path / "tuners.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    stats = {
+        r["point"]["options"]["tuner"]: r["result"]
+        for r in outcome.records
+    }
+    ideal = outcome.records[0]["result"]["ideal_energy"]
+
     def progress(row):
         return (row["start"] - row["energy"]) / (row["start"] - ideal)
 

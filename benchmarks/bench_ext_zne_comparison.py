@@ -12,61 +12,30 @@ at near-optimal parameters:
 Expected shape: both techniques beat the baseline; stacking is at least
 as good as either alone (they target different error structure: ZNE the
 aggregate bias, VarSaw the measurement channel specifically).
+
+Ported to the declarative catalog (entry ``ext_zne_comparison``):
+``energy`` / ``zne`` points; rows are byte-identical to the pre-port
+output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import energy_at_params, optimal_parameters, scaled
-from repro.mitigation import zne_energy
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-SCALES = (1.0, 1.5, 2.0)
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import zne_energies
 
 
-def test_ext_zne_comparison(benchmark):
-    workload = make_workload(scaled("H2-4", "CH4-6"))
-    shots = scaled(30_000, 60_000)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    def experiment():
-        params = optimal_parameters(workload, iterations=300)
-        ideal = energy_at_params("ideal", workload, params)
-        baseline = energy_at_params(
-            "baseline", workload, params, device=device, shots=shots
-        )
-        zne_base, _ = zne_energy(
-            workload, params, kind="baseline",
-            scales=SCALES, shots=shots, seed=0, base_device=device,
-        )
-        varsaw = energy_at_params(
-            "varsaw_no_sparsity", workload, params,
-            device=device, shots=shots,
-        )
-        zne_varsaw, _ = zne_energy(
-            workload, params, kind="varsaw_no_sparsity",
-            scales=SCALES, shots=shots, seed=0, base_device=device,
-        )
-        return {
-            "ideal": ideal,
-            "baseline": baseline,
-            "baseline+ZNE": zne_base,
-            "varsaw": varsaw,
-            "varsaw+ZNE": zne_varsaw,
-        }
-
-    results = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    ideal = results.pop("ideal")
-    print_table(
-        f"Extension: ZNE vs VarSaw on {workload.key} "
-        f"(ideal@params {ideal:.3f})",
-        ["scheme", "energy", "|error|"],
-        [
-            [name, fmt(value, 3), fmt(abs(value - ideal), 4)]
-            for name, value in results.items()
-        ],
+def test_ext_zne_comparison(benchmark, tmp_path):
+    entry = get_entry("ext_zne_comparison")
+    store = ResultStore(tmp_path / "zne.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
-    errors = {k: abs(v - ideal) for k, v in results.items()}
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    energies = zne_energies(outcome.records)
+    ideal = energies.pop("ideal")
+    errors = {k: abs(v - ideal) for k, v in energies.items()}
     # Both mitigations individually beat the raw baseline.
     assert errors["baseline+ZNE"] < errors["baseline"]
     assert errors["varsaw"] < errors["baseline"]

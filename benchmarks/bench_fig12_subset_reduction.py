@@ -6,52 +6,29 @@ VarSaw:JigSaw reduction ratio (green line).  Paper means: JigSaw ~5.5x the
 baseline, VarSaw ~0.2x, reduction ~25x on average and >1000x for Cr2-34.
 
 The 34-qubit Cr2 workload joins under ``REPRO_SCALE=full`` (it adds ~10s).
+
+Ported to the declarative catalog (entry ``fig12``): one ``structure``
+point per molecule through the checkpointed sweep runner; rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import geometric_mean, scaled
-from repro.core import count_jigsaw_subsets, count_varsaw_subsets
-from repro.hamiltonian import build_hamiltonian, molecule_keys
-
-QUICK_KEYS = [k for k in molecule_keys() if k != "Cr2-34"]
-FULL_KEYS = molecule_keys()
+from repro.analysis import geometric_mean
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import fig12_rows
 
 
-def test_fig12_subset_reduction(benchmark):
-    keys = scaled(QUICK_KEYS, FULL_KEYS)
-
-    def experiment():
-        rows = []
-        for key in keys:
-            ham = build_hamiltonian(key)
-            baseline = len(ham.measurement_groups())
-            jig = count_jigsaw_subsets(ham, window=2)
-            var = count_varsaw_subsets(ham, window=2)
-            rows.append(
-                {
-                    "key": key,
-                    "baseline": baseline,
-                    "jigsaw": jig,
-                    "varsaw": var,
-                    "jig_rel": jig / baseline,
-                    "var_rel": var / baseline,
-                    "ratio": jig / var,
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Fig. 12: subsets relative to baseline Paulis",
-        ["workload", "baseline", "JigSaw", "VarSaw",
-         "JigSaw/base", "VarSaw/base", "JigSaw:VarSaw"],
-        [
-            [r["key"], r["baseline"], r["jigsaw"], r["varsaw"],
-             fmt(r["jig_rel"]), fmt(r["var_rel"], 3), fmt(r["ratio"], 1)]
-            for r in rows
-        ],
+def test_fig12_subset_reduction(benchmark, tmp_path):
+    entry = get_entry("fig12")
+    store = ResultStore(tmp_path / "fig12.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    rows = fig12_rows(outcome.records)
     mean_ratio = geometric_mean([r["ratio"] for r in rows])
     print(f"geometric-mean reduction ratio: {mean_ratio:.1f}x "
           "(paper mean ~25x)")

@@ -10,85 +10,50 @@ Scale note: at quick scale the runs warm-start from a short ideal tune so
 the budgeted phase probes each scheme's *achievable accuracy* (the
 figure's message) rather than SPSA's early transient; ``REPRO_SCALE=full``
 runs the paper's cold-start 2000-iteration regime.
+
+Ported to the declarative catalog (entry ``fig13``): the three budgeted
+schemes are grid points and the Ideal trace is the entry's *followup*
+point (its iteration count is data-dependent — the max over the noisy
+runs).  Rows are byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import (
-    fixed_budget_runs,
-    optimal_parameters,
-    run_tuning,
-    scaled,
-)
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.optimizers import SPSA
-from repro.vqe import run_vqe
-from repro.workloads import make_estimator, make_workload
-
-KINDS = ("baseline", "jigsaw", "varsaw")
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
 
-def test_fig13_ch4_energy_trace(benchmark):
-    workload = make_workload("CH4-6")
-    budget = scaled(30_000, 600_000)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-    warm_start = scaled(True, False)
-
-    def experiment():
-        initial = (
-            optimal_parameters(workload, iterations=300)
-            if warm_start
-            else None
-        )
-        runs = {}
-        for kind in KINDS:
-            backend = SimulatorBackend(device, seed=13)
-            est = make_estimator(kind, workload, backend, shots=shots)
-            result = run_vqe(
-                est,
-                optimizer=SPSA(a=0.3, seed=13),
-                max_iterations=100_000,
-                circuit_budget=budget,
-                initial_params=initial,
-                seed=13,
-            )
-            runs[kind] = result
-        max_iters = max(r.iterations for r in runs.values())
-        ideal_backend = SimulatorBackend(seed=13)
-        ideal_est = make_estimator("ideal", workload, ideal_backend)
-        runs["ideal"] = run_vqe(
-            ideal_est,
-            optimizer=SPSA(a=0.3, seed=13),
-            max_iterations=max_iters,
-            initial_params=initial,
-            seed=13,
-        )
-        return runs
-
-    runs = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Fig. 13: {workload.key}, fixed budget of {budget} circuits "
-        f"(ideal ground energy {workload.ideal_energy:.2f})",
-        ["scheme", "final energy", "iterations", "circuits used"],
-        [
-            [kind, fmt(r.energy), r.iterations, r.circuits_executed]
-            for kind, r in runs.items()
-        ],
+def test_fig13_ch4_energy_trace(benchmark, tmp_path):
+    entry = get_entry("fig13")
+    store = ResultStore(tmp_path / "fig13.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
-    trace = runs["varsaw"].energy_history
+    print_tables(outcome.tables())
+
+    runs = {
+        r["point"]["scheme"]: r["result"] for r in outcome.records
+    }
+    trace = select(
+        outcome.records, point__scheme="varsaw"
+    )[0]["result"]["energy_history"]
     step = max(1, len(trace) // 8)
     print(
         "VarSaw best-so-far trace (iter:energy):",
         ", ".join(f"{i}:{trace[i]:.2f}" for i in range(0, len(trace), step)),
     )
 
+    # The grid (followup included) is fully checkpointed: a re-run
+    # executes nothing.
+    assert run_entry(entry, store).executed == []
+
     # JigSaw completes the fewest iterations (its per-iteration cost is
     # ~Qx higher); VarSaw completes the most of the mitigated schemes.
-    assert runs["varsaw"].iterations > 3 * runs["jigsaw"].iterations
-    assert runs["baseline"].iterations > runs["jigsaw"].iterations
+    assert runs["varsaw"]["iterations"] > 3 * runs["jigsaw"]["iterations"]
+    assert runs["baseline"]["iterations"] > runs["jigsaw"]["iterations"]
     # VarSaw achieves the best energy among the noisy schemes.
-    noisy_best = min(runs[k].energy for k in ("baseline", "jigsaw"))
-    assert runs["varsaw"].energy <= noisy_best + 0.05
+    noisy_best = min(
+        runs[k]["energy"] for k in ("baseline", "jigsaw")
+    )
+    assert runs["varsaw"]["energy"] <= noisy_best + 0.05
     # And the ideal is the floor.
-    assert runs["ideal"].energy <= runs["varsaw"].energy + 1e-9
+    assert runs["ideal"]["energy"] <= runs["varsaw"]["energy"] + 1e-9

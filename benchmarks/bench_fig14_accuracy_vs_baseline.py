@@ -5,88 +5,32 @@ same number of iterations; the bar is the share of the baseline's gap to
 the Ideal that VarSaw closes (paper: 13%-86%, mean 45%).  The secondary
 axis is the optimal fraction of Global executions (paper: ~0.01-0.1).
 
-Ported to a declarative :class:`~repro.sweeps.SweepSpec`: the workload x
+Ported to the declarative catalog (entry ``fig14``): the workload x
 scheme grid runs through the checkpointed sweep runner and the figure's
-rows are reassembled from the stored records (energy, ideal energy, and
-Global fraction are all captured per point).  Rows are identical to the
-pre-sweep ad-hoc loop.
+rows are reassembled from the stored records.  Rows are byte-identical
+to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import percent_inaccuracy_mitigated, scaled
-from repro.hamiltonian import molecule_keys
-from repro.sweeps import ResultStore, run_sweep, select, SweepSpec
-
-QUICK_KEYS = ["LiH-6", "H2O-6", "CH4-6"]
-FULL_KEYS = molecule_keys(temporal_only=True)
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import fig14_rows
 
 
 def test_fig14_accuracy_vs_baseline(benchmark, tmp_path):
-    keys = scaled(QUICK_KEYS, FULL_KEYS)
-    iterations = scaled(80, 2000)
-    shots = scaled(256, 1024)
-    warm = scaled(True, False)
-
-    spec = SweepSpec(
-        name="fig14_accuracy_vs_baseline",
-        base={
-            "device": {"preset": "ibmq_mumbai_like", "scale": 2.0},
-            "max_iterations": iterations,
-            "shots": shots,
-            "seed": 14,
-            "warm_start_iterations": 300 if warm else None,
-        },
-        axes={
-            "workload": [{"key": key} for key in keys],
-            "scheme": ["baseline", "varsaw"],
-        },
-    )
+    entry = get_entry("fig14")
     store = ResultStore(tmp_path / "fig14.jsonl")
-
-    def experiment():
-        report = run_sweep(spec, store)
-        records = list(report.records.values())
-        rows = []
-        for key in keys:
-            base, = select(
-                records, point__workload__key=key, point__scheme="baseline"
-            )
-            var, = select(
-                records, point__workload__key=key, point__scheme="varsaw"
-            )
-            rows.append(
-                {
-                    "key": key,
-                    "ideal": base["result"]["ideal_energy"],
-                    "baseline": base["result"]["energy"],
-                    "varsaw": var["result"]["energy"],
-                    "mitigated": percent_inaccuracy_mitigated(
-                        base["result"]["ideal_energy"],
-                        base["result"]["energy"],
-                        var["result"]["energy"],
-                    ),
-                    "global_fraction": var["result"]["global_fraction"],
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Fig. 14: VarSaw vs noisy baseline over {scaled(80, 2000)} iterations",
-        ["workload", "ideal", "baseline", "VarSaw", "% mitigated",
-         "global fraction"],
-        [
-            [r["key"], fmt(r["ideal"]), fmt(r["baseline"]), fmt(r["varsaw"]),
-             fmt(r["mitigated"], 0), fmt(r["global_fraction"], 3)]
-            for r in rows
-        ],
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+
+    rows = fig14_rows(outcome.records)
     mean = sum(r["mitigated"] for r in rows) / len(rows)
     print(f"mean % mitigated: {mean:.0f}% (paper: 45%)")
 
     # The grid is fully checkpointed: a re-run executes nothing.
-    assert run_sweep(spec, store).executed == []
+    assert run_entry(entry, store).executed == []
 
     # VarSaw improves on the baseline for most workloads and on average.
     improved = [r for r in rows if r["mitigated"] > 0]

@@ -3,94 +3,44 @@
 Both schemes spend the same number of executed circuits; VarSaw's lower
 per-iteration cost lets it run many more tuner iterations, closing 21-92%
 (mean 55%) of JigSaw's remaining inaccuracy in the paper.
+
+Ported to the declarative catalog (entry ``fig15``): per-workload
+budgets are correlated grid fields, so the entry uses explicit spec
+*cells*; rows are byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import (
-    fixed_budget_runs,
-    optimal_parameters,
-    percent_inaccuracy_mitigated,
-    scaled,
-)
-from repro.hamiltonian import molecule_keys
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-QUICK_KEYS = ["LiH-6", "H2O-6", "CH4-6"]
-FULL_KEYS = molecule_keys(temporal_only=True)
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import fig15_rows
 
 
-def test_fig15_varsaw_vs_jigsaw_fixed_budget(benchmark):
-    keys = scaled(QUICK_KEYS, FULL_KEYS)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    warm = scaled(True, False)
-
-    def experiment():
-        rows = []
-        for key in keys:
-            workload = make_workload(key)
-            groups = len(workload.hamiltonian.measurement_groups())
-            n = workload.n_qubits
-            # Budget sized so JigSaw affords a few hundred evaluations at
-            # full scale (paper: JigSaw completes a few 100 iterations).
-            budget = scaled(80, 800) * groups * (n - 1)
-            initial = (
-                optimal_parameters(workload, iterations=300)
-                if warm
-                else None
-            )
-            runs = fixed_budget_runs(
-                ("jigsaw", "varsaw"),
-                workload,
-                circuit_budget=budget,
-                shots=shots,
-                seed=15,
-                device=device,
-                initial_params=initial,
-            )
-            rows.append(
-                {
-                    "key": key,
-                    "budget": budget,
-                    "jigsaw": runs["jigsaw"],
-                    "varsaw": runs["varsaw"],
-                    "mitigated": percent_inaccuracy_mitigated(
-                        workload.ideal_energy,
-                        runs["jigsaw"].energy,
-                        runs["varsaw"].energy,
-                    ),
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Fig. 15: VarSaw vs JigSaw at equal circuit budget",
-        ["workload", "budget", "JigSaw E (iters)", "VarSaw E (iters)",
-         "% inaccuracy mitigated"],
-        [
-            [
-                r["key"],
-                r["budget"],
-                f"{fmt(r['jigsaw'].energy)} ({r['jigsaw'].iterations})",
-                f"{fmt(r['varsaw'].energy)} ({r['varsaw'].iterations})",
-                fmt(r["mitigated"], 0),
-            ]
-            for r in rows
-        ],
+def test_fig15_varsaw_vs_jigsaw_fixed_budget(benchmark, tmp_path):
+    entry = get_entry("fig15")
+    store = ResultStore(tmp_path / "fig15.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+
+    rows = fig15_rows(outcome.records)
     mean = sum(r["mitigated"] for r in rows) / len(rows)
     print(f"mean % mitigated over JigSaw: {mean:.0f}% (paper: 55%)")
 
+    # The grid is fully checkpointed: a re-run executes nothing.
+    assert run_entry(entry, store).executed == []
+
     for r in rows:
         # The economic mechanism: VarSaw runs far more iterations.
-        assert r["varsaw"].iterations > 2 * r["jigsaw"].iterations, r["key"]
+        assert (
+            r["varsaw"]["iterations"] > 2 * r["jigsaw"]["iterations"]
+        ), r["key"]
     # And converts them into better energy on average (the paper's 55%
     # comes from the full 2000-iteration regime; quick scale shows the
     # same direction at smaller magnitude).
     assert mean > 5
-    wins = [r for r in rows if r["varsaw"].energy <= r["jigsaw"].energy]
+    wins = [
+        r for r in rows
+        if r["varsaw"]["energy"] <= r["jigsaw"]["energy"]
+    ]
     assert len(wins) >= len(rows) - 1

@@ -1,79 +1,41 @@
 """Fig. 16: VarSaw's temporal optimization on 'real devices' (TFIM-5).
 
 The paper runs a 5-qubit, 3-term TFIM VQE on IBM Lagos and Jakarta.
-Hardware is substituted with the Lagos/Jakarta-like noise presets
-(documented in DESIGN.md); the experiment itself is identical: VarSaw with
-Global sparsity vs VarSaw without, same circuit budget.  Paper findings:
-sparse VarSaw completes ~4x the iterations and improves the objective
-1.5-3x.
+Hardware is substituted with the Lagos/Jakarta-like noise presets; the
+experiment itself is identical: VarSaw with Global sparsity vs VarSaw
+without, same circuit budget.  Paper findings: sparse VarSaw completes
+~4x the iterations and improves the objective 1.5-3x.
+
+Ported to the declarative catalog (entry ``fig16``): the paper's TFIM is
+the ``{"named": "paper_tfim"}`` workload, the devices are grid cells;
+rows are byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import fixed_budget_runs, scaled
-from repro.ansatz import EfficientSU2
-from repro.hamiltonian import ground_state_energy, paper_tfim
-from repro.noise import ibm_jakarta_like, ibm_lagos_like
-from repro.workloads import Workload
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
 KINDS = ("varsaw_no_sparsity", "varsaw_max_sparsity")
+DEVICES = {"lagos": "ibm_lagos_like", "jakarta": "ibm_jakarta_like"}
 
 
-def tfim_workload(device) -> Workload:
-    ham = paper_tfim()
-    return Workload(
-        key="TFIM-5x3",
-        hamiltonian=ham,
-        ansatz=EfficientSU2(5, reps=2, entanglement="full"),
-        device=device,
-        ideal_energy=ground_state_energy(ham),
+def test_fig16_tfim_on_device_models(benchmark, tmp_path):
+    entry = get_entry("fig16")
+    store = ResultStore(tmp_path / "fig16.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
 
-
-def test_fig16_tfim_on_device_models(benchmark):
-    budget = scaled(6_000, 60_000)
-    shots = scaled(256, 1024)
-    devices = {
-        "lagos": ibm_lagos_like(scale=2.0),
-        "jakarta": ibm_jakarta_like(scale=2.0),
-    }
-
-    def experiment():
-        out = {}
-        for name, device in devices.items():
-            workload = tfim_workload(device)
-            out[name] = (
-                workload,
-                fixed_budget_runs(
-                    KINDS,
-                    workload,
-                    circuit_budget=budget,
-                    shots=shots,
-                    seed=16,
-                ),
-            )
-        return out
-
-    results = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    rows = []
-    for name, (workload, runs) in results.items():
-        for kind, run in runs.items():
-            rows.append(
-                [name, kind, fmt(run.energy), run.iterations,
-                 run.result.circuits_executed]
-            )
-    ideal = next(iter(results.values()))[0].ideal_energy
-    print_table(
-        f"Fig. 16: TFIM-5 (3 Pauli terms), ideal = {ideal:.3f}, "
-        f"budget = {budget} circuits",
-        ["device", "scheme", "energy", "iterations", "circuits"],
-        rows,
-    )
-
-    for name, (workload, runs) in results.items():
+    for name, preset in DEVICES.items():
+        records = select(
+            outcome.records, point__device__preset=preset
+        )
+        runs = {r["point"]["scheme"]: r["result"] for r in records}
         sparse = runs["varsaw_max_sparsity"]
         dense = runs["varsaw_no_sparsity"]
         # Sparse VarSaw completes several times the iterations (paper: ~4x).
-        assert sparse.iterations > 1.5 * dense.iterations, name
+        assert sparse["iterations"] > 1.5 * dense["iterations"], name
         # And its objective is at least competitive.
-        assert sparse.energy <= dense.energy + 0.3, name
+        assert sparse["energy"] <= dense["energy"] + 0.3, name

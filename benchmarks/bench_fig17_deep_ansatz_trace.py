@@ -4,52 +4,31 @@ A deeper ansatz has more parameters, so stale Globals are more wrong per
 iteration — yet the paper finds the per-iteration savings still win: the
 sparse run converges lower for the same circuit budget, despite a slower
 per-iteration convergence rate.
+
+Ported to the declarative catalog (entry ``fig17``); rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import fixed_budget_runs, optimal_parameters, scaled
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-KINDS = ("varsaw_no_sparsity", "varsaw_max_sparsity")
+from repro.sweeps import ResultStore, get_entry, run_entry
 
 
-def test_fig17_deep_ansatz(benchmark):
-    workload = make_workload("LiH-6", reps=4)
-    budget = scaled(30_000, 300_000)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-    warm = scaled(True, False)
-
-    def experiment():
-        initial = (
-            optimal_parameters(workload, iterations=300) if warm else None
-        )
-        return fixed_budget_runs(
-            KINDS,
-            workload,
-            circuit_budget=budget,
-            shots=shots,
-            seed=17,
-            device=device,
-            initial_params=initial,
-        )
-
-    runs = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Fig. 17: {workload.key}, p = 4, budget = {budget} "
-        f"(ideal = {workload.ideal_energy:.2f})",
-        ["scheme", "final energy", "iterations", "circuits"],
-        [
-            [kind, fmt(run.energy), run.iterations,
-             run.result.circuits_executed]
-            for kind, run in runs.items()
-        ],
+def test_fig17_deep_ansatz(benchmark, tmp_path):
+    entry = get_entry("fig17")
+    store = ResultStore(tmp_path / "fig17.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    runs = {
+        r["point"]["scheme"]: r["result"] for r in outcome.records
+    }
     sparse = runs["varsaw_max_sparsity"]
     dense = runs["varsaw_no_sparsity"]
     # More iterations for the same budget...
-    assert sparse.iterations > 1.5 * dense.iterations
+    assert sparse["iterations"] > 1.5 * dense["iterations"]
     # ...and a final energy that is competitive or better.
-    assert sparse.energy <= dense.energy + 0.2
+    assert sparse["energy"] <= dense["energy"] + 0.2

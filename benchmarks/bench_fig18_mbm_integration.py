@@ -3,69 +3,40 @@
 VarSaw+MBM applies the calibration-matrix inverse to every Global-PMF
 before Bayesian reconstruction.  The paper sees ~10% improvement for H2O
 and a negligible (but less noisy) change for LiH — i.e. MBM never hurts.
+
+Ported to the declarative catalog (entry ``fig18``): the ``mbm``
+estimator flag is materialized into a live
+:class:`~repro.mitigation.MatrixMitigator` by the tuning executor; rows
+are byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import optimal_parameters, run_tuning, scaled
-from repro.mitigation import MatrixMitigator
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
-from repro.workloads import make_workload
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
 KEYS = ["LiH-6", "H2O-6"]
 
 
-def test_fig18_varsaw_plus_mbm(benchmark):
-    keys = KEYS
-    iterations = scaled(60, 800)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-    warm = scaled(True, False)
-
-    def experiment():
-        rows = []
-        for key in keys:
-            workload = make_workload(key)
-            initial = (
-                optimal_parameters(workload, iterations=300)
-                if warm
-                else None
-            )
-            mitigator = MatrixMitigator.from_device(
-                SimulatorBackend(device), range(workload.n_qubits)
-            )
-            plain = run_tuning(
-                "varsaw", workload, max_iterations=iterations,
-                shots=shots, seed=18, device=device,
-                initial_params=initial,
-            )
-            stacked = run_tuning(
-                "varsaw", workload, max_iterations=iterations,
-                shots=shots, seed=18, device=device, mbm=mitigator,
-                initial_params=initial,
-            )
-            rows.append(
-                {
-                    "key": key,
-                    "ideal": workload.ideal_energy,
-                    "varsaw": plain.energy,
-                    "varsaw_mbm": stacked.energy,
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Fig. 18: VarSaw vs VarSaw+MBM over {scaled(60, 800)} iterations",
-        ["workload", "ideal", "VarSaw", "VarSaw+MBM"],
-        [
-            [r["key"], fmt(r["ideal"]), fmt(r["varsaw"]),
-             fmt(r["varsaw_mbm"])]
-            for r in rows
-        ],
+def test_fig18_varsaw_plus_mbm(benchmark, tmp_path):
+    entry = get_entry("fig18")
+    store = ResultStore(tmp_path / "fig18.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
-    for r in rows:
-        err_plain = abs(r["varsaw"] - r["ideal"])
-        err_stacked = abs(r["varsaw_mbm"] - r["ideal"])
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    for key in KEYS:
+        plain, = select(
+            outcome.records, point__workload__key=key,
+            point__estimator={},
+        )
+        stacked, = select(
+            outcome.records, point__workload__key=key,
+            point__estimator={"mbm": True},
+        )
+        ideal = plain["result"]["ideal_energy"]
+        err_plain = abs(plain["result"]["energy"] - ideal)
+        err_stacked = abs(stacked["result"]["energy"] - ideal)
         # MBM stacking never hurts beyond noise (paper: ~0-10% gain).
-        assert err_stacked <= err_plain * 1.25 + 0.05, r["key"]
+        assert err_stacked <= err_plain * 1.25 + 0.05, key

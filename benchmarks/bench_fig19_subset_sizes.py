@@ -7,72 +7,29 @@ VarSaw mitigation at window sizes 2-5.  The paper's two findings:
   with window size;
 * the number of subset circuits executed grows with window size, so the
   2-qubit window dominates (most mitigation for the fewest circuits).
+
+Ported to the declarative catalog (entry ``fig19``): the reference,
+baseline, and per-window evaluations are ``energy`` task points; rows
+are byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import (
-    mean_energy_at_params,
-    optimal_parameters,
-    percent_inaccuracy_mitigated,
-    scaled,
-)
-from repro.core import count_varsaw_subsets
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-WINDOWS = (2, 3, 4, 5)
-KEYS = ["LiH-6", "CH4-6", "H2O-6"]
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import fig19_rows
 
 
-def test_fig19_subset_sizes(benchmark):
-    shots = scaled(2048, 8192)
-    trials = scaled(2, 5)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    def experiment():
-        rows = []
-        for key in KEYS:
-            workload = make_workload(key)
-            params = optimal_parameters(workload, iterations=300)
-            from repro.analysis import energy_at_params
-
-            ref = energy_at_params("ideal", workload, params)
-            noisy = mean_energy_at_params(
-                "baseline", workload, params,
-                trials=trials, device=device, shots=shots,
-            )
-            for window in WINDOWS:
-                mitigated = mean_energy_at_params(
-                    "varsaw_no_sparsity", workload, params,
-                    trials=trials, device=device, shots=shots,
-                    window=window,
-                )
-                rows.append(
-                    {
-                        "key": key,
-                        "window": window,
-                        "subsets": count_varsaw_subsets(
-                            workload.hamiltonian, window=window
-                        ),
-                        "improvement": percent_inaccuracy_mitigated(
-                            ref, noisy, mitigated
-                        ),
-                    }
-                )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Fig. 19: subset-size sweep at optimal parameters",
-        ["workload", "window", "subset circuits", "% accuracy improvement"],
-        [
-            [r["key"], r["window"], r["subsets"], fmt(r["improvement"], 0)]
-            for r in rows
-        ],
+def test_fig19_subset_sizes(benchmark, tmp_path):
+    entry = get_entry("fig19")
+    store = ResultStore(tmp_path / "fig19.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
-    by_key = {}
-    for r in rows:
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    by_key: dict = {}
+    for r in fig19_rows(outcome.records):
         by_key.setdefault(r["key"], []).append(r)
     for key, entries in by_key.items():
         entries.sort(key=lambda r: r["window"])

@@ -3,64 +3,60 @@
 Regenerates the paper's 4-qubit trace — 10 Hamiltonian terms, 7 circuits
 after trivial commutation, 21 JigSaw subsets, 9 VarSaw subsets — and the
 Fig. 7 arrow counts for the 27 three-qubit {I,X,Z} strings.
+
+Ported to the declarative catalog: the grid is
+``repro.sweeps.catalog`` entry ``fig6_fig7`` and runs through the
+checkpointed sweep runner; rows are byte-identical to the pre-port
+output (golden-parity suite).
 """
 
 from conftest import print_table
 
-from repro.core import count_jigsaw_subsets, count_varsaw_subsets, varsaw_subset_plan
-from repro.hamiltonian import Hamiltonian
-from repro.pauli import PauliString, all_strings, cover_reduce, measuring_parents
+from repro.sweeps import ResultStore, get_entry, run_entry, select
 
-FIG6_TERMS = [
-    "ZZIZ", "ZIZX", "ZZII", "IIZX", "ZXXZ",
-    "XZIZ", "ZXIZ", "IXZZ", "XIZZ", "XXIX",
-]
+ENTRY = "fig6_fig7"
+_STATE: dict = {}
 
 
-def test_fig6_worked_example(benchmark):
-    def experiment():
-        paulis = [PauliString(t) for t in FIG6_TERMS]
-        ham = Hamiltonian([(1.0, p) for p in paulis], name="fig6")
-        groups = cover_reduce(paulis, 4)
-        plan = varsaw_subset_plan(paulis, window=2)
-        return {
-            "h_base": len(paulis),
-            "c_comm": len(groups),
-            "c_jigsaw": count_jigsaw_subsets(ham, window=2),
-            "c_varsaw": count_varsaw_subsets(ham, window=2),
-            "varsaw_subsets": sorted(s.label for s in plan.as_strings()),
-        }
-
-    stats = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Fig. 6 worked example (paper values: 10 / 7 / 21 / 9)",
-        ["stage", "circuits"],
-        [
-            ["(1) H_Base Pauli terms", stats["h_base"]],
-            ["(2) C_Comm after trivial commutation", stats["c_comm"]],
-            ["(3) C_JigSaw 2-qubit sliding-window subsets", stats["c_jigsaw"]],
-            ["(4) C_VarSaw commuted subsets", stats["c_varsaw"]],
-        ],
-    )
-    print("C_VarSaw members:", " + ".join(stats["varsaw_subsets"]))
-    assert stats["h_base"] == 10
-    assert stats["c_comm"] == 7
-    assert stats["c_jigsaw"] == 21
-    assert stats["c_varsaw"] == 9
+def _run(benchmark, tmp_path_factory):
+    if not _STATE:
+        store = ResultStore(tmp_path_factory.mktemp(ENTRY) / "store.jsonl")
+        entry = get_entry(ENTRY)
+        outcome = benchmark.pedantic(
+            lambda: run_entry(entry, store), iterations=1, rounds=1
+        )
+        _STATE["outcome"] = outcome
+        _STATE["tables"] = outcome.tables()
+        # The grid is fully checkpointed: a re-run executes nothing.
+        assert run_entry(entry, store).executed == []
+    else:
+        benchmark.pedantic(lambda: _STATE["outcome"], iterations=1,
+                           rounds=1)
+    return _STATE
 
 
-def test_fig7_commutation_graph(benchmark):
-    def experiment():
-        universe = all_strings(3, "IXZ")
-        return {
-            label: len(measuring_parents(PauliString(label), universe))
-            for label in ("III", "IIZ", "IZZ", "ZZZ")
-        }
+def test_fig6_worked_example(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][0]
+    print_table(table.title, table.headers, table.rows)
+    stats = select(
+        state["outcome"].records, point__task="structure"
+    )[0]["result"]
+    print("C_VarSaw members:", " + ".join(stats["subset_labels"]))
+    assert stats["paulis"] == 10
+    assert stats["cover_groups"] == 7
+    assert stats["jigsaw"] == 21
+    assert stats["varsaw"] == 9
 
-    counts = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Fig. 7 commuting-parent counts (paper: 26 / 8 / 2 / 0)",
-        ["Pauli", "parents"],
-        [[k, v] for k, v in counts.items()],
-    )
+
+def test_fig7_commutation_graph(benchmark, tmp_path_factory):
+    state = _run(benchmark, tmp_path_factory)
+    table = state["tables"][1]
+    print_table(table.title, table.headers, table.rows)
+    counts = {
+        r["point"]["options"]["label"]: r["result"]["parents"]
+        for r in select(
+            state["outcome"].records, point__task="commuting_parents"
+        )
+    }
     assert counts == {"III": 26, "IIZ": 8, "IZZ": 2, "ZZZ": 0}

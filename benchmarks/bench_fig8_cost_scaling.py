@@ -3,35 +3,33 @@
 Regenerates every curve: Traditional VQA (~Q^4), JigSaw+VQA (~Q^5), and
 VarSaw at sparsities k = 1, 0.1, 0.01, 0.001 (~Q..Q^4).  Asserts the
 orderings and the crossovers the figure shows.
+
+Ported to the declarative catalog (entry ``fig8``): the analytic series
+is one checkpointed ``cost_model`` point; rows are byte-identical to
+the pre-port output.
 """
 
-from conftest import print_table
+from conftest import print_tables
 
-from repro.core import figure8_series, jigsaw_cost, traditional_cost, varsaw_cost
+from repro.core import jigsaw_cost, traditional_cost, varsaw_cost
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import FIG8_QUBITS, FIG8_SPARSITIES
 
-QUBITS = [4, 10, 50, 100, 200, 500, 1000]
-SPARSITIES = (1.0, 0.1, 0.01, 0.001)
 
-
-def test_fig8_cost_scaling(benchmark):
-    series = benchmark.pedantic(
-        lambda: figure8_series(qubit_counts=QUBITS, sparsities=SPARSITIES),
-        iterations=1,
-        rounds=1,
+def test_fig8_cost_scaling(benchmark, tmp_path):
+    entry = get_entry("fig8")
+    store = ResultStore(tmp_path / "fig8.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
-    headers = ["Q"] + list(series)
-    rows = []
-    for i, q in enumerate(QUBITS):
-        rows.append(
-            [q] + [f"{series[label][i][1]:.3g}" for label in series]
-        )
-    print_table("Fig. 8: circuits per VQA iteration", headers, rows)
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
 
-    for q in QUBITS:
+    for q in FIG8_QUBITS:
         # JigSaw is the costliest curve everywhere.
         assert jigsaw_cost(q) >= traditional_cost(q)
         # Sparsity strictly orders the VarSaw family.
-        costs = [varsaw_cost(q, k) for k in SPARSITIES]
+        costs = [varsaw_cost(q, k) for k in FIG8_SPARSITIES]
         assert costs == sorted(costs, reverse=True)
     # VarSaw k=1 overlaps Traditional at scale (the figure's overlap).
     assert varsaw_cost(1000, 1.0) / traditional_cost(1000) < 1.01

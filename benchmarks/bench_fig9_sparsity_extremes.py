@@ -8,79 +8,58 @@ observations:
   No-Sparsity reaches much lower energy;
 * noisy: Max-Sparsity is competitive (or better), while completing many
   more tuner iterations for the same budget.
+
+Ported to the declarative catalog (entry ``fig9``): the setting x scheme
+grid runs through the checkpointed sweep runner; rows are byte-identical
+to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import fixed_budget_runs, optimal_parameters, scaled
-from repro.noise import ibmq_mumbai_like, ideal_device
-from repro.workloads import make_workload
+from repro.sweeps import ResultStore, get_entry, run_entry
 
 KINDS = ("varsaw_no_sparsity", "varsaw_max_sparsity")
 
 
-def test_fig9_sparsity_extremes(benchmark):
-    budget = scaled(25_000, 400_000)
-    shots = scaled(256, 1024)
-    workload = make_workload("CH4-6")
-    noisy_device = ibmq_mumbai_like(scale=2.0)
-    warm = scaled(True, False)
-
-    def experiment():
-        initial = (
-            optimal_parameters(workload, iterations=300) if warm else None
-        )
-        out = {}
-        for label, device in [
-            ("noise-free", ideal_device(27)),
-            ("noisy", noisy_device),
-        ]:
-            out[label] = fixed_budget_runs(
-                KINDS,
-                workload,
-                circuit_budget=budget,
-                shots=shots,
-                seed=9,
-                device=device,
-                initial_params=initial,
-            )
-        return out
-
-    runs = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    rows = []
-    for label in ("noise-free", "noisy"):
-        for kind in KINDS:
-            run = runs[label][kind]
-            rows.append(
-                [label, kind, fmt(run.energy), run.iterations,
-                 run.result.circuits_executed]
-            )
-    print_table(
-        f"Fig. 9: sparsity extremes on {workload.key} "
-        f"(ideal = {workload.ideal_energy:.2f}, budget = {budget})",
-        ["setting", "scheme", "energy", "iterations", "circuits"],
-        rows,
+def test_fig9_sparsity_extremes(benchmark, tmp_path):
+    entry = get_entry("fig9")
+    store = ResultStore(tmp_path / "fig9.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
 
-    free, noisy = runs["noise-free"], runs["noisy"]
+    def run(preset: str, kind: str) -> dict:
+        record, = [
+            r for r in outcome.records
+            if r["point"]["device"]["preset"] == preset
+            and r["point"]["scheme"] == kind
+        ]
+        return record["result"]
+
+    free = {kind: run("ideal", kind) for kind in KINDS}
+    noisy = {kind: run("ibmq_mumbai_like", kind) for kind in KINDS}
+    ideal_energy = outcome.records[0]["result"]["ideal_energy"]
+
     # Max-Sparsity completes more iterations in both settings (it skips
     # the per-iteration Globals).
     for setting in (free, noisy):
         assert (
-            setting["varsaw_max_sparsity"].iterations
-            > setting["varsaw_no_sparsity"].iterations
+            setting["varsaw_max_sparsity"]["iterations"]
+            > setting["varsaw_no_sparsity"]["iterations"]
         )
     # Noise-free: No-Sparsity reaches at-least-as-low energy (the frozen
     # Global hurts Max-Sparsity).
     assert (
-        free["varsaw_no_sparsity"].energy
-        <= free["varsaw_max_sparsity"].energy + 0.05
+        free["varsaw_no_sparsity"]["energy"]
+        <= free["varsaw_max_sparsity"]["energy"] + 0.05
     )
     # Noisy: Max-Sparsity is competitive — within a small margin or better
     # (the paper observes it marginally winning).
     gap = (
-        noisy["varsaw_max_sparsity"].energy
-        - noisy["varsaw_no_sparsity"].energy
+        noisy["varsaw_max_sparsity"]["energy"]
+        - noisy["varsaw_no_sparsity"]["energy"]
     )
-    spread = abs(workload.ideal_energy) * 0.1 + 1.0
+    spread = abs(ideal_energy) * 0.1 + 1.0
     assert gap < spread

@@ -9,70 +9,29 @@ The paper decomposes the cost win into the spatial and temporal parts:
 This bench computes all four per-iteration cost quantities from the real
 workload structures plus a measured temporal run, then checks the stacking
 arithmetic the paper walks through.
+
+Ported to the declarative catalog (entry ``sec67``): per workload, one
+``structure`` point (subset counts) and one ``tuning`` point (the
+measured global fraction); rows are byte-identical to the pre-port
+output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import run_tuning, scaled
-from repro.core import count_jigsaw_subsets, count_varsaw_subsets
-from repro.hamiltonian import build_hamiltonian
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-QUICK_KEYS = ["CH4-6", "H2O-6"]
-FULL_KEYS = ["LiH-6", "H2O-6", "CH4-6", "LiH-8", "H2O-8", "CH4-8"]
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import sec67_rows
 
 
-def test_sec67_optimization_ablation(benchmark):
-    keys = scaled(QUICK_KEYS, FULL_KEYS)
-    iterations = scaled(60, 500)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    def experiment():
-        rows = []
-        for key in keys:
-            ham = build_hamiltonian(key)
-            baseline = len(ham.measurement_groups())
-            jig_subsets = count_jigsaw_subsets(ham)
-            var_subsets = count_varsaw_subsets(ham)
-            # Measure the adaptive scheduler's realized global fraction.
-            workload = make_workload(key)
-            run = run_tuning(
-                "varsaw", workload, max_iterations=iterations,
-                shots=shots, seed=67, device=device,
-            )
-            fraction = run.global_fraction
-            # Per-iteration circuit costs of each configuration.
-            cost_baseline = baseline
-            cost_jigsaw = baseline + jig_subsets
-            cost_spatial_only = baseline + var_subsets  # globals every iter
-            cost_full = fraction * baseline + var_subsets
-            rows.append(
-                {
-                    "key": key,
-                    "baseline": cost_baseline,
-                    "jigsaw": cost_jigsaw,
-                    "spatial": cost_spatial_only,
-                    "full": cost_full,
-                    "fraction": fraction,
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Section 6.7: per-iteration circuit cost by configuration",
-        ["workload", "baseline", "JigSaw", "VarSaw spatial-only",
-         "VarSaw full", "global fraction", "full vs JigSaw", "full vs base"],
-        [
-            [r["key"], r["baseline"], r["jigsaw"], r["spatial"],
-             fmt(r["full"], 1), fmt(r["fraction"], 3),
-             fmt(r["jigsaw"] / r["full"], 1) + "x",
-             fmt(r["baseline"] / r["full"], 1) + "x"]
-            for r in rows
-        ],
+def test_sec67_optimization_ablation(benchmark, tmp_path):
+    entry = get_entry("sec67")
+    store = ResultStore(tmp_path / "sec67.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    rows = sec67_rows(outcome.records)
     for r in rows:
         # Spatial alone already beats JigSaw substantially...
         assert r["spatial"] < 0.5 * r["jigsaw"], r["key"]

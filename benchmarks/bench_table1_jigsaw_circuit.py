@@ -4,71 +4,29 @@ The ansatz is tuned noise-free ("optimal parameters known from ideal
 simulation"), then evaluated under noise with and without JigSaw.  The
 paper's claim: JigSaw recovers most (>70%) of the measurement-error-
 induced energy inaccuracy for LiH, H2O, H2, and CH4.
+
+Ported to the declarative catalog (entry ``table1``): the reference and
+trial-averaged evaluations are ``energy`` task points; rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import (
-    energy_at_params,
-    energy_error,
-    mean_energy_at_params,
-    optimal_parameters,
-    percent_inaccuracy_mitigated,
-    scaled,
-)
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-WORKLOADS = ["LiH-6", "H2O-6", "H2-4", "CH4-6"]
+from repro.analysis import energy_error
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import table1_rows
 
 
-def test_table1_jigsaw_circuit_level(benchmark):
-    shots = scaled(2048, 8192)
-    trials = scaled(2, 5)
-    tune_iterations = scaled(300, 1500)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    def experiment():
-        rows = []
-        for key in WORKLOADS:
-            workload = make_workload(key)
-            params = optimal_parameters(workload, iterations=tune_iterations)
-            # The noise-free energy *at these parameters* is the reference
-            # the noise-induced error is measured against (any residual
-            # tuning gap to the true ground state is common to every row).
-            ref = energy_at_params("ideal", workload, params)
-            common = dict(trials=trials, device=device, shots=shots)
-            noisy = mean_energy_at_params(
-                "baseline", workload, params, **common
-            )
-            jigsaw = mean_energy_at_params(
-                "jigsaw", workload, params, **common
-            )
-            rows.append(
-                {
-                    "key": key,
-                    "ground": workload.ideal_energy,
-                    "ref": ref,
-                    "noisy": noisy,
-                    "jigsaw": jigsaw,
-                    "recovered": percent_inaccuracy_mitigated(
-                        ref, noisy, jigsaw
-                    ),
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Table 1: energies at optimal parameters (subset size 2)",
-        ["Workload", "Ground", "Ref@params", "Noisy VQE", "VQE+JigSaw",
-         "% recovered"],
-        [
-            [r["key"], fmt(r["ground"]), fmt(r["ref"]), fmt(r["noisy"]),
-             fmt(r["jigsaw"]), fmt(r["recovered"], 0)]
-            for r in rows
-        ],
+def test_table1_jigsaw_circuit_level(benchmark, tmp_path):
+    entry = get_entry("table1")
+    store = ResultStore(tmp_path / "table1.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    rows = table1_rows(outcome.records)
     for r in rows:
         # JigSaw lands strictly closer to the reference than the noisy run.
         assert energy_error(r["jigsaw"], r["ref"]) < energy_error(

@@ -10,74 +10,30 @@ Scale note: the benefit's *mechanism* — selective execution completes
 several times the iterations per budget at no energy cost — is asserted at
 every scale; the net accuracy-advantage magnitude needs the paper's long
 (2000-iteration-class) runs and is asserted under ``REPRO_SCALE=full``.
+
+Ported to the declarative catalog (entry ``table3``); rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import (
-    fixed_budget_runs,
-    is_full_scale,
-    percent_inaccuracy_mitigated,
-    scaled,
-)
+from repro.analysis import is_full_scale
 from repro.ansatz import ENTANGLEMENT_TYPES
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
-
-QUICK_KEYS = ["CH4-6"]
-FULL_KEYS = ["CH4-6", "H2O-6", "LiH-6"]
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import selective_table
 
 
-def test_table3_ansatz_types(benchmark):
-    keys = scaled(QUICK_KEYS, FULL_KEYS)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
+def test_table3_ansatz_types(benchmark, tmp_path):
+    entry = get_entry("table3")
+    store = ResultStore(tmp_path / "table3.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
+    )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
 
-    def experiment():
-        table = {}
-        for key in keys:
-            for ent in ENTANGLEMENT_TYPES:
-                workload = make_workload(key, entanglement=ent)
-                groups = len(workload.hamiltonian.measurement_groups())
-                budget = scaled(150, 4000) * groups
-                runs = fixed_budget_runs(
-                    ("varsaw_no_sparsity", "varsaw"),
-                    workload,
-                    circuit_budget=budget,
-                    shots=shots,
-                    seed=3,
-                    device=device,
-                )
-                table[(key, ent)] = {
-                    "mitigated": percent_inaccuracy_mitigated(
-                        workload.ideal_energy,
-                        runs["varsaw_no_sparsity"].energy,
-                        runs["varsaw"].energy,
-                    ),
-                    "dense_iters": runs["varsaw_no_sparsity"].iterations,
-                    "sparse_iters": runs["varsaw"].iterations,
-                    "gap": (
-                        runs["varsaw"].energy
-                        - runs["varsaw_no_sparsity"].energy
-                    ),
-                }
-        return table
-
-    table = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Table 3: % inaccuracy mitigated by selective Globals, per ansatz "
-        "(sparse/dense iterations in parentheses)",
-        ["Workload"] + list(ENTANGLEMENT_TYPES),
-        [
-            [key]
-            + [
-                f"{fmt(table[(key, ent)]['mitigated'], 1)} "
-                f"({table[(key, ent)]['sparse_iters']}/"
-                f"{table[(key, ent)]['dense_iters']})"
-                for ent in ENTANGLEMENT_TYPES
-            ]
-            for key in keys
-        ],
+    table = selective_table(
+        outcome.records, "entanglement", list(ENTANGLEMENT_TYPES)
     )
     cells = list(table.values())
     for cell in cells:

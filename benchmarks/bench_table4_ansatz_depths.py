@@ -8,75 +8,30 @@ more wrong when there are more parameters).
 Scale note: as for Table 3, the iteration-economics mechanism is asserted
 at every scale; the net accuracy advantage needs paper-length runs and is
 asserted under ``REPRO_SCALE=full``.
+
+Ported to the declarative catalog (entry ``table4``); rows are
+byte-identical to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import (
-    fixed_budget_runs,
-    is_full_scale,
-    percent_inaccuracy_mitigated,
-    scaled,
-)
-from repro.noise import ibmq_mumbai_like
-from repro.workloads import make_workload
+from repro.analysis import is_full_scale
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import selective_table
 
 DEPTHS = (1, 2, 4, 8)
-QUICK_KEYS = ["CH4-6"]
-FULL_KEYS = ["CH4-6", "H2O-6", "LiH-6"]
 
 
-def test_table4_ansatz_depths(benchmark):
-    keys = scaled(QUICK_KEYS, FULL_KEYS)
-    shots = scaled(256, 1024)
-    device = ibmq_mumbai_like(scale=2.0)
-
-    def experiment():
-        table = {}
-        for key in keys:
-            for p in DEPTHS:
-                workload = make_workload(key, reps=p)
-                groups = len(workload.hamiltonian.measurement_groups())
-                budget = scaled(150, 4000) * groups
-                runs = fixed_budget_runs(
-                    ("varsaw_no_sparsity", "varsaw"),
-                    workload,
-                    circuit_budget=budget,
-                    shots=shots,
-                    seed=4,
-                    device=device,
-                )
-                table[(key, p)] = {
-                    "mitigated": percent_inaccuracy_mitigated(
-                        workload.ideal_energy,
-                        runs["varsaw_no_sparsity"].energy,
-                        runs["varsaw"].energy,
-                    ),
-                    "dense_iters": runs["varsaw_no_sparsity"].iterations,
-                    "sparse_iters": runs["varsaw"].iterations,
-                    "gap": (
-                        runs["varsaw"].energy
-                        - runs["varsaw_no_sparsity"].energy
-                    ),
-                }
-        return table
-
-    table = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        "Table 4: % inaccuracy mitigated by selective Globals, per depth p "
-        "(sparse/dense iterations in parentheses)",
-        ["Workload"] + [f"p = {p}" for p in DEPTHS],
-        [
-            [key]
-            + [
-                f"{fmt(table[(key, p)]['mitigated'], 1)} "
-                f"({table[(key, p)]['sparse_iters']}/"
-                f"{table[(key, p)]['dense_iters']})"
-                for p in DEPTHS
-            ]
-            for key in keys
-        ],
+def test_table4_ansatz_depths(benchmark, tmp_path):
+    entry = get_entry("table4")
+    store = ResultStore(tmp_path / "table4.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    table = selective_table(outcome.records, "reps", list(DEPTHS))
     cells = list(table.values())
     for cell in cells:
         assert cell["sparse_iters"] > 1.5 * cell["dense_iters"]

@@ -6,77 +6,32 @@ scale.  Paper findings: Max-Sparsity beats the baseline at every scale and
 tracks (sometimes beats) No-Sparsity; when noise vanishes, sparsity's
 advantage disappears.
 
-Ported to a declarative :class:`~repro.sweeps.SweepSpec`: the scale x
-scheme grid runs through the checkpointed sweep runner (so an
-interrupted full-scale regeneration resumes instead of restarting), and
-the printed table is aggregated back out of the JSONL store.  Rows are
-identical to the pre-sweep ad-hoc loop.
+Ported to the declarative catalog (entry ``table5``): the scale x scheme
+grid runs through the checkpointed sweep runner (so an interrupted
+full-scale regeneration resumes instead of restarting), and the printed
+table is aggregated back out of the JSONL store.  Rows are byte-identical
+to the pre-port output.
 """
 
-from conftest import fmt, print_table
+from conftest import print_tables
 
-from repro.analysis import scaled
-from repro.sweeps import ResultStore, pivot, run_sweep, SweepSpec
-from repro.workloads import make_workload
-
-QUICK_SCALES = (5.0, 3.0, 1.0, 0.1)
-FULL_SCALES = (5.0, 3.0, 1.0, 0.8, 0.5, 0.1, 0.05)
-KINDS = ("baseline", "varsaw_no_sparsity", "varsaw_max_sparsity")
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import table5_grid
 
 
 def test_table5_noise_sweep(benchmark, tmp_path):
-    scales = scaled(QUICK_SCALES, FULL_SCALES)
-    shots = scaled(256, 1024)
-    workload = make_workload("H2O-6")
-    groups = len(workload.hamiltonian.measurement_groups())
-    budget = scaled(120, 2000) * groups
-    warm = scaled(True, False)
-
-    spec = SweepSpec(
-        name="table5_noise_sweep",
-        base={
-            "workload": {"key": "H2O-6"},
-            "circuit_budget": budget,
-            "shots": shots,
-            "seed": 5,
-            "max_iterations": 100_000,
-            "warm_start_iterations": 300 if warm else None,
-        },
-        axes={
-            "device": [
-                {"preset": "ibmq_mumbai_like", "scale": scale}
-                for scale in scales
-            ],
-            "scheme": list(KINDS),
-        },
-    )
+    entry = get_entry("table5")
     store = ResultStore(tmp_path / "table5.jsonl")
-
-    def experiment():
-        report = run_sweep(spec, store)
-        _, _, cells = pivot(
-            report.records.values(), "point.device.scale", "point.scheme"
-        )
-        return {
-            scale: {kind: cells[(scale, kind)] for kind in KINDS}
-            for scale in scales
-        }
-
-    table = benchmark.pedantic(experiment, iterations=1, rounds=1)
-    print_table(
-        f"Table 5: H2O-6 noise sweep, budget = {budget} "
-        f"(ideal = {workload.ideal_energy:.2f})",
-        ["Noise scale", "Baseline", "VarSaw (No Sparsity)",
-         "VarSaw (Max Sparsity)"],
-        [
-            [f"{scale:g}"] + [fmt(table[scale][k]) for k in KINDS]
-            for scale in scales
-        ],
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
     )
+    print_tables(outcome.tables())
 
     # The grid is fully checkpointed: a re-run executes nothing.
-    assert run_sweep(spec, store).executed == []
+    assert run_entry(entry, store).executed == []
 
+    table = table5_grid(outcome.records)
+    scales = list(table)
     wins = 0
     for scale in scales:
         runs = table[scale]

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import threading
 
 import pytest
+
+from repro.sweeps.render import Table, fmt, render_table
 
 try:
     import fcntl
@@ -53,6 +56,36 @@ def _append_results(text: str) -> None:
         pass
 
 
+#: Every Table printed during the session, in print order — the
+#: structured capture the parity tooling reads instead of scraping
+#: stdout.  Each element is ``(entry_name, Table)``.
+CAPTURED_TABLES: list[tuple[str, Table]] = []
+
+#: When set, every printed table is also appended (rendered) to
+#: ``$REPRO_GOLDEN_DIR/<entry>.txt`` — the recording mode that produced
+#: ``tests/golden/``.  Re-record with::
+#:
+#:     REPRO_GOLDEN_DIR=tests/golden python -m pytest benchmarks/
+_GOLDEN_DIR = os.environ.get("REPRO_GOLDEN_DIR")
+
+_ENTRY_RE = re.compile(r"^(fig\d+(?:_fig\d+)?|table\d+|sec\d+)")
+
+
+def current_entry_name() -> str:
+    """Catalog-entry name for the currently-running benchmark file.
+
+    ``bench_fig6_fig7_commutation.py -> fig6_fig7``,
+    ``bench_table5_noise_sweep.py -> table5``,
+    ``bench_ext_qaoa.py -> ext_qaoa`` — the same names
+    :mod:`repro.sweeps.catalog` registers.
+    """
+    test = os.environ.get("PYTEST_CURRENT_TEST", "")
+    stem = pathlib.PurePath(test.split("::")[0]).stem
+    stem = stem.removeprefix("bench_")
+    match = _ENTRY_RE.match(stem)
+    return match.group(1) if match else stem
+
+
 def pytest_sessionstart(session):
     """Start each benchmark session with a fresh results file.
 
@@ -65,6 +98,26 @@ def pytest_sessionstart(session):
         RESULTS_FILE.write_text("")
     except OSError:
         pass
+
+
+def pytest_collection_modifyitems(session, config, items):
+    """Golden recording: truncate exactly the collected entries' files.
+
+    Per-file truncation (rather than wiping the directory) keeps a
+    single-benchmark re-record from destroying every other snapshot.
+    """
+    if not _GOLDEN_DIR or os.environ.get("PYTEST_XDIST_WORKER"):
+        return
+    golden = pathlib.Path(_GOLDEN_DIR)
+    golden.mkdir(parents=True, exist_ok=True)
+    entries = set()
+    for item in items:
+        stem = pathlib.PurePath(str(item.fspath)).stem
+        stem = stem.removeprefix("bench_")
+        match = _ENTRY_RE.match(stem)
+        entries.add(match.group(1) if match else stem)
+    for entry in entries:
+        (golden / f"{entry}.txt").unlink(missing_ok=True)
 
 
 def run_once(benchmark, fn):
@@ -82,26 +135,32 @@ def once(benchmark):
     return runner
 
 
-def print_table(title: str, headers: list[str], rows: list[list]) -> None:
-    """Print an aligned table to stdout and append it to RESULTS_FILE."""
-    widths = [
-        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
-        for i in range(len(headers))
-    ]
-    lines = [f"\n=== {title} ==="]
-    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    lines.append(header)
-    lines.append("-" * len(header))
-    for row in rows:
-        lines.append(
-            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
-        )
-    text = "\n".join(lines)
+def print_table(title: str, headers: list[str], rows: list[list]) -> Table:
+    """Print an aligned table and return it as structured rows.
+
+    The text goes to stdout and RESULTS_FILE (as before); the returned
+    :class:`~repro.sweeps.render.Table` — also collected into
+    :data:`CAPTURED_TABLES` — is what parity tooling consumes, so no
+    stdout scraping is ever needed.  Under ``REPRO_GOLDEN_DIR`` the
+    rendered text is additionally appended to that directory's
+    ``<entry>.txt`` (golden recording).
+    """
+    table = Table(title=title, headers=list(headers), rows=list(rows))
+    text = render_table(title, headers, rows)
     print(text)
     _append_results(text + "\n")
+    CAPTURED_TABLES.append((current_entry_name(), table))
+    if _GOLDEN_DIR:
+        path = pathlib.Path(_GOLDEN_DIR) / f"{current_entry_name()}.txt"
+        with _RESULTS_LOCK:
+            with path.open("a") as handle:
+                handle.write(text + "\n")
+    return table
 
 
-def fmt(value, digits=2):
-    if value is None:
-        return "-"
-    return f"{value:.{digits}f}"
+def print_tables(tables) -> list[Table]:
+    """Print a sequence of :class:`Table`\\ s (the catalog-shim idiom)."""
+    return [
+        print_table(table.title, table.headers, table.rows)
+        for table in tables
+    ]

@@ -10,6 +10,8 @@ Gives the repository's main workflows one-line entry points::
     python -m repro qaoa --nodes 6            # VarSaw on MaxCut (§7.3)
     python -m repro route --qubits 6          # routing cost on heavy-hex
     python -m repro sweep grid.json --resume  # checkpointed sweep
+    python -m repro reproduce --only fig8,table3 --processes 4
+                                              # regenerate paper grids
 
 Everything the CLI does is a thin veneer over the public API, so scripts
 can graduate to the library without relearning concepts.
@@ -131,11 +133,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--workers", type=_int_at_least(1), default=1,
-        help="points executed concurrently",
+        help="points executed concurrently (thread pool)",
+    )
+    sweep.add_argument(
+        "--processes", type=_int_at_least(1), default=None,
+        help="points executed concurrently on a process pool "
+        "(overrides --workers)",
     )
     sweep.add_argument(
         "--limit", type=_int_at_least(0), default=None,
         help="execute at most this many pending points",
+    )
+
+    repro = sub.add_parser(
+        "reproduce",
+        help="regenerate the paper's figure/table grids from the "
+        "benchmark catalog (checkpointed, resumable)",
+    )
+    repro.add_argument(
+        "--only", default=None,
+        help="comma-separated catalog entries (e.g. fig8,table3); "
+        "default: the full catalog",
+    )
+    repro.add_argument(
+        "--list", action="store_true", dest="list_entries",
+        help="list catalog entries and exit",
+    )
+    repro.add_argument(
+        "--out", default="reproduce.results.jsonl",
+        help="shared JSONL results store for every grid",
+    )
+    repro.add_argument(
+        "--resume", action="store_true",
+        help="continue into an existing store, skipping completed points",
+    )
+    repro.add_argument(
+        "--workers", type=_int_at_least(1), default=1,
+        help="points executed concurrently (thread pool)",
+    )
+    repro.add_argument(
+        "--processes", type=_int_at_least(1), default=None,
+        help="points executed concurrently on a process pool "
+        "(overrides --workers)",
+    )
+    repro.add_argument(
+        "--limit", type=_int_at_least(0), default=None,
+        help="execute at most this many points across the whole call",
+    )
+    repro.add_argument(
+        "--no-tables", action="store_true",
+        help="skip printing the regenerated tables",
     )
     return parser
 
@@ -394,26 +441,27 @@ def _cmd_route(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _pool_arguments(args) -> dict:
+    """``run_sweep`` pool kwargs for --workers/--processes flags."""
+    if args.processes is not None:
+        return {"workers": args.processes, "executor": "process"}
+    return {"workers": args.workers, "executor": "thread"}
+
+
+def _open_store(out, resume: bool):
+    """Open (or refuse to clobber) a results store for a CLI run."""
     import pathlib
 
-    from .sweeps import ResultStore, SweepSpec, pivot, run_sweep
+    from .sweeps import ResultStore
 
-    try:
-        spec = SweepSpec.from_json_file(args.spec)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"cannot load sweep spec {args.spec!r}: {exc}", file=sys.stderr)
-        return 2
-    out = pathlib.Path(
-        args.out if args.out else f"{spec.name}.results.jsonl"
-    )
-    if out.exists() and not args.resume:
+    out = pathlib.Path(out)
+    if out.exists() and not resume:
         print(
             f"store {out} already exists; pass --resume to continue it "
             f"(completed points are skipped) or choose another --out",
             file=sys.stderr,
         )
-        return 2
+        return None
     store = ResultStore(out)
     report = store.load_report
     if report and (report.corrupt_lines or report.incompatible_records):
@@ -421,20 +469,39 @@ def _cmd_sweep(args) -> int:
             f"store: ignored {report.corrupt_lines} corrupt lines, "
             f"{report.incompatible_records} incompatible records"
         )
+    return store
+
+
+def _sweep_progress(done, total, point, record):
+    result = record["result"]
+    energy = result.get("energy")
+    detail = (
+        f"energy {energy:.4f} " if isinstance(energy, (int, float))
+        else ""
+    )
+    print(
+        f"  [{done}/{total}] {point.label()}: {detail}"
+        f"({record['wall_time_s']:.2f}s)"
+    )
+
+
+def _cmd_sweep(args) -> int:
+    from .sweeps import SweepSpec, pivot, run_sweep
+
+    try:
+        spec = SweepSpec.from_json_file(args.spec)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load sweep spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    out = args.out if args.out else f"{spec.name}.results.jsonl"
+    store = _open_store(out, args.resume)
+    if store is None:
+        return 2
     print(f"sweep '{spec.name}': {len(spec)} points -> {out}")
 
-    def progress(done, total, point, record):
-        result = record["result"]
-        print(
-            f"  [{done}/{total}] {point.label()}: "
-            f"energy {result['energy']:.4f} "
-            f"({result['circuits']} circuits, "
-            f"{record['wall_time_s']:.2f}s)"
-        )
-
     outcome = run_sweep(
-        spec, store, workers=args.workers, progress=progress,
-        limit=args.limit,
+        spec, store, progress=_sweep_progress, limit=args.limit,
+        **_pool_arguments(args),
     )
     print(f"sweep '{spec.name}': {outcome.summary()}")
 
@@ -478,6 +545,59 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_reproduce(args) -> int:
+    from .sweeps import CATALOG, reproduce
+
+    if args.list_entries:
+        width = max(len(name) for name in CATALOG)
+        for entry in CATALOG.values():
+            print(
+                f"{entry.name:<{width}}  {entry.figure:<20} "
+                f"{entry.title}"
+            )
+        return 0
+
+    if args.only:
+        names = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in names if name not in CATALOG]
+        if unknown:
+            print(
+                f"unknown catalog entries: {', '.join(unknown)}; "
+                f"see 'repro reproduce --list'",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        names = list(CATALOG)
+
+    store = _open_store(args.out, args.resume)
+    if store is None:
+        return 2
+    print(
+        f"reproduce: {len(names)} grids -> {args.out} "
+        f"({len(store)} points already stored)"
+    )
+    outcomes = reproduce(
+        names, store, limit=args.limit, progress=_sweep_progress,
+        **_pool_arguments(args),
+    )
+    for outcome in outcomes:
+        print(outcome.summary())
+        if not args.no_tables and outcome.complete:
+            for table in outcome.tables():
+                print(table.render())
+    executed = sum(len(o.executed) for o in outcomes)
+    skipped = sum(o.skipped for o in outcomes)
+    incomplete = [o.entry.name for o in outcomes if not o.complete]
+    print(
+        f"\nreproduce: executed {executed} points, skipped {skipped} "
+        f"already complete"
+        + (f"; incomplete grids: {', '.join(incomplete)}"
+           if incomplete else "")
+    )
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "subsets": _cmd_subsets,
@@ -487,6 +607,7 @@ _COMMANDS = {
     "qaoa": _cmd_qaoa,
     "route": _cmd_route,
     "sweep": _cmd_sweep,
+    "reproduce": _cmd_reproduce,
 }
 
 

@@ -153,8 +153,13 @@ def ibm_jakarta_like(scale: float = 1.0) -> DeviceModel:
     return device.with_noise_scale(scale) if scale != 1.0 else device
 
 
-def ideal_device(n_qubits: int = 27) -> DeviceModel:
-    """A noiseless device (used for the paper's 'Ideal' reference runs)."""
+def ideal_device(n_qubits: int = 27, scale: float = 1.0) -> DeviceModel:
+    """A noiseless device (used for the paper's 'Ideal' reference runs).
+
+    ``scale`` is accepted for preset-signature uniformity (sweep specs
+    write ``{"preset": ..., "scale": ...}``); scaling zero noise is
+    still zero noise, so it has no effect.
+    """
     readout = ReadoutErrorModel(
         [QubitReadoutError(0.0, 0.0) for _ in range(n_qubits)],
         crosstalk_strength=0.0,
@@ -169,4 +174,5 @@ DEVICE_PRESETS = {
     "ibmq_mumbai_like": ibmq_mumbai_like,
     "ibm_lagos_like": ibm_lagos_like,
     "ibm_jakarta_like": ibm_jakarta_like,
+    "ideal": ideal_device,
 }

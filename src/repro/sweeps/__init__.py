@@ -11,13 +11,24 @@ package turns those grids from ad-hoc loops into data:
   JSONL store keyed by point fingerprint with atomic line writes,
   schema versioning, and tolerant load/merge — a killed sweep resumes
   by skipping completed points.
+* :mod:`~repro.sweeps.tasks` — the task-executor registry: every grid
+  cell shape in the paper (VQE tuning, energy/ZNE at optimal
+  parameters, structure counts, Trotter quenches, the extension
+  studies) as a deterministic ``point -> JSON result`` function.
 * :mod:`~repro.sweeps.runner` — :func:`run_sweep` executes pending
-  points serially or on a thread pool with per-point deterministic
-  seeding, one shared engine per backend, progress callbacks, and
-  wall-clock + circuit/shot-ledger capture per point.
+  points serially, on a thread pool, or on a process pool
+  (``executor="process"``) with per-point deterministic seeding, one
+  shared engine per backend, progress callbacks, and wall-clock +
+  circuit/shot-ledger capture per point; stored results are
+  bit-identical across all three backends.
 * :mod:`~repro.sweeps.aggregate` — groupby/mean/CI reductions and
   pivots from stored records back into the row/series shapes the
   figures print.
+* :mod:`~repro.sweeps.catalog` — all 27 paper grids registered as
+  :class:`CatalogEntry`\\ s (spec builder + record-to-table reshaper);
+  ``repro reproduce`` regenerates any subset against one shared,
+  resumable store, and ``tests/golden/`` pins the rendered tables
+  byte-identical to the legacy benchmarks.
 
 Typical use::
 
@@ -42,23 +53,47 @@ Typical use::
 from __future__ import annotations
 
 from .aggregate import aggregate, get_path, group_records, pivot, select
-from .runner import SweepReport, execute_point, run_sweep
-from .spec import POINT_SCHEMA_VERSION, Point, SweepSpec
+from .catalog import (
+    CATALOG,
+    CatalogEntry,
+    EntryOutcome,
+    entry_names,
+    get_entry,
+    reproduce,
+    run_entry,
+)
+from .render import Table, fmt, render_table
+from .runner import EXECUTORS, SweepReport, execute_point, run_sweep
+from .spec import POINT_SCHEMA_VERSION, WORKLOAD_KINDS, Point, SweepSpec
 from .store import RESULT_SCHEMA_VERSION, ResultStore, load_records
+from .tasks import TASKS
 
 __all__ = [
     "Point",
     "SweepSpec",
     "POINT_SCHEMA_VERSION",
+    "WORKLOAD_KINDS",
     "ResultStore",
     "RESULT_SCHEMA_VERSION",
     "load_records",
     "run_sweep",
     "execute_point",
     "SweepReport",
+    "EXECUTORS",
+    "TASKS",
     "aggregate",
     "group_records",
     "pivot",
     "select",
     "get_path",
+    "Table",
+    "render_table",
+    "fmt",
+    "CATALOG",
+    "CatalogEntry",
+    "EntryOutcome",
+    "entry_names",
+    "get_entry",
+    "reproduce",
+    "run_entry",
 ]

@@ -54,13 +54,17 @@ def select(records: Iterable[Mapping], **criteria) -> list[Mapping]:
 
     Dots can't appear in keyword names, so use ``__`` as the separator:
     ``select(records, point__scheme="varsaw", point__workload__key="H2O-6")``.
+    A record that lacks one of the paths simply doesn't match — in a
+    heterogeneous store (the benchmark catalog's shared store mixes
+    task shapes) an absent field is a non-match, not an error.
     """
+    no_match = object()
     paths = {key.replace("__", "."): value for key, value in criteria.items()}
     return [
         record
         for record in records
         if all(
-            get_path(record, path, default=_MISSING) == value
+            get_path(record, path, default=no_match) == value
             for path, value in paths.items()
         )
     ]

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -45,6 +45,8 @@ from .spec import Point, SweepSpec, canonical_json
 from .store import ResultStore
 
 __all__ = [
+    "EXECUTORS",
+    "NAMED_WORKLOADS",
     "execute_tuning",
     "execute_fixed_budget",
     "materialize_workload",
@@ -53,6 +55,9 @@ __all__ = [
     "SweepReport",
     "run_sweep",
 ]
+
+#: Pool backends accepted by :func:`run_sweep`.
+EXECUTORS = ("thread", "process")
 
 
 def execute_tuning(
@@ -126,15 +131,59 @@ def execute_fixed_budget(
 # --------------------------------------------------------- materialization
 
 
+def _paper_tfim_workload(
+    reps: int = 2, entanglement: str = "full"
+) -> Workload:
+    """Fig. 16's bespoke workload: the paper's 5-qubit, 3-term TFIM."""
+    from ..ansatz import EfficientSU2
+    from ..hamiltonian import ground_state_energy, paper_tfim
+    from ..noise import ibmq_mumbai_like
+
+    hamiltonian = paper_tfim()
+    return Workload(
+        key="TFIM-5x3",
+        hamiltonian=hamiltonian,
+        ansatz=EfficientSU2(5, reps=reps, entanglement=entanglement),
+        device=ibmq_mumbai_like(),
+        ideal_energy=ground_state_energy(hamiltonian),
+    )
+
+
+#: Bespoke paper workloads addressable as ``{"named": <name>, ...}``.
+NAMED_WORKLOADS: dict[str, Callable[..., Workload]] = {
+    "paper_tfim": _paper_tfim_workload,
+}
+
+
 def materialize_workload(description: Mapping) -> Workload:
     """Build the live :class:`Workload` a point's description names."""
     description = dict(description)
     if "key" in description:
         return make_workload(description.pop("key"), **description)
-    return make_spin_workload(
-        description.pop("model"),
-        description.pop("n_qubits"),
-        **description,
+    if "model" in description:
+        return make_spin_workload(
+            description.pop("model"),
+            description.pop("n_qubits"),
+            **description,
+        )
+    if "qaoa" in description:
+        from ..qaoa import make_qaoa_workload
+
+        return make_qaoa_workload(
+            description.pop("qaoa"),
+            description.pop("n_qubits"),
+            **description,
+        )
+    if "named" in description:
+        name = description.pop("named")
+        if name not in NAMED_WORKLOADS:
+            raise ValueError(
+                f"unknown named workload {name!r}; "
+                f"choose from {sorted(NAMED_WORKLOADS)}"
+            )
+        return NAMED_WORKLOADS[name](**description)
+    raise ValueError(
+        f"workload description names no known kind: {description!r}"
     )
 
 
@@ -152,23 +201,61 @@ def materialize_device(description: Mapping | None) -> DeviceModel | None:
     return DEVICE_PRESETS[preset](**description)
 
 
-def _prepare_point(
-    point: Point, workload_cache: dict
-) -> tuple[Workload, DeviceModel | None, np.ndarray | None]:
-    """Materialize a point's live objects (workloads cached by content)."""
+def _warm_start_params(
+    point: Point, workload: Workload, workload_cache: dict
+) -> np.ndarray | None:
+    """The point's warm-start parameters (``None`` for a cold start)."""
     from ..analysis.experiments import optimal_parameters
 
+    warm = point.warm_start
+    if point.warm_start_iterations is not None:
+        warm = {"kind": "optimal",
+                "iterations": point.warm_start_iterations}
+    if warm is None:
+        return None
+    if warm["kind"] == "optimal":
+        kwargs = {k: v for k, v in warm.items() if k != "kind"}
+        return optimal_parameters(workload, **kwargs)
+    # "ideal_vqe": a noise-free VQE pre-tune (deterministic; cached in
+    # the run's workload cache so multi-scheme grids pay it once).
+    cache_key = (
+        "warm", canonical_json(point.workload), canonical_json(warm)
+    )
+    params = workload_cache.get(cache_key)
+    if params is None:
+        from ..vqe import IdealEstimator, run_vqe as _run_vqe
+
+        estimator = IdealEstimator(workload.hamiltonian, workload.ansatz)
+        params = _run_vqe(
+            estimator,
+            max_iterations=warm["iterations"],
+            seed=warm.get("seed"),
+        ).parameters
+        workload_cache[cache_key] = params
+    return params
+
+
+def _prepare_point(
+    point: Point, workload_cache: dict
+) -> tuple[Workload | None, DeviceModel | None, np.ndarray | None]:
+    """Materialize a point's live objects (workloads cached by content).
+
+    Points of tasks outside :data:`repro.sweeps.spec.WORKLOAD_TASKS`
+    prepare to ``(None, device, None)`` — their executors own
+    materialization (some, like structure counts on a 34-qubit system,
+    must never build an ansatz/device at all).
+    """
+    from .spec import WORKLOAD_TASKS
+
+    if not point.workload or point.task not in WORKLOAD_TASKS:
+        return None, materialize_device(point.device), None
     cache_key = canonical_json(point.workload)
     workload = workload_cache.get(cache_key)
     if workload is None:
         workload = materialize_workload(point.workload)
         workload_cache[cache_key] = workload
     device = materialize_device(point.device)
-    initial = None
-    if point.warm_start_iterations is not None:
-        initial = optimal_parameters(
-            workload, iterations=point.warm_start_iterations
-        )
+    initial = _warm_start_params(point, workload, workload_cache)
     return workload, device, initial
 
 
@@ -177,17 +264,39 @@ def execute_point(
 ) -> tuple[dict, float]:
     """Run one grid cell; return ``(json-safe result, wall seconds)``.
 
-    The result captures the tuned energy, its error against the
-    workload's ideal energy, iteration count, the backend's full
-    circuit/shot ledger for the run, and the scheme's Global fraction
-    where it has one.
+    Dispatches on ``point.task`` through the executor registry in
+    :mod:`repro.sweeps.tasks`.  For the default ``tuning`` task the
+    result captures the tuned energy, its error against the workload's
+    ideal energy, iteration count, the backend's full circuit/shot
+    ledger for the run, and the scheme's Global fraction where it has
+    one; other tasks store their own JSON payloads.
     """
+    from .tasks import resolve_task
+
+    executor = resolve_task(point.task)
     workload_cache = workload_cache if workload_cache is not None else {}
+    start = time.perf_counter()
+    result = executor(point, workload_cache)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def execute_tuning_point(point: Point, workload_cache: dict) -> dict:
+    """The ``tuning`` task: one deterministic VQE tuning run."""
     workload, device, initial = _prepare_point(point, workload_cache)
     backend = SimulatorBackend(
         device if device is not None else workload.device, seed=point.seed
     )
-    start = time.perf_counter()
+    estimator_kwargs = dict(point.estimator)
+    if estimator_kwargs.pop("mbm", False):
+        from ..mitigation import MatrixMitigator
+
+        estimator_kwargs["mbm"] = MatrixMitigator.from_device(
+            SimulatorBackend(
+                device if device is not None else workload.device
+            ),
+            range(workload.n_qubits),
+        )
     run = execute_tuning(
         point.scheme,
         workload,
@@ -198,21 +307,25 @@ def execute_point(
         spsa_gain=point.spsa_gain,
         initial_params=initial,
         backend=backend,
-        **point.estimator,
+        **estimator_kwargs,
     )
-    wall = time.perf_counter() - start
     fraction = run.global_fraction
     result = {
         "energy": float(run.energy),
         "ideal_energy": float(workload.ideal_energy),
         "error": float(abs(run.energy - workload.ideal_energy)),
         "iterations": int(run.result.iterations),
+        "iterations_completed": len(run.result.energy_history),
         "circuits": int(run.result.circuits_executed),
         "shots": int(run.result.shots_executed),
         "global_fraction": None if fraction is None else float(fraction),
         "stop_reason": run.result.stop_reason,
     }
-    return result, wall
+    if point.options.get("trace"):
+        result["energy_history"] = [
+            float(e) for e in run.result.energy_history
+        ]
+    return result
 
 
 # ------------------------------------------------------------ the sweep
@@ -242,12 +355,28 @@ class SweepReport:
         )
 
 
+#: Per-worker-process workload/warm-start cache (one per forked worker,
+#: reused across the points that worker executes).
+_PROCESS_CACHE: dict = {}
+
+
+def _process_execute(payload: dict) -> tuple[str, dict, float]:
+    """Process-pool entry point: one picklable point payload in, its
+    JSON result out.  Runs in the worker process; per-point
+    deterministic seeding makes the result independent of which worker
+    (or how many workers) executed it."""
+    point = Point.from_dict(payload["point"])
+    result, wall = execute_point(point, _PROCESS_CACHE)
+    return payload["fingerprint"], result, wall
+
+
 def run_sweep(
     spec: SweepSpec | Iterable[Point],
     store: ResultStore,
     workers: int = 1,
     progress: Callable[[int, int, Point, dict], None] | None = None,
     limit: int | None = None,
+    executor: str = "thread",
 ) -> SweepReport:
     """Execute every grid point not already checkpointed in ``store``.
 
@@ -260,21 +389,32 @@ def run_sweep(
         after a crash and only the missing cells execute.  Every
         finished point is checkpointed immediately.
     workers:
-        ``1`` executes inline; more uses a thread pool.  Stored results
-        are bit-identical either way — each point is self-contained and
+        ``1`` executes inline; more uses a pool.  Stored results are
+        bit-identical either way — each point is self-contained and
         deterministically seeded.
     progress:
         Called as ``progress(done, pending_total, point, record)`` after
-        each executed point (from worker threads when ``workers>1``).
+        each executed point (from worker threads when ``workers>1`` on
+        the thread backend; from the parent on the process backend).
     limit:
         Execute at most this many pending points this call (useful for
         drip-feeding or deliberately "interrupting" a sweep).
+    executor:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        ships each pending point to a :class:`ProcessPoolExecutor`
+        worker as a picklable payload and checkpoints/notifies in the
+        parent as results complete; worker processes keep their own
+        workload caches.  Results are bit-identical across backends.
 
     Returns a :class:`SweepReport`; ``report.records`` maps fingerprint
     -> record for every grid point present in the store after the run.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
     points = list(spec.points() if isinstance(spec, SweepSpec) else spec)
     fingerprints = [point.fingerprint() for point in points]
     seen: set[str] = set()
@@ -291,6 +431,26 @@ def run_sweep(
 
     report = SweepReport(total=len(seen), skipped=skipped)
 
+    if executor == "process" and workers > 1 and len(pending) > 1:
+        executed = _run_process_pool(pending, store, workers, progress)
+    else:
+        executed = _run_thread_pool(pending, store, workers, progress)
+
+    report.executed = [fingerprint for fingerprint, _ in executed]
+    report.records = {
+        fingerprint: store.get(fingerprint)
+        for fingerprint in dict.fromkeys(fingerprints)
+        if fingerprint in store
+    }
+    return report
+
+
+def _run_thread_pool(
+    pending: list[tuple[Point, str]],
+    store: ResultStore,
+    workers: int,
+    progress,
+) -> list[tuple[str, dict]]:
     # Serial prepare phase: workload construction and warm-start tuning
     # are cached (dict / lru_cache) — populate those caches before any
     # worker threads race on them.
@@ -316,15 +476,51 @@ def run_sweep(
         return fingerprint, record
 
     if workers == 1 or len(pending) <= 1:
-        executed = [run_one(item) for item in pending]
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            executed = list(pool.map(run_one, pending))
+        return [run_one(item) for item in pending]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_one, pending))
 
-    report.executed = [fingerprint for fingerprint, _ in executed]
-    report.records = {
-        fingerprint: store.get(fingerprint)
-        for fingerprint in dict.fromkeys(fingerprints)
-        if fingerprint in store
-    }
-    return report
+
+def _run_process_pool(
+    pending: list[tuple[Point, str]],
+    store: ResultStore,
+    workers: int,
+    progress,
+) -> list[tuple[str, dict]]:
+    from concurrent.futures import as_completed
+
+    executed: list[tuple[str, dict]] = []
+    by_fingerprint = dict((f, p) for p, f in pending)
+    first_error: Exception | None = None
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _process_execute,
+                {"point": point.to_dict(), "fingerprint": fingerprint},
+            )
+            for point, fingerprint in pending
+        ]
+        for future in as_completed(futures):
+            # Checkpoint every finished point even when a sibling
+            # failed — otherwise one bad cell would discard work that
+            # already completed and force it to re-execute after the
+            # fix.  The first failure is re-raised once the pool
+            # drains.
+            try:
+                fingerprint, result, wall = future.result()
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                continue
+            point = by_fingerprint[fingerprint]
+            record = store.append(
+                point, result, wall_time_s=wall, fingerprint=fingerprint
+            )
+            executed.append((fingerprint, record))
+            if progress is not None:
+                # Count successful checkpoints only, matching the
+                # thread backend's locked counter.
+                progress(len(executed), len(pending), point, record)
+    if first_error is not None:
+        raise first_error
+    return executed

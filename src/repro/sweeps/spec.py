@@ -25,11 +25,40 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Iterator, Mapping
 
-__all__ = ["POINT_SCHEMA_VERSION", "Point", "SweepSpec"]
+__all__ = [
+    "POINT_SCHEMA_VERSION",
+    "WORKLOAD_KINDS",
+    "WORKLOAD_TASKS",
+    "Point",
+    "SweepSpec",
+]
 
 #: Bumped whenever a Point field changes meaning; part of every
 #: fingerprint, so stores never silently mix incompatible schemas.
-POINT_SCHEMA_VERSION = 1
+#: v2: added ``task``/``options``/``warm_start`` and the QAOA/named
+#: workload kinds (the full benchmark-catalog schema).
+POINT_SCHEMA_VERSION = 2
+
+#: Workload-description discriminator keys: exactly one must be present
+#: in a tuning point's ``workload`` mapping.
+#:
+#: * ``key`` — a Table 2 molecule (:func:`repro.workloads.make_workload`)
+#: * ``model`` — a spin chain (:func:`repro.workloads.make_spin_workload`,
+#:   also needs ``n_qubits``)
+#: * ``qaoa`` — a MaxCut problem (:func:`repro.qaoa.make_qaoa_workload`,
+#:   also needs ``n_qubits``)
+#: * ``named`` — a bespoke paper workload from
+#:   :data:`repro.sweeps.runner.NAMED_WORKLOADS` (e.g. ``paper_tfim``)
+WORKLOAD_KINDS = ("key", "model", "qaoa", "named")
+
+#: Tasks whose points materialize a full live ``Workload`` (ansatz +
+#: device + reference energy) through the runner's prepare phase, and
+#: therefore *require* a workload description.  Structure-style tasks
+#: build only what they need themselves — e.g. a bare Hamiltonian for
+#: a system wider than any device preset.
+WORKLOAD_TASKS = frozenset(
+    {"tuning", "energy", "zne", "term_selective", "phase_selective"}
+)
 
 
 def _canonical(value):
@@ -55,17 +84,26 @@ def canonical_json(value) -> str:
 
 @dataclass(frozen=True)
 class Point:
-    """One grid cell: a fully-described, reproducible tuning run.
+    """One grid cell: a fully-described, reproducible experiment run.
 
     Parameters
     ----------
     workload:
-        A workload description — either a Table 2 molecule,
-        ``{"key": "H2O-6", "reps": 2, "entanglement": "full"}`` (only
-        ``key`` required), or a spin chain,
-        ``{"model": "tfim", "n_qubits": 6, ...constructor kwargs}``.
+        A workload description naming exactly one of
+        :data:`WORKLOAD_KINDS` plus constructor kwargs, e.g.
+        ``{"key": "H2O-6", "reps": 2}``,
+        ``{"model": "tfim", "n_qubits": 6, "field": 0.7}``,
+        ``{"qaoa": "ring", "n_qubits": 6, "reps": 2}``, or
+        ``{"named": "paper_tfim"}``.  Non-tuning tasks may leave it
+        empty (their inputs live in ``options``).
+    task:
+        Executor name in :data:`repro.sweeps.tasks.TASKS` —
+        ``"tuning"`` (the default, a full VQE tuning run) or any
+        registered analysis/evaluation task (``"structure"``,
+        ``"energy"``, the catalog's figure-specific tasks, ...).
     scheme:
         Estimator kind (see :data:`repro.workloads.ESTIMATOR_KINDS`).
+        Required for ``tuning``; task-defined otherwise.
     device:
         ``{"preset": <DEVICE_PRESETS name>, "scale": <noise scale>}``;
         ``None`` uses the workload's default device.
@@ -79,13 +117,25 @@ class Point:
         :func:`repro.analysis.optimal_parameters` computed with this
         many ideal iterations (the quick-scale benchmark idiom).
         Molecule workloads only.
+    warm_start:
+        General warm-start description: ``{"kind": "optimal",
+        "iterations": n}`` (equivalent to ``warm_start_iterations``) or
+        ``{"kind": "ideal_vqe", "iterations": n, "seed": s}`` (a
+        noise-free VQE pre-tune, the spin/QAOA benchmark idiom).
+        Mutually exclusive with ``warm_start_iterations``.
     estimator:
         Extra keyword arguments for the estimator constructor
-        (``window``, selective-mitigation knobs, ...).
+        (``window``, selective-mitigation knobs, ...).  The boolean
+        ``mbm`` flag is materialized into a
+        :class:`~repro.mitigation.MatrixMitigator` for the point's
+        device (Fig. 18's stacking).
+    options:
+        Task-specific JSON payload for non-tuning executors.
     """
 
-    workload: Mapping[str, Any]
-    scheme: str
+    workload: Mapping[str, Any] = field(default_factory=dict)
+    scheme: str = ""
+    task: str = "tuning"
     device: Mapping[str, Any] | None = None
     seed: int = 0
     shots: int = 256
@@ -93,17 +143,31 @@ class Point:
     circuit_budget: int | None = None
     spsa_gain: float | None = 0.3
     warm_start_iterations: int | None = None
+    warm_start: Mapping[str, Any] | None = None
     estimator: Mapping[str, Any] = field(default_factory=dict)
+    options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         workload = dict(self.workload)
-        if ("key" in workload) == ("model" in workload):
+        if not self.task or not isinstance(self.task, str):
+            raise ValueError("task must be a non-empty string")
+        kinds = [k for k in WORKLOAD_KINDS if k in workload]
+        if self.task in WORKLOAD_TASKS:
+            if len(kinds) != 1:
+                raise ValueError(
+                    f"a {self.task!r} workload must name exactly one of "
+                    f"{WORKLOAD_KINDS}; got {workload!r}"
+                )
+            if self.task in ("tuning", "energy", "zne") and (
+                not self.scheme or not isinstance(self.scheme, str)
+            ):
+                # These executors build an estimator from the scheme;
+                # fail at spec build, not mid-sweep.
+                raise ValueError("scheme must be a non-empty string")
+        elif len(kinds) > 1:
             raise ValueError(
-                "workload must name exactly one of 'key' (molecule) "
-                f"or 'model' (spin chain); got {workload!r}"
+                f"workload names several kinds {kinds}; got {workload!r}"
             )
-        if not self.scheme or not isinstance(self.scheme, str):
-            raise ValueError("scheme must be a non-empty string")
         if self.shots < 1:
             raise ValueError("shots must be positive")
         if self.max_iterations < 1:
@@ -112,17 +176,46 @@ class Point:
             raise ValueError("circuit_budget must be positive or None")
         if self.device is not None and "preset" not in self.device:
             raise ValueError("device must be {'preset': ..., 'scale': ...}")
-        if self.warm_start_iterations is not None and "model" in workload:
-            # optimal_parameters' cached ideal tuning only covers the
-            # Table 2 molecule registry today.
-            raise ValueError(
-                "warm_start_iterations requires a molecule workload "
-                "('key'); spin-model workloads tune from a cold start"
-            )
+        if self.warm_start_iterations is not None:
+            if self.warm_start is not None:
+                raise ValueError(
+                    "pass either warm_start_iterations or warm_start, "
+                    "not both"
+                )
+            if "key" not in workload:
+                # optimal_parameters' cached ideal tuning only covers
+                # the Table 2 molecule registry today.
+                raise ValueError(
+                    "warm_start_iterations requires a molecule workload "
+                    "('key'); use warm_start={'kind': 'ideal_vqe', ...} "
+                    "for spin/QAOA workloads"
+                )
+        if self.warm_start is not None:
+            warm = dict(self.warm_start)
+            kind = warm.get("kind")
+            if kind not in ("optimal", "ideal_vqe"):
+                raise ValueError(
+                    "warm_start['kind'] must be 'optimal' or 'ideal_vqe'; "
+                    f"got {kind!r}"
+                )
+            iterations = warm.get("iterations")
+            if not isinstance(iterations, int) or iterations < 1:
+                raise ValueError(
+                    "warm_start['iterations'] must be a positive int; "
+                    f"got {iterations!r}"
+                )
+            if kind == "optimal" and "key" not in workload:
+                raise ValueError(
+                    "warm_start kind 'optimal' requires a molecule "
+                    "workload ('key')"
+                )
         object.__setattr__(self, "workload", workload)
         if self.device is not None:
             object.__setattr__(self, "device", dict(self.device))
+        if self.warm_start is not None:
+            object.__setattr__(self, "warm_start", dict(self.warm_start))
         object.__setattr__(self, "estimator", dict(self.estimator))
+        object.__setattr__(self, "options", dict(self.options))
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -140,10 +233,23 @@ class Point:
 
     def label(self) -> str:
         """Short human-readable cell label for progress output."""
-        workload = self.workload.get("key") or (
-            f"{self.workload['model']}-{self.workload.get('n_qubits', '?')}"
-        )
-        parts = [workload, self.scheme, f"seed={self.seed}"]
+        if "key" in self.workload:
+            workload = self.workload["key"]
+        elif "named" in self.workload:
+            workload = self.workload["named"]
+        elif "model" in self.workload or "qaoa" in self.workload:
+            kind = self.workload.get("model") or (
+                f"qaoa-{self.workload['qaoa']}"
+            )
+            workload = f"{kind}-{self.workload.get('n_qubits', '?')}"
+        else:
+            workload = self.task
+        parts = [workload]
+        if self.task != "tuning":
+            parts.append(self.task)
+        if self.scheme:
+            parts.append(self.scheme)
+        parts.append(f"seed={self.seed}")
         if self.device is not None:
             scale = self.device.get("scale", 1.0)
             parts.append(f"{self.device['preset']}@{scale:g}")
@@ -156,30 +262,42 @@ class SweepSpec:
 
     ``axes`` maps :class:`Point` field names to candidate values; the
     grid is the cross product in axis-insertion order (first axis
-    outermost).  ``report`` optionally carries aggregation hints for
-    the CLI — ``{"rows": <path>, "cols": <path>, "value": <path>}``
-    with dotted record paths (see :func:`repro.sweeps.get_path`).
+    outermost).  ``cells`` optionally lists explicit per-cell field
+    overrides for grids whose fields are *correlated* (e.g. a circuit
+    budget derived from the workload, Fig. 15) — the grid is then every
+    cell crossed with the axes, cells outermost.  ``report`` optionally
+    carries aggregation hints for the CLI — ``{"rows": <path>,
+    "cols": <path>, "value": <path>}`` with dotted record paths (see
+    :func:`repro.sweeps.get_path`).
     """
 
     name: str
     base: Mapping[str, Any] = field(default_factory=dict)
     axes: Mapping[str, list] = field(default_factory=dict)
+    cells: list | None = None
     report: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("spec needs a name")
         valid = set(Point.__dataclass_fields__)
-        unknown = (set(self.base) | set(self.axes)) - valid
+        cells = self.cells
+        if cells is not None:
+            if not isinstance(cells, (list, tuple)) or not cells:
+                raise ValueError("cells must be a non-empty list of dicts")
+            cells = [dict(cell) for cell in cells]
+        cell_fields = set().union(*cells) if cells else set()
+        unknown = (set(self.base) | set(self.axes) | cell_fields) - valid
         if unknown:
             raise ValueError(
                 f"unknown point fields {sorted(unknown)}; "
                 f"valid fields: {sorted(valid)}"
             )
-        overlap = set(self.base) & set(self.axes)
+        overlap = (set(self.base) | cell_fields) & set(self.axes)
         if overlap:
             raise ValueError(
-                f"fields {sorted(overlap)} appear in both base and axes"
+                f"fields {sorted(overlap)} appear in both base/cells "
+                f"and axes"
             )
         for axis, values in self.axes.items():
             if not isinstance(values, (list, tuple)) or not values:
@@ -188,6 +306,7 @@ class SweepSpec:
         object.__setattr__(
             self, "axes", {k: list(v) for k, v in self.axes.items()}
         )
+        object.__setattr__(self, "cells", cells)
         if self.report is not None:
             object.__setattr__(self, "report", dict(self.report))
         # Materialize eagerly so malformed cells fail at spec build
@@ -196,8 +315,13 @@ class SweepSpec:
 
     def _build_points(self) -> Iterator[Point]:
         names = list(self.axes)
-        for combo in itertools.product(*(self.axes[n] for n in names)):
-            yield Point(**{**self.base, **dict(zip(names, combo))})
+        for cell in self.cells if self.cells is not None else [{}]:
+            for combo in itertools.product(
+                *(self.axes[n] for n in names)
+            ):
+                yield Point(
+                    **{**self.base, **cell, **dict(zip(names, combo))}
+                )
 
     def points(self) -> tuple[Point, ...]:
         """Every grid cell, first axis outermost."""
@@ -212,6 +336,8 @@ class SweepSpec:
             "base": dict(self.base),
             "axes": {k: list(v) for k, v in self.axes.items()},
         }
+        if self.cells is not None:
+            data["cells"] = [dict(cell) for cell in self.cells]
         if self.report is not None:
             data["report"] = dict(self.report)
         return data
@@ -222,6 +348,7 @@ class SweepSpec:
             name=data["name"],
             base=data.get("base", {}),
             axes=data.get("axes", {}),
+            cells=data.get("cells"),
             report=data.get("report"),
         )
 

@@ -1,0 +1,875 @@
+"""Task executors: one :class:`~repro.sweeps.spec.Point` -> JSON result.
+
+Every figure/table in the paper decomposes into grid cells of a small
+number of *task* shapes — a VQE tuning run, an energy evaluation at
+near-optimal parameters, a subset-structure count, a mitigation
+comparison on fixed circuits, ...  This module is the registry mapping
+``point.task`` names to executors, so the sweep runner (thread- or
+process-pooled, checkpointed, resumable) can execute any benchmark's
+grid without knowing what the cells compute.
+
+Executors must be **deterministic pure functions of the point**: every
+random draw is seeded from point fields, so a cell's stored record is
+bit-identical across runs, worker counts, and pool backends.  The
+executors below reproduce the legacy ad-hoc benchmark loops *exactly*
+(same constructions, same seeds, same call order); the golden-parity
+suite in ``tests/sweeps/test_catalog_parity.py`` pins that equivalence
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .spec import WORKLOAD_TASKS, Point
+
+__all__ = [
+    "TASKS",
+    "WORKLOAD_TASKS",
+    "task",
+    "resolve_task",
+    "materialize_hamiltonian",
+]
+
+#: Task name -> executor ``(point, workload_cache) -> json dict``.
+TASKS: dict[str, Callable[[Point, dict], dict]] = {}
+
+
+def task(name: str):
+    """Register an executor under ``name`` (decorator)."""
+
+    def wrap(fn):
+        TASKS[name] = fn
+        return fn
+
+    return wrap
+
+
+def resolve_task(name: str) -> Callable[[Point, dict], dict]:
+    if name not in TASKS:
+        raise ValueError(
+            f"unknown task {name!r}; registered tasks: {sorted(TASKS)}"
+        )
+    return TASKS[name]
+
+
+def materialize_hamiltonian(description: Mapping):
+    """A point's Hamiltonian: explicit ``terms`` or a workload's.
+
+    Deliberately builds *only* the Hamiltonian — structure tasks on
+    oversized systems (the 34-qubit Cr2, Fig. 12) must not pay for (or
+    be rejected by) ansatz/device construction.
+    """
+    description = dict(description)
+    if "terms" in description:
+        from ..hamiltonian import Hamiltonian
+        from ..pauli import PauliString
+
+        return Hamiltonian(
+            [(1.0, PauliString(t)) for t in description["terms"]],
+            name=description.get("name", "explicit"),
+        )
+    if "key" in description:
+        from ..hamiltonian import build_hamiltonian
+
+        return build_hamiltonian(description["key"])
+    if "model" in description:
+        from ..workloads.registry import spin_hamiltonian_constructor
+
+        return spin_hamiltonian_constructor(description.pop("model"))(
+            description.pop("n_qubits"), **description
+        )
+    from .runner import materialize_workload
+
+    return materialize_workload(description).hamiltonian
+
+
+def _device_or_default(point: Point, workload):
+    from .runner import materialize_device
+
+    device = materialize_device(point.device)
+    return device if device is not None else workload.device
+
+
+def _floats(values) -> list[float]:
+    return [float(v) for v in values]
+
+
+# ----------------------------------------------------------- core tasks
+
+
+@task("tuning")
+def _tuning(point: Point, workload_cache: dict) -> dict:
+    from .runner import execute_tuning_point
+
+    return execute_tuning_point(point, workload_cache)
+
+
+@task("structure")
+def _structure(point: Point, workload_cache: dict) -> dict:
+    """Spatial subset structure: baseline/JigSaw/VarSaw circuit counts.
+
+    Options: ``window`` (default 2), ``qwc`` (also count merged QWC
+    families), ``subset_labels`` (also list the VarSaw subset labels —
+    the Fig. 6 worked example), ``cover`` (also count
+    ``cover_reduce`` groups explicitly).
+    """
+    from ..core import count_jigsaw_subsets, count_varsaw_subsets
+
+    options = dict(point.options)
+    window = options.get("window", 2)
+    hamiltonian = materialize_hamiltonian(point.workload)
+    paulis = [p for _, p in hamiltonian.non_identity_terms()]
+    result = {
+        "terms": int(hamiltonian.num_terms),
+        "paulis": len(paulis),
+        "baseline": len(hamiltonian.measurement_groups()),
+        "jigsaw": int(count_jigsaw_subsets(hamiltonian, window=window)),
+        "varsaw": int(count_varsaw_subsets(hamiltonian, window=window)),
+    }
+    if options.get("qwc"):
+        from ..pauli import group_qwc
+
+        result["qwc_families"] = len(
+            group_qwc(paulis, hamiltonian.n_qubits)
+        )
+    if options.get("cover"):
+        from ..pauli import cover_reduce
+
+        result["cover_groups"] = len(
+            cover_reduce(paulis, hamiltonian.n_qubits)
+        )
+    if options.get("subset_labels"):
+        from ..core import varsaw_subset_plan
+
+        plan = varsaw_subset_plan(paulis, window=window)
+        result["subset_labels"] = sorted(
+            s.label for s in plan.as_strings()
+        )
+    return result
+
+
+@task("commuting_parents")
+def _commuting_parents(point: Point, workload_cache: dict) -> dict:
+    """Fig. 7: measuring-parent count of one Pauli over a universe."""
+    from ..pauli import PauliString, all_strings, measuring_parents
+
+    options = dict(point.options)
+    universe = all_strings(
+        options.get("n_qubits", 3), options.get("alphabet", "IXZ")
+    )
+    label = options["label"]
+    return {
+        "label": label,
+        "parents": len(measuring_parents(PauliString(label), universe)),
+    }
+
+
+@task("cost_model")
+def _cost_model(point: Point, workload_cache: dict) -> dict:
+    """Fig. 8: analytic circuits-per-iteration curves."""
+    from ..core import figure8_series
+
+    options = dict(point.options)
+    series = figure8_series(
+        qubit_counts=options["qubits"],
+        sparsities=tuple(options["sparsities"]),
+    )
+    return {
+        "series": {
+            label: [[int(q), float(cost)] for q, cost in points]
+            for label, points in series.items()
+        }
+    }
+
+
+@task("energy")
+def _energy(point: Point, workload_cache: dict) -> dict:
+    """Energy at near-optimal parameters (Table 1 / Fig. 19 idiom).
+
+    Options: ``params_iterations`` (ideal pre-tune length for
+    :func:`repro.analysis.optimal_parameters`), ``trials`` (``None``
+    for a single seeded evaluation, else the trial-averaged mean).
+    """
+    from ..analysis import (
+        energy_at_params,
+        mean_energy_at_params,
+        optimal_parameters,
+    )
+    from .runner import _prepare_point
+
+    workload, device, _ = _prepare_point(point, workload_cache)
+    options = dict(point.options)
+    params = optimal_parameters(
+        workload, iterations=options.get("params_iterations", 400)
+    )
+    trials = options.get("trials")
+    if trials is None:
+        energy = energy_at_params(
+            point.scheme,
+            workload,
+            params,
+            device=device,
+            shots=point.shots,
+            seed=point.seed,
+            **point.estimator,
+        )
+    else:
+        energy = mean_energy_at_params(
+            point.scheme,
+            workload,
+            params,
+            trials=trials,
+            device=device,
+            shots=point.shots,
+            **point.estimator,
+        )
+    return {
+        "energy": float(energy),
+        "ideal_energy": float(workload.ideal_energy),
+    }
+
+
+@task("zne")
+def _zne(point: Point, workload_cache: dict) -> dict:
+    """Zero-noise extrapolation at near-optimal parameters (§6.8)."""
+    from ..analysis import optimal_parameters
+    from ..mitigation import zne_energy
+    from .runner import _prepare_point
+
+    workload, device, _ = _prepare_point(point, workload_cache)
+    options = dict(point.options)
+    params = optimal_parameters(
+        workload, iterations=options.get("params_iterations", 400)
+    )
+    energy, _ = zne_energy(
+        workload,
+        params,
+        kind=point.scheme,
+        scales=tuple(options["scales"]),
+        shots=point.shots,
+        seed=point.seed,
+        base_device=device,
+    )
+    return {
+        "energy": float(energy),
+        "ideal_energy": float(workload.ideal_energy),
+    }
+
+
+# ------------------------------------------------ extension-bench tasks
+
+
+def split_quality_device():
+    """The calibration-gating bench's device: half-perfect readout."""
+    from ..noise import (
+        DepolarizingGateNoise,
+        DeviceModel,
+        QubitReadoutError,
+        ReadoutErrorModel,
+    )
+
+    errors = [2e-4, 5e-4, 0.05, 0.07]
+    readout = ReadoutErrorModel(
+        [QubitReadoutError(e, 1.4 * e) for e in errors],
+        crosstalk_strength=0.1,
+    )
+    return DeviceModel(
+        "split-quality",
+        readout,
+        DepolarizingGateNoise(error_1q=1e-4, error_2q=2e-3),
+    )
+
+
+@task("calibration_gate")
+def _calibration_gate(point: Point, workload_cache: dict) -> dict:
+    """Calibration-gated subsetting on the split-quality device (§7.1).
+
+    Options: ``threshold`` (``None`` = plain VarSaw, the "off" row).
+    """
+    from ..core import (
+        CalibrationGate,
+        CalibrationGatedVarSawEstimator,
+        VarSawEstimator,
+    )
+    from ..noise import SimulatorBackend
+    from ..vqe import IdealEstimator
+    from ..workloads import make_workload
+
+    threshold = dict(point.options).get("threshold")
+    device = split_quality_device()
+    workload = make_workload("H2-4", device=device)
+    params = np.full(workload.ansatz.num_parameters, 0.1)
+    exact = IdealEstimator(
+        workload.hamiltonian, workload.ansatz
+    ).evaluate(params)
+
+    skipped = 0
+    errors, circuits = [], 0
+    for seed in range(6):
+        backend = SimulatorBackend(device, seed=200 + seed)
+        if threshold is None:
+            estimator = VarSawEstimator(
+                workload.hamiltonian, workload.ansatz, backend, shots=2048
+            )
+        else:
+            estimator = CalibrationGatedVarSawEstimator(
+                workload.hamiltonian,
+                workload.ansatz,
+                backend,
+                shots=2048,
+                gate=CalibrationGate(error_threshold=threshold),
+            )
+            skipped = estimator.subsets_skipped
+        before = backend.circuits_run
+        errors.append(abs(estimator.evaluate(params) - exact))
+        circuits = backend.circuits_run - before
+    return {
+        "error": float(np.mean(errors)),
+        "circuits": int(circuits),
+        "skipped": int(skipped),
+    }
+
+
+@task("gc_grouping")
+def _gc_grouping(point: Point, workload_cache: dict) -> dict:
+    """QWC vs general-commutation grouping structure (§3.1)."""
+    from ..pauli import diagonalized_groups, group_qwc
+
+    hamiltonian = materialize_hamiltonian(point.workload)
+    paulis = [p for _, p in hamiltonian.non_identity_terms()]
+    qwc_groups = group_qwc(paulis, hamiltonian.n_qubits)
+    gc_groups = diagonalized_groups(
+        paulis, hamiltonian.n_qubits, method="color"
+    )
+    return {
+        "paulis": len(paulis),
+        "qwc_groups": len(qwc_groups),
+        "gc_groups": len(gc_groups),
+        "qwc_rotation_cx": 0,
+        "gc_rotation_cx": int(
+            sum(g.entangling_gates for g in gc_groups)
+        ),
+    }
+
+
+@task("gc_validity")
+def _gc_validity(point: Point, workload_cache: dict) -> dict:
+    """Every GC group is internally commuting (checked, counted)."""
+    from ..pauli import color_general_commuting
+
+    hamiltonian = materialize_hamiltonian(point.workload)
+    paulis = [p for _, p in hamiltonian.non_identity_terms()]
+    groups = color_general_commuting(paulis, hamiltonian.n_qubits)
+    checked = 0
+    for group in groups:
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                if not a.commutes_with(b):
+                    raise AssertionError(
+                        f"non-commuting pair in GC group: {a} {b}"
+                    )
+                checked += 1
+    return {"groups": len(groups), "pairs_checked": checked}
+
+
+@task("gc_end_to_end")
+def _gc_end_to_end(point: Point, workload_cache: dict) -> dict:
+    """QWC vs GC noisy energy error at fixed params (§3.1, measured).
+
+    Options: ``regime`` ("standard" | "10x gate noise"),
+    ``estimator`` ("QWC baseline" | "GC estimator").
+    """
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..vqe import (
+        BaselineEstimator,
+        GeneralCommutationEstimator,
+        IdealEstimator,
+    )
+    from ..workloads import make_workload
+
+    options = dict(point.options)
+    regime = options["regime"]
+    cls = {
+        "QWC baseline": BaselineEstimator,
+        "GC estimator": GeneralCommutationEstimator,
+    }[options["estimator"]]
+    workload = make_workload("LiH-6")
+    params = np.full(workload.ansatz.num_parameters, 0.09)
+    exact = IdealEstimator(
+        workload.hamiltonian, workload.ansatz
+    ).evaluate(params)
+    device = ibmq_mumbai_like()
+    errors = []
+    circuits = 0
+    for seed in range(5):
+        backend = SimulatorBackend(device, seed=100 + seed)
+        if regime == "10x gate noise":
+            backend.device = device.with_noise_scale(1.0)
+            backend.device.gate_noise.scale = 10.0
+        estimator = cls(
+            workload.hamiltonian, workload.ansatz, backend, shots=2048
+        )
+        errors.append(abs(estimator.evaluate(params) - exact))
+        circuits = estimator.circuits_per_evaluation
+    return {
+        "exact": float(exact),
+        "error": float(np.mean(errors)),
+        "circuits": int(circuits),
+    }
+
+
+@task("readout_placement")
+def _readout_placement(point: Point, workload_cache: dict) -> dict:
+    """Best-qubit vs default measurement placement (Section 1)."""
+    from ..noise import ibmq_mumbai_like
+
+    window = dict(point.options)["window"]
+    readout = ibmq_mumbai_like().readout
+    default = [
+        readout.qubit_errors[q].mean_error for q in range(window)
+    ]
+    best = [
+        readout.qubit_errors[q].mean_error
+        for q in readout.best_qubits(window)
+    ]
+    return {
+        "window": int(window),
+        "default": float(np.mean(default)),
+        "best": float(np.mean(best)),
+        "gain": float(np.mean(default)) / float(np.mean(best)),
+    }
+
+
+@task("routing")
+def _routing(point: Point, workload_cache: dict) -> dict:
+    """SWAP cost of one ansatz entanglement type on heavy-hex."""
+    from ..ansatz import EfficientSU2
+    from ..layout import (
+        noise_aware_layout,
+        noise_aware_path_layout,
+        route_circuit,
+    )
+    from ..noise import ibmq_mumbai_like
+
+    options = dict(point.options)
+    entanglement = options["entanglement"]
+    n_qubits = options.get("n_qubits", 6)
+    reps = options.get("reps", 2)
+    device = ibmq_mumbai_like()
+    coupling = device.coupling_map
+    ansatz = EfficientSU2(n_qubits, reps=reps, entanglement=entanglement)
+    bound = ansatz.bind(np.zeros(ansatz.num_parameters))
+    if entanglement == "full":
+        layout = noise_aware_layout(n_qubits, coupling, device.readout)
+    else:
+        layout = noise_aware_path_layout(
+            n_qubits, coupling, device.readout
+        )
+    routed = route_circuit(bound, coupling, layout)
+    return {
+        "entanglement": entanglement,
+        "logical_cx": int(bound.num_two_qubit_gates),
+        "swaps": int(routed.swaps_inserted),
+        "native_cx": int(bound.num_two_qubit_gates + routed.overhead),
+    }
+
+
+def _ghz(n):
+    from ..circuits import Circuit
+
+    qc = Circuit(n)
+    qc.h(0)
+    for q in range(n - 1):
+        qc.cx(q, q + 1)
+    qc.measure_all()
+    return qc
+
+
+def _ghz_target(n):
+    from ..sim import PMF
+
+    probs = np.zeros(2**n)
+    probs[0] = probs[-1] = 0.5
+    return PMF(probs)
+
+
+@task("mitigation_shootout")
+def _mitigation_shootout(point: Point, workload_cache: dict) -> dict:
+    """Every circuit-level technique on one noisy GHZ workload."""
+    from ..mitigation import (
+        M3Mitigator,
+        MatrixMitigator,
+        invert_and_measure,
+        jigsaw_mitigate,
+    )
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+
+    options = dict(point.options)
+    n_qubits = options["n_qubits"]
+    shots = options.get("shots", 8192)
+    scale = options.get("noise_scale", 2.0)
+    device = ibmq_mumbai_like(scale=scale)
+    circuit = _ghz(n_qubits)
+    target = _ghz_target(n_qubits)
+
+    def fresh():
+        return SimulatorBackend(device, seed=37)
+
+    results = {}
+
+    backend = fresh()
+    raw = backend.run(circuit, shots).to_pmf()
+    results["raw"] = [float(raw.tvd(target)), 1]
+
+    backend = fresh()
+    averaged = invert_and_measure(backend, circuit, shots)
+    results["bias-aware"] = [float(averaged.tvd(target)), 2]
+
+    backend = fresh()
+    counts = backend.run(circuit, shots)
+    mbm = MatrixMitigator.from_device(
+        backend, range(n_qubits), n_qubits
+    )
+    results["MBM"] = [
+        float(mbm.mitigate_pmf(counts.to_pmf()).tvd(target)), 1
+    ]
+
+    backend = fresh()
+    counts = backend.run(circuit, shots)
+    m3 = M3Mitigator.from_device(backend, range(n_qubits), n_qubits)
+    results["M3"] = [float(m3.mitigate_counts(counts).tvd(target)), 1]
+
+    backend = fresh()
+    jig = jigsaw_mitigate(backend, circuit, shots=shots, window=2)
+    results["JigSaw"] = [
+        float(jig.output.tvd(target)), int(jig.circuits_executed)
+    ]
+    return results
+
+
+@task("mitigation_stacking")
+def _mitigation_stacking(point: Point, workload_cache: dict) -> dict:
+    """M3-corrected Globals inside JigSaw (Fig. 18 per circuit)."""
+    from ..mitigation import (
+        M3Mitigator,
+        bayesian_reconstruct,
+        jigsaw_mitigate,
+    )
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+
+    options = dict(point.options)
+    n = options.get("n_qubits", 6)
+    shots = options.get("shots", 8192)
+    device = ibmq_mumbai_like(scale=options.get("noise_scale", 2.0))
+    target = _ghz_target(n)
+    backend = SimulatorBackend(device, seed=41)
+    jig = jigsaw_mitigate(backend, _ghz(n), shots=shots, window=2)
+    m3 = M3Mitigator.from_device(backend, range(n), n)
+    corrected_global = m3.mitigate_pmf(jig.global_pmf)
+    stacked = bayesian_reconstruct(corrected_global, jig.local_pmfs)
+    return {
+        "jigsaw": float(jig.output.tvd(target)),
+        "jigsaw+m3 global": float(stacked.tvd(target)),
+    }
+
+
+def _quench_hamiltonian(options: Mapping):
+    from ..hamiltonian.tfim import tfim_hamiltonian
+
+    return tfim_hamiltonian(
+        options.get("n_qubits", 5),
+        coupling=options.get("coupling", 1.0),
+        field=options.get("field", 1.2),
+    )
+
+
+@task("quench")
+def _quench(point: Point, workload_cache: dict) -> dict:
+    """TFIM quench magnetization: exact / noisy / JigSaw at one time."""
+    from ..mitigation import jigsaw_mitigate
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..sim.statevector import probabilities, zero_state
+    from ..trotter import (
+        average_magnetization,
+        evolve_exact,
+        trotter_circuit,
+    )
+
+    options = dict(point.options)
+    n_qubits = options.get("n_qubits", 5)
+    shots = options.get("shots", 8192)
+    t = options["t"]
+    hamiltonian = _quench_hamiltonian(options)
+    device = ibmq_mumbai_like(scale=options.get("noise_scale", 2.0))
+    exact = average_magnetization(
+        probabilities(evolve_exact(hamiltonian, t, zero_state(n_qubits))),
+        n_qubits,
+    )
+    circuit = trotter_circuit(
+        hamiltonian, t, max(1, round(8 * t)), order=2
+    )
+    circuit.measure_all()
+    backend = SimulatorBackend(device, seed=17)
+    noisy = average_magnetization(
+        backend.run(circuit, shots).to_pmf().probs, n_qubits
+    )
+    backend = SimulatorBackend(device, seed=17)
+    mitigated = average_magnetization(
+        jigsaw_mitigate(
+            backend, circuit, shots=shots, window=2
+        ).output.probs,
+        n_qubits,
+    )
+    return {
+        "t": float(t),
+        "exact": float(exact),
+        "noisy": float(noisy),
+        "jigsaw": float(mitigated),
+    }
+
+
+@task("trotter_error")
+def _trotter_error(point: Point, workload_cache: dict) -> dict:
+    """Product-formula infidelity at one step count (orders 1 and 2)."""
+    from ..hamiltonian.tfim import tfim_hamiltonian
+    from ..sim.statevector import run_statevector
+    from ..trotter import evolve_exact, trotter_circuit
+
+    n_steps = dict(point.options)["steps"]
+    hamiltonian = tfim_hamiltonian(4, coupling=1.0, field=0.9)
+    rng = np.random.default_rng(7)
+    state = rng.normal(size=16) + 1j * rng.normal(size=16)
+    state /= np.linalg.norm(state)
+    exact = evolve_exact(hamiltonian, 1.0, state)
+    result = {"steps": int(n_steps)}
+    for order in (1, 2):
+        circuit = trotter_circuit(hamiltonian, 1.0, n_steps, order=order)
+        evolved = run_statevector(circuit, initial_state=state.copy())
+        result[f"order{order}"] = float(
+            1.0 - abs(np.vdot(evolved, exact))
+        )
+    return result
+
+
+@task("quench_sweep")
+def _quench_sweep(point: Point, workload_cache: dict) -> dict:
+    """Quench sweep with temporally sparse Globals (§7.3 end to end)."""
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..sim.statevector import probabilities, zero_state
+    from ..trotter import (
+        average_magnetization,
+        evolve_exact,
+        sparse_quench_sweep,
+    )
+
+    options = dict(point.options)
+    n_qubits = options.get("n_qubits", 5)
+    times = options["times"]
+    hamiltonian = _quench_hamiltonian(options)
+    device = ibmq_mumbai_like(scale=options.get("noise_scale", 2.0))
+    exact = [
+        average_magnetization(
+            probabilities(
+                evolve_exact(hamiltonian, t, zero_state(n_qubits))
+            ),
+            n_qubits,
+        )
+        for t in times
+    ]
+    backend = SimulatorBackend(device, seed=29)
+    sweep = sparse_quench_sweep(
+        backend,
+        hamiltonian,
+        tuple(times),
+        shots=options.get("shots", 4096),
+        global_period=options["period"],
+    )
+    mags = [
+        average_magnetization(o.probs, n_qubits) for o in sweep.outputs
+    ]
+    return {
+        "error": float(
+            np.mean([abs(m - e) for m, e in zip(mags, exact)])
+        ),
+        "circuits": int(sweep.circuits_executed),
+        "globals": int(sweep.globals_executed),
+    }
+
+
+@task("tuner_tuning")
+def _tuner_tuning(point: Point, workload_cache: dict) -> dict:
+    """Classical tuner ablation under VarSaw on noisy H2-4 (§5.1)."""
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..optimizers import SPSA, ImFil, NelderMead
+    from ..vqe import run_vqe
+    from ..workloads import make_estimator, make_workload
+
+    options = dict(point.options)
+    tuner_name = options["tuner"]
+    iterations = options["iterations"]
+    tuner = {
+        "SPSA": lambda: SPSA(seed=19),
+        "ImFil": lambda: ImFil(),
+        "NelderMead": lambda: NelderMead(initial_step=0.3),
+    }[tuner_name]()
+    workload = make_workload("H2-4")
+    start = np.full(workload.ansatz.num_parameters, 0.1)
+    backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=19)
+    estimator = make_estimator("varsaw", workload, backend, shots=512)
+    start_energy = estimator.evaluate(start)
+    result = run_vqe(
+        estimator,
+        optimizer=tuner,
+        max_iterations=iterations,
+        initial_params=start,
+    )
+    return {
+        "start": float(start_energy),
+        "energy": float(result.energy),
+        "evals": int(result.iterations),
+        "ideal_energy": float(workload.ideal_energy),
+    }
+
+
+@task("engine_replay")
+def _engine_replay(point: Point, workload_cache: dict) -> dict:
+    """Replay the repeated-parameter H2-4 VarSaw trace through the
+    execution engine (throughput bench).
+
+    Options: ``cache`` (False disables memoization), ``workers``
+    (engine simulation workers), ``trace_points``/``trace_repeats``.
+    The evaluate-loop wall clock is measured *inside* the task (it is
+    the bench's reported quantity) — it is volatile and masked by the
+    parity suite.
+    """
+    from ..engine import EngineConfig, ExecutionEngine
+    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..vqe import initial_parameters
+    from ..workloads import make_estimator, make_workload
+
+    options = dict(point.options)
+    trace_points = options.get("trace_points", 12)
+    trace_repeats = options.get("trace_repeats", 3)
+    config_kwargs = {}
+    if not options.get("cache", True):
+        config_kwargs.update(cache_size=0, state_cache_size=0)
+    if options.get("workers") is not None:
+        config_kwargs.update(workers=options["workers"])
+    config = EngineConfig(**config_kwargs)
+
+    workload = make_workload("H2-4")
+    device = ibmq_mumbai_like(scale=2.0)
+    backend = SimulatorBackend(device, seed=7)
+    engine = ExecutionEngine(backend, config)
+    estimator = make_estimator(
+        "varsaw", workload, backend, shots=256, engine=engine
+    )
+    rng = np.random.default_rng(21)
+    theta = initial_parameters(workload.ansatz.num_parameters, seed=21)
+    points = []
+    for _ in range(trace_points):
+        theta = theta + rng.normal(
+            0.0, 0.05, size=workload.ansatz.num_parameters
+        )
+        points.append(theta.copy())
+    limit = options.get("limit")
+    trace = (points * trace_repeats)[
+        : limit if limit is not None else None
+    ]
+    start = time.perf_counter()
+    energies = [estimator.evaluate(theta) for theta in trace]
+    elapsed = time.perf_counter() - start
+    stats = engine.stats
+    engine.close()
+    return {
+        "energies": _floats(energies),
+        "seconds": float(elapsed),
+        "circuits": int(backend.circuits_run),
+        "shots": int(backend.shots_run),
+        "simulations": int(stats.simulations),
+        "hit_rate": float(stats.pmf_cache.hit_rate),
+        "dedup": int(stats.dedup_coalesced),
+    }
+
+
+@task("term_selective")
+def _term_selective(point: Point, workload_cache: dict) -> dict:
+    """Term-selective mitigation trade-off at one mass fraction."""
+    from ..analysis import optimal_parameters
+    from ..core import SelectiveVarSawEstimator, TermSelector
+    from ..noise import SimulatorBackend
+    from .runner import _prepare_point
+
+    options = dict(point.options)
+    fraction = options["fraction"]
+    workload, device, _ = _prepare_point(point, workload_cache)
+    params = optimal_parameters(
+        workload, iterations=options.get("params_iterations", 400)
+    )
+    from ..workloads import make_estimator
+
+    ideal = make_estimator(
+        "ideal", workload, SimulatorBackend(seed=0)
+    ).evaluate(params)
+    backend = SimulatorBackend(device, seed=point.seed)
+    estimator = SelectiveVarSawEstimator(
+        workload.hamiltonian,
+        workload.ansatz,
+        backend,
+        shots=point.shots,
+        global_mode="always",
+        term_selector=TermSelector(fraction),
+    )
+    energy = estimator.evaluate(params)
+    return {
+        "fraction": float(fraction),
+        "subsets": int(estimator.circuits_per_subset_pass),
+        "energy": float(energy),
+        "ideal_energy": float(ideal),
+        "error": float(abs(energy - ideal)),
+    }
+
+
+@task("phase_selective")
+def _phase_selective(point: Point, workload_cache: dict) -> dict:
+    """Phase-gated mitigation: endgame-only vs always-on tuning."""
+    from ..analysis import optimal_parameters
+    from ..core import PhasePolicy, SelectiveVarSawEstimator
+    from ..noise import SimulatorBackend
+    from ..optimizers import SPSA
+    from ..vqe import run_vqe
+    from .runner import _prepare_point
+
+    options = dict(point.options)
+    iterations = options["iterations"]
+    workload, device, _ = _prepare_point(point, workload_cache)
+    params0 = optimal_parameters(
+        workload, iterations=options.get("params_iterations", 400)
+    )
+    if options["policy"] == "endgame":
+        policy = PhasePolicy(2 * iterations, start_fraction=0.5)
+    else:
+        policy = None
+    backend = SimulatorBackend(device, seed=point.seed)
+    estimator = SelectiveVarSawEstimator(
+        workload.hamiltonian,
+        workload.ansatz,
+        backend,
+        shots=point.shots,
+        phase_policy=policy,
+    )
+    result = run_vqe(
+        estimator,
+        optimizer=SPSA(a=0.3, seed=point.seed),
+        max_iterations=iterations,
+        initial_params=params0,
+        seed=point.seed,
+    )
+    return {
+        "energy": float(result.energy),
+        "circuits": int(result.circuits_executed),
+    }

@@ -28,6 +28,7 @@ __all__ = [
     "Workload",
     "make_workload",
     "make_spin_workload",
+    "spin_hamiltonian_constructor",
     "make_estimator",
     "make_engine",
     "ESTIMATOR_KINDS",
@@ -99,18 +100,11 @@ def make_workload(
 SPIN_MODELS = ("tfim", "heisenberg", "xy")
 
 
-def make_spin_workload(
-    model: str,
-    n_qubits: int,
-    reps: int = 2,
-    entanglement: str = "full",
-    device: DeviceModel | None = None,
-    **model_kwargs,
-) -> Workload:
-    """Build a spin-chain workload ('tfim', 'heisenberg', or 'xy').
+def spin_hamiltonian_constructor(model: str):
+    """The Hamiltonian constructor behind one :data:`SPIN_MODELS` name.
 
-    Extra keyword arguments go to the Hamiltonian constructor
-    (``coupling``, ``field``, ``anisotropy``, ``periodic``, ...).
+    Shared by :func:`make_spin_workload` and the sweep task executors
+    (which need a bare Hamiltonian without ansatz/device construction).
     """
     from ..hamiltonian import (
         heisenberg_hamiltonian,
@@ -127,7 +121,25 @@ def make_spin_workload(
         raise ValueError(
             f"unknown spin model {model!r}; choose from {sorted(constructors)}"
         )
-    hamiltonian = constructors[model](n_qubits, **model_kwargs)
+    return constructors[model]
+
+
+def make_spin_workload(
+    model: str,
+    n_qubits: int,
+    reps: int = 2,
+    entanglement: str = "full",
+    device: DeviceModel | None = None,
+    **model_kwargs,
+) -> Workload:
+    """Build a spin-chain workload ('tfim', 'heisenberg', or 'xy').
+
+    Extra keyword arguments go to the Hamiltonian constructor
+    (``coupling``, ``field``, ``anisotropy``, ``periodic``, ...).
+    """
+    hamiltonian = spin_hamiltonian_constructor(model)(
+        n_qubits, **model_kwargs
+    )
     if device is None:
         device = ibmq_mumbai_like()
     if device.n_qubits < n_qubits:

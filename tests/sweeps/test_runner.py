@@ -137,8 +137,9 @@ class TestExecutePoint:
         result, wall = execute_point(point)
         assert wall >= 0
         assert set(result) == {
-            "energy", "ideal_energy", "error", "iterations", "circuits",
-            "shots", "global_fraction", "stop_reason",
+            "energy", "ideal_energy", "error", "iterations",
+            "iterations_completed", "circuits", "shots",
+            "global_fraction", "stop_reason",
         }
         assert isinstance(result["energy"], float)
         assert result["error"] == pytest.approx(

@@ -54,8 +54,10 @@ class TestPoint:
     def test_fingerprint_pinned(self):
         # Golden value: catches accidental canonicalization or schema
         # drift that would silently orphan every existing store.
+        # (Re-pinned for POINT_SCHEMA_VERSION 2 — the task/options/
+        # warm_start fields deliberately invalidated v1 stores.)
         assert h2_point().fingerprint() == (
-            "4e551d08ab3f71e5e18446bfe2acf4ef"
+            "8937acc66d8ee3bccad1cd1bd510d647"
         )
 
     def test_dict_roundtrip_preserves_fingerprint(self):
@@ -159,3 +161,29 @@ class TestSweepSpec:
         path = tmp_path / "spec.json"
         path.write_text(spec.to_json())
         assert SweepSpec.from_json_file(path) == spec
+
+
+class TestV2Validation:
+    def test_workload_tasks_require_a_workload(self):
+        with pytest.raises(ValueError, match="must name exactly one"):
+            Point(task="energy", scheme="ideal")
+        with pytest.raises(ValueError, match="must name exactly one"):
+            Point(task="zne", scheme="baseline",
+                  options={"scales": [1.0, 2.0]})
+        # Structure-style tasks are fine without one.
+        assert Point(task="cost_model",
+                     options={"qubits": [4]}).task == "cost_model"
+
+    def test_warm_start_requires_positive_iterations(self):
+        with pytest.raises(ValueError, match="iterations"):
+            Point(
+                workload={"model": "tfim", "n_qubits": 4},
+                scheme="varsaw",
+                warm_start={"kind": "ideal_vqe", "seed": 73},
+            )
+        with pytest.raises(ValueError, match="iterations"):
+            Point(
+                workload={"key": "H2-4"},
+                scheme="varsaw",
+                warm_start={"kind": "optimal", "iterations": 0},
+            )

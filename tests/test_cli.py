@@ -160,3 +160,62 @@ class TestSweepCommand:
         )
         assert code == 0
         assert "1 still pending" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_list_entries(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "table5" in out
+        assert "ext_qaoa" in out
+
+    def test_unknown_entry_rejected(self, tmp_path, capsys):
+        code = main([
+            "reproduce", "--only", "fig99",
+            "--out", str(tmp_path / "s.jsonl"),
+        ])
+        assert code == 2
+        assert "unknown catalog entries" in capsys.readouterr().err
+
+    def test_reproduce_then_resume_executes_nothing(self, tmp_path, capsys):
+        out_path = tmp_path / "repro.jsonl"
+        assert main([
+            "reproduce", "--only", "fig8,fig6_fig7",
+            "--out", str(out_path), "--processes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "executed 6 points" in out
+        assert "Fig. 8: circuits per VQA iteration" in out
+
+        assert main([
+            "reproduce", "--only", "fig8,fig6_fig7",
+            "--out", str(out_path), "--resume", "--no-tables",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "executed 0 points, skipped 6" in out
+
+    def test_limit_interrupts_and_resume_completes(self, tmp_path, capsys):
+        out_path = tmp_path / "repro.jsonl"
+        assert main([
+            "reproduce", "--only", "fig6_fig7",
+            "--out", str(out_path), "--limit", "2", "--no-tables",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incomplete grids: fig6_fig7" in out
+
+        assert main([
+            "reproduce", "--only", "fig6_fig7",
+            "--out", str(out_path), "--resume", "--no-tables",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "executed 3 points, skipped 2" in out
+
+    def test_existing_store_requires_resume_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "repro.jsonl"
+        out_path.write_text("")
+        code = main([
+            "reproduce", "--only", "fig8", "--out", str(out_path),
+        ])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
