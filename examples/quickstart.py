@@ -9,8 +9,8 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro import make_estimator, make_workload, run_vqe
-from repro.noise import SimulatorBackend, ibmq_mumbai_like
+from repro import Session, make_workload, run_vqe
+from repro.noise import ibmq_mumbai_like
 
 
 def main() -> None:
@@ -22,14 +22,14 @@ def main() -> None:
     print(f"Exact ground-state energy: {workload.ideal_energy:.3f}\n")
 
     for kind in ("baseline", "jigsaw", "varsaw"):
-        backend = SimulatorBackend(device, seed=7)
-        estimator = make_estimator(kind, workload, backend, shots=512)
+        session = Session(device, seed=7)
+        estimator = session.estimator(kind, workload, shots=512)
         result = run_vqe(estimator, max_iterations=150, seed=7)
         error = abs(result.energy - workload.ideal_energy)
         print(
             f"{kind:>9}: energy = {result.energy:8.3f}   "
             f"error = {error:6.3f}   "
-            f"circuits executed = {result.circuits_executed}"
+            f"circuits executed = {session.ledger().circuits}"
         )
 
     print(

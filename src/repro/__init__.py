@@ -5,19 +5,36 @@ Quantum Algorithms by eliminating *spatial* redundancy across the
 Hamiltonian's Pauli-string measurement subsets and *temporal* redundancy
 across the iterative tuner's Global executions.
 
-Quick start::
+Quick start — a :class:`~repro.api.Session` owns the device, the
+seeded backend, and one shared execution engine; estimators are named
+by registry kind (``repro kinds`` lists all of them)::
 
-    from repro import make_workload, make_estimator, run_vqe
-    from repro.noise import SimulatorBackend
+    from repro import Session, make_workload, run_vqe
 
     workload = make_workload("H2-4")
-    backend = SimulatorBackend(workload.device, seed=7)
-    estimator = make_estimator("varsaw", workload, backend, shots=512)
+    session = Session(workload.device, seed=7)
+    estimator = session.estimator("varsaw", workload, shots=512)
     result = run_vqe(estimator, max_iterations=100, seed=7)
     print(result.energy, "vs ideal", workload.ideal_energy)
+    print(session.ledger())      # circuits/shots/simulations charged
+
+Schemes take typed, eagerly-validated parameters — a misspelled knob
+raises immediately with the kind's accepted fields::
+
+    estimator = session.estimator(
+        "selective", workload, shots=512,
+        mass_fraction=0.85, global_mode="always",
+    )
+
+and every spec round-trips through plain JSON (``make_spec``,
+``spec.to_dict()``), so the same description works in sweep grids, the
+CLI, and result stores.  See README.md ("Experiment API") for the
+registry extension how-to.
 
 Package map (see README.md for the full inventory):
 
+* :mod:`repro.api` — the typed experiment API: ``EstimatorSpec``
+  registry + ``Session`` (the single estimator-construction path).
 * :mod:`repro.core` — VarSaw itself (spatial + temporal + cost model).
 * :mod:`repro.mitigation` — JigSaw and matrix-based mitigation.
 * :mod:`repro.vqe`, :mod:`repro.optimizers` — the VQE stack.
@@ -33,6 +50,13 @@ Package map (see README.md for the full inventory):
 """
 
 from .ansatz import EfficientSU2
+from .api import (
+    EstimatorSpec,
+    Session,
+    estimator_kinds,
+    make_spec,
+    register_estimator,
+)
 from .clifford import CliffordTableau, diagonalize_commuting
 from .core import GlobalScheduler, VarSawEstimator, varsaw_subset_plan
 from .engine import EngineConfig, EngineStats, ExecutionEngine
@@ -49,6 +73,11 @@ from .workloads import make_engine, make_estimator, make_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "EstimatorSpec",
+    "register_estimator",
+    "make_spec",
+    "estimator_kinds",
     "PauliString",
     "Hamiltonian",
     "build_hamiltonian",

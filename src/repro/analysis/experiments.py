@@ -12,9 +12,10 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..noise import DeviceModel, SimulatorBackend
+from ..api import Session
+from ..noise import DeviceModel
 from ..vqe import VQEResult, run_vqe
-from ..workloads import Workload, make_estimator, make_workload
+from ..workloads import Workload, make_workload
 from .metrics import arithmetic_mean
 
 __all__ = [
@@ -32,7 +33,7 @@ def _cached_optimum(
     key: str, reps: int, entanglement: str, iterations: int, seed: int
 ) -> tuple[float, ...]:
     workload = make_workload(key, reps=reps, entanglement=entanglement)
-    ideal = make_estimator("ideal", workload, SimulatorBackend(seed=0))
+    ideal = Session(seed=0).estimator("ideal", workload)
     result = run_vqe(ideal, max_iterations=iterations, seed=seed)
     return tuple(result.parameters)
 
@@ -65,11 +66,16 @@ def energy_at_params(
     seed: int = 0,
     **estimator_kwargs,
 ) -> float:
-    """One scheme's energy estimate at fixed parameters (single trial)."""
+    """One scheme's energy estimate at fixed parameters (single trial).
+
+    ``kind`` may be a registered kind name, an
+    :class:`~repro.api.EstimatorSpec`, or a payload dict with a
+    ``'kind'`` key.
+    """
     device = device if device is not None else workload.device
-    backend = SimulatorBackend(device, seed=seed)
-    estimator = make_estimator(
-        kind, workload, backend, shots=shots, **estimator_kwargs
+    session = Session(device, seed=seed)
+    estimator = session.estimator(
+        kind, workload, shots=shots, **estimator_kwargs
     )
     return estimator.evaluate(params)
 

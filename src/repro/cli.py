@@ -3,8 +3,10 @@
 Gives the repository's main workflows one-line entry points::
 
     python -m repro list                      # workloads and schemes
+    python -m repro kinds                     # estimator registry listing
     python -m repro subsets                   # Fig. 12-style report
     python -m repro run CH4-6 --scheme varsaw --budget 20000
+    python -m repro run H2-4 --scheme selective --mass-fraction 0.85
     python -m repro characterize --device ibmq_mumbai_like
     python -m repro grouping LiH-6            # QWC vs GC report (§3.1)
     python -m repro qaoa --nodes 6            # VarSaw on MaxCut (§7.3)
@@ -13,8 +15,10 @@ Gives the repository's main workflows one-line entry points::
     python -m repro reproduce --only fig8,table3 --processes 4
                                               # regenerate paper grids
 
-Everything the CLI does is a thin veneer over the public API, so scripts
-can graduate to the library without relearning concepts.
+Everything the CLI does is a thin veneer over the public API —
+estimators are constructed through :class:`repro.api.Session`, exactly
+as library code does — so scripts can graduate to the library without
+relearning concepts.
 """
 
 from __future__ import annotations
@@ -23,17 +27,13 @@ import argparse
 import sys
 
 from .analysis import sparkline
+from .api import Session, estimator_kinds, spec_class
 from .core import count_jigsaw_subsets, count_varsaw_subsets
 from .hamiltonian import MOLECULES, build_hamiltonian, molecule_keys
 from .noise import DEVICE_PRESETS, SimulatorBackend, characterize_readout
 from .optimizers import SPSA
 from .vqe import run_vqe
-from .workloads import (
-    ESTIMATOR_KINDS,
-    make_engine,
-    make_estimator,
-    make_workload,
-)
+from .workloads import ESTIMATOR_KINDS, make_engine, make_workload
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, schemes, and devices")
 
+    sub.add_parser(
+        "kinds",
+        help="list every registered estimator kind with its typed "
+        "parameters and defaults",
+    )
+
     subsets = sub.add_parser(
         "subsets", help="spatial-reduction report (Fig. 12)"
     )
@@ -59,7 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=2, help="subset window size"
     )
 
-    run = sub.add_parser("run", help="run one VQE tuning experiment")
+    run = sub.add_parser(
+        "run",
+        help="run one VQE tuning experiment (see 'repro kinds' for "
+        "every scheme's knobs)",
+    )
     run.add_argument("workload", help="Table 2 key, e.g. CH4-6")
     run.add_argument(
         "--scheme", default="varsaw", choices=ESTIMATOR_KINDS,
@@ -75,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--entanglement", default="full",
         choices=("full", "linear", "circular", "asymmetric"),
     )
+    _add_scheme_arguments(run)
     _add_engine_arguments(run)
 
     character = sub.add_parser(
@@ -104,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     qaoa.add_argument("--shots", type=int, default=256)
     qaoa.add_argument("--seed", type=int, default=0)
     qaoa.add_argument("--noise-scale", type=float, default=2.0)
+    _add_scheme_arguments(qaoa)
     _add_engine_arguments(qaoa)
 
     route = sub.add_parser(
@@ -221,28 +233,92 @@ def _add_engine_arguments(parser) -> None:
     )
 
 
-def _make_cli_estimator(args, workload, backend):
-    """Estimator + engine for a run/qaoa invocation's arguments."""
+def _add_scheme_arguments(parser) -> None:
+    """Scheme-specific knobs for the VQE-running subcommands.
+
+    Each flag maps to one field of the scheme's registered
+    :class:`~repro.api.EstimatorSpec`; flags left unset fall through to
+    the spec's defaults, and a flag the chosen scheme does not accept
+    fails with the kind's accepted fields (see ``repro kinds``).
+    """
+    parser.add_argument(
+        "--window", type=_int_at_least(1), default=None,
+        help="subset window width (jigsaw/varsaw families)",
+    )
+    parser.add_argument(
+        "--global-mode", default=None,
+        choices=("adaptive", "always", "never"),
+        help="varsaw Global scheduling mode",
+    )
+    parser.add_argument(
+        "--mass-fraction", type=float, default=None,
+        help="selective: coefficient-mass fraction to mitigate",
+    )
+    parser.add_argument(
+        "--error-threshold", type=float, default=None,
+        help="calibration_gated: readout-error gate threshold",
+    )
+    parser.add_argument(
+        "--gc-method", default=None, choices=("color", "greedy"),
+        help="gc: commuting-family partitioner",
+    )
+
+
+def _scheme_params(args) -> dict:
+    """Spec parameters for the scheme flags the user actually set."""
+    flags = {
+        "window": args.window,
+        "global_mode": args.global_mode,
+        "mass_fraction": args.mass_fraction,
+        "error_threshold": args.error_threshold,
+        "method": args.gc_method,
+    }
+    return {name: value for name, value in flags.items() if value is not None}
+
+
+def _make_cli_session(args, workload, backend):
+    """Session + estimator for a run/qaoa invocation's arguments."""
     engine = make_engine(
         backend,
         workers=args.workers,
         cache_size=args.cache_size,
         cache_bytes=args.cache_bytes,
     )
-    estimator = make_estimator(
-        args.scheme, workload, backend, shots=args.shots, engine=engine
+    session = Session(backend=backend, engine=engine)
+    estimator = session.estimator(
+        args.scheme, workload, shots=args.shots, **_scheme_params(args)
     )
-    return estimator, engine
+    return estimator, session
 
 
-def _print_engine_stats(engine) -> None:
-    stats = engine.stats
+def _print_engine_stats(session) -> None:
+    stats = session.engine.stats
     print(
         f"engine: {stats.jobs_submitted} jobs, "
         f"{stats.simulations} simulations, "
         f"cache hit rate {stats.pmf_cache.hit_rate:.1%} "
         f"({stats.pmf_cache.hits}/{stats.pmf_cache.requests})"
     )
+
+
+def _cmd_kinds(_args) -> int:
+    """Every registered estimator kind, its spec, and its defaults."""
+    for kind in estimator_kinds():
+        cls = spec_class(kind)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{kind}  ({cls.__name__})")
+        if summary:
+            print(f"    {summary}")
+        defaults = cls()
+        for name in cls.field_names():
+            print(f"    --  {name} = {getattr(defaults, name)!r}")
+    print(
+        "\nSelect with 'repro run --scheme <kind>' or a sweep Point's "
+        "scheme/estimator payload; extend with "
+        "@repro.api.register_estimator."
+    )
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -292,7 +368,11 @@ def _cmd_run(args) -> int:
     )
     device = workload.device.with_noise_scale(args.noise_scale)
     backend = SimulatorBackend(device, seed=args.seed)
-    estimator, engine = _make_cli_estimator(args, workload, backend)
+    try:
+        estimator, session = _make_cli_session(args, workload, backend)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(
         f"{workload.key}: {workload.n_qubits} qubits, "
         f"{workload.hamiltonian.num_terms} terms, "
@@ -317,7 +397,7 @@ def _cmd_run(args) -> int:
     fraction = getattr(estimator, "global_fraction", None)
     if fraction is not None:
         print(f"global fraction: {fraction:.3f}")
-    _print_engine_stats(engine)
+    _print_engine_stats(session)
     return 0
 
 
@@ -339,7 +419,7 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_grouping(args) -> int:
-    from .pauli import color_general_commuting, diagonalized_groups, group_qwc
+    from .pauli import diagonalized_groups, group_qwc
 
     if args.workload not in MOLECULES:
         print(
@@ -375,7 +455,11 @@ def _cmd_qaoa(args) -> int:
         return 2
     device = workload.device.with_noise_scale(args.noise_scale)
     backend = SimulatorBackend(device, seed=args.seed)
-    estimator, engine = _make_cli_estimator(args, workload, backend)
+    try:
+        estimator, session = _make_cli_session(args, workload, backend)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(
         f"{workload.key}: QAOA p={args.reps}, max cut "
         f"{-workload.ideal_energy:.0f}"
@@ -391,7 +475,7 @@ def _cmd_qaoa(args) -> int:
         f"{result.iterations} iterations, "
         f"{result.circuits_executed} circuits"
     )
-    _print_engine_stats(engine)
+    _print_engine_stats(session)
     return 0
 
 
@@ -600,6 +684,7 @@ def _cmd_reproduce(args) -> int:
 
 _COMMANDS = {
     "list": _cmd_list,
+    "kinds": _cmd_kinds,
     "subsets": _cmd_subsets,
     "run": _cmd_run,
     "characterize": _cmd_characterize,

@@ -16,8 +16,10 @@ from .cost import (
 )
 from .selective import (
     CalibrationGate,
+    CalibrationGatedSpec,
     CalibrationGatedVarSawEstimator,
     PhasePolicy,
+    SelectiveSpec,
     SelectiveVarSawEstimator,
     TermSelector,
 )
@@ -29,14 +31,24 @@ from .spatial import (
     varsaw_subset_plan,
 )
 from .temporal import GlobalScheduler
-from .varsaw import VarSawEstimator
+from .varsaw import (
+    VarSawEstimator,
+    VarSawMaxSparsitySpec,
+    VarSawNoSparsitySpec,
+    VarSawSpec,
+)
 
 __all__ = [
     "VarSawEstimator",
+    "VarSawSpec",
+    "VarSawNoSparsitySpec",
+    "VarSawMaxSparsitySpec",
     "SelectiveVarSawEstimator",
+    "SelectiveSpec",
     "TermSelector",
     "CalibrationGate",
     "CalibrationGatedVarSawEstimator",
+    "CalibrationGatedSpec",
     "PhasePolicy",
     "GlobalScheduler",
     "SubsetPlan",

@@ -21,19 +21,25 @@ noisy baseline path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from ..api import register_estimator
+from ..api.spec import check_fraction, check_int
 from ..sim import PMF
 from ..vqe.expectation import energy_from_group_pmfs
 from .spatial import SubsetPlan
-from .varsaw import VarSawEstimator
+from .varsaw import VarSawEstimator, VarSawSpec
 
 __all__ = [
     "TermSelector",
     "PhasePolicy",
     "SelectiveVarSawEstimator",
+    "SelectiveSpec",
     "CalibrationGate",
     "CalibrationGatedVarSawEstimator",
+    "CalibrationGatedSpec",
 ]
 
 
@@ -276,3 +282,87 @@ class CalibrationGatedVarSawEstimator(VarSawEstimator):
         self._compatible = [
             self.plan.compatible_with(basis) for basis in self.bases
         ]
+
+
+# ------------------------------------------------------------ registry
+
+
+@register_estimator("selective")
+@dataclass(frozen=True)
+class SelectiveSpec(VarSawSpec):
+    """Term- and phase-selective mitigation on top of VarSaw (§7.3).
+
+    ``mass_fraction`` materializes a :class:`TermSelector` (``None``
+    mitigates every group); ``phase_evaluations`` with
+    ``phase_start``/``phase_end`` materializes a :class:`PhasePolicy`
+    (``None`` keeps mitigation always on).
+    """
+
+    mass_fraction: float | None = None
+    phase_evaluations: int | None = None
+    phase_start: float = 0.0
+    phase_end: float = 1.0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.mass_fraction is not None:
+            check_fraction("mass_fraction", self.mass_fraction)
+        if self.phase_evaluations is not None:
+            check_int("phase_evaluations", self.phase_evaluations, minimum=1)
+        check_fraction("phase_start", self.phase_start)
+        check_fraction("phase_end", self.phase_end)
+        if self.phase_start > self.phase_end:
+            raise ValueError(
+                f"phase_start must be <= phase_end; got "
+                f"{self.phase_start} > {self.phase_end}"
+            )
+
+    def build(self, workload, backend, engine=None, **overrides):
+        kwargs = self._constructor_kwargs(workload, backend, engine)
+        if self.mass_fraction is not None:
+            kwargs["term_selector"] = TermSelector(self.mass_fraction)
+        if self.phase_evaluations is not None:
+            kwargs["phase_policy"] = PhasePolicy(
+                self.phase_evaluations,
+                start_fraction=self.phase_start,
+                end_fraction=self.phase_end,
+            )
+        kwargs.update(overrides)
+        return SelectiveVarSawEstimator(
+            workload.hamiltonian, workload.ansatz, backend, **kwargs
+        )
+
+
+@register_estimator("calibration_gated")
+@dataclass(frozen=True)
+class CalibrationGatedSpec(VarSawSpec):
+    """VarSaw gated by device calibration (§7.1): subsets whose windows
+    sit entirely on readout lines better than ``error_threshold`` are
+    skipped."""
+
+    error_threshold: float = 0.01
+
+    def validate(self) -> None:
+        super().validate()
+        if isinstance(self.error_threshold, bool) or not isinstance(
+            self.error_threshold, (int, float)
+        ):
+            raise ValueError(
+                f"error_threshold must be a number; "
+                f"got {self.error_threshold!r}"
+            )
+        if self.error_threshold < 0:
+            raise ValueError(
+                f"error_threshold must be non-negative; "
+                f"got {self.error_threshold!r}"
+            )
+
+    def build(self, workload, backend, engine=None, **overrides):
+        kwargs = self._constructor_kwargs(workload, backend, engine)
+        kwargs["gate"] = CalibrationGate(
+            error_threshold=self.error_threshold
+        )
+        kwargs.update(overrides)
+        return CalibrationGatedVarSawEstimator(
+            workload.hamiltonian, workload.ansatz, backend, **kwargs
+        )

@@ -17,9 +17,14 @@ comparison drives the scheduler's hill climbing.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
 import numpy as np
 
 from ..ansatz import EfficientSU2
+from ..api import EstimatorSpec, register_estimator
+from ..api.spec import check_bool, check_choice, check_int
 from ..hamiltonian import Hamiltonian
 from ..mitigation.reconstruction import bayesian_reconstruct
 from ..noise import SimulatorBackend
@@ -30,7 +35,12 @@ from ..vqe.expectation import energy_from_group_pmfs
 from .spatial import SubsetPlan, varsaw_subset_plan
 from .temporal import GlobalScheduler
 
-__all__ = ["VarSawEstimator"]
+__all__ = [
+    "VarSawEstimator",
+    "VarSawSpec",
+    "VarSawNoSparsitySpec",
+    "VarSawMaxSparsitySpec",
+]
 
 
 class VarSawEstimator(EstimatorBase):
@@ -219,3 +229,96 @@ class VarSawEstimator(EstimatorBase):
             min_period=self.scheduler.min_period,
             max_period=self.scheduler.max_period,
         )
+
+
+# ------------------------------------------------------------ registry
+
+
+@register_estimator("varsaw")
+@dataclass(frozen=True)
+class VarSawSpec(EstimatorSpec):
+    """The full VarSaw design (spatial subsets + adaptive Globals).
+
+    ``mbm`` is a flag, not an object: when true, :meth:`build`
+    materializes a :class:`~repro.mitigation.MatrixMitigator` from the
+    backend's device calibration (the paper's VarSaw+MBM stack).
+    """
+
+    shots: int = 1024
+    window: int = 2
+    subset_shots: int | None = None
+    global_mode: str = "adaptive"
+    initial_period: int = 2
+    max_period: int = 1024
+    mbm: bool = False
+
+    #: Ablation kinds pin ``global_mode``; changing it there is an error
+    #: rather than a silently contradictory spec.
+    _PINNED_MODE: ClassVar[str | None] = None
+
+    def validate(self) -> None:
+        check_int("shots", self.shots, minimum=1)
+        check_int("window", self.window, minimum=1)
+        if self.subset_shots is not None:
+            check_int("subset_shots", self.subset_shots, minimum=1)
+        check_choice(
+            "global_mode", self.global_mode, ("adaptive", "always", "never")
+        )
+        check_int("initial_period", self.initial_period, minimum=1)
+        check_int("max_period", self.max_period, minimum=self.initial_period)
+        check_bool("mbm", self.mbm)
+        if self._PINNED_MODE is not None and (
+            self.global_mode != self._PINNED_MODE
+        ):
+            raise ValueError(
+                f"estimator kind {self.kind!r} pins "
+                f"global_mode={self._PINNED_MODE!r}; use kind 'varsaw' "
+                f"to choose a different mode"
+            )
+
+    def _constructor_kwargs(
+        self, workload: Any, backend: Any, engine: Any
+    ) -> dict[str, Any]:
+        """Materialized keyword arguments shared by the VarSaw family."""
+        kwargs: dict[str, Any] = dict(
+            shots=self.shots,
+            window=self.window,
+            subset_shots=self.subset_shots,
+            global_mode=self.global_mode,
+            initial_period=self.initial_period,
+            max_period=self.max_period,
+            engine=engine,
+        )
+        if self.mbm:
+            from ..mitigation import MatrixMitigator
+
+            kwargs["mbm"] = MatrixMitigator.from_device(
+                SimulatorBackend(backend.device),
+                range(workload.n_qubits),
+            )
+        return kwargs
+
+    def build(self, workload, backend, engine=None, **overrides):
+        kwargs = self._constructor_kwargs(workload, backend, engine)
+        kwargs.update(overrides)
+        return VarSawEstimator(
+            workload.hamiltonian, workload.ansatz, backend, **kwargs
+        )
+
+
+@register_estimator("varsaw_no_sparsity")
+@dataclass(frozen=True)
+class VarSawNoSparsitySpec(VarSawSpec):
+    """VarSaw's No-Sparsity ablation: Globals every evaluation."""
+
+    global_mode: str = "always"
+    _PINNED_MODE: ClassVar[str | None] = "always"
+
+
+@register_estimator("varsaw_max_sparsity")
+@dataclass(frozen=True)
+class VarSawMaxSparsitySpec(VarSawSpec):
+    """VarSaw's Max-Sparsity ablation: Globals only on evaluation 0."""
+
+    global_mode: str = "never"
+    _PINNED_MODE: ClassVar[str | None] = "never"

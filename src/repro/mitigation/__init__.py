@@ -1,7 +1,7 @@
 """Measurement error mitigation: JigSaw, matrix-based (MBM), M3, bias-aware."""
 
 from .bias_aware import flip_pmf_bits, invert_and_measure, polarity_circuits
-from .jigsaw import JigSawEstimator
+from .jigsaw import JigSawEstimator, JigSawSpec
 from .m3 import M3Mitigator
 from .mbm import MatrixMitigator
 from .reconstruction import bayesian_reconstruct, subset_index_map
@@ -11,6 +11,7 @@ from .subsets import jigsaw_subsets_per_term, sliding_windows, term_subsets
 
 __all__ = [
     "JigSawEstimator",
+    "JigSawSpec",
     "MatrixMitigator",
     "M3Mitigator",
     "invert_and_measure",

@@ -14,9 +14,13 @@ roughly the qubit count (Fig. 8).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..ansatz import EfficientSU2
+from ..api import EstimatorSpec, register_estimator
+from ..api.spec import check_int
 from ..hamiltonian import Hamiltonian
 from ..noise import SimulatorBackend
 from ..pauli import PauliString
@@ -26,7 +30,7 @@ from ..vqe.expectation import energy_from_group_pmfs
 from .reconstruction import bayesian_reconstruct
 from .subsets import sliding_windows
 
-__all__ = ["JigSawEstimator"]
+__all__ = ["JigSawEstimator", "JigSawSpec"]
 
 
 class JigSawEstimator(EstimatorBase):
@@ -113,3 +117,31 @@ class JigSawEstimator(EstimatorBase):
     def circuits_per_evaluation(self) -> int:
         """Globals plus subsets for every group (the Fig. 8 cost model)."""
         return self.num_groups * (1 + len(self.windows))
+
+
+@register_estimator("jigsaw")
+@dataclass(frozen=True)
+class JigSawSpec(EstimatorSpec):
+    """Per-circuit JigSaw mitigation applied to every VQA iteration."""
+
+    shots: int = 1024
+    window: int = 2
+    subset_shots: int | None = None
+
+    def validate(self) -> None:
+        check_int("shots", self.shots, minimum=1)
+        check_int("window", self.window, minimum=1)
+        if self.subset_shots is not None:
+            check_int("subset_shots", self.subset_shots, minimum=1)
+
+    def build(self, workload, backend, engine=None, **overrides):
+        return JigSawEstimator(
+            workload.hamiltonian,
+            workload.ansatz,
+            backend,
+            shots=self.shots,
+            window=self.window,
+            subset_shots=self.subset_shots,
+            engine=engine,
+            **overrides,
+        )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..noise import DeviceModel, SimulatorBackend
+from ..noise import DeviceModel
 
 __all__ = ["richardson_extrapolate", "linear_extrapolate", "zne_energy"]
 
@@ -68,22 +68,22 @@ def zne_energy(
     """Evaluate the objective across a noise ladder and extrapolate.
 
     Returns ``(zero_noise_estimate, per_scale_energies)``.  ``kind`` may
-    be any estimator kind — ZNE stacks with VarSaw by passing
-    ``kind="varsaw_no_sparsity"`` etc.
+    be any registered estimator kind (also an
+    :class:`~repro.api.EstimatorSpec` or payload dict) — ZNE stacks
+    with VarSaw by passing ``kind="varsaw_no_sparsity"`` etc.
     """
-    # Imported here: repro.workloads depends on repro.mitigation, so a
-    # module-level import would be circular.
-    from ..workloads import make_estimator
+    # Imported here: this module is imported during repro.api's own
+    # registration pass, so a module-level import would be circular.
+    from ..api import Session
 
     if method not in ("richardson", "linear"):
         raise ValueError("method must be 'richardson' or 'linear'")
     device = base_device if base_device is not None else workload.device
     energies = []
     for scale in scales:
-        scaled_device = device.with_noise_scale(scale)
-        backend = SimulatorBackend(scaled_device, seed=seed)
-        estimator = make_estimator(
-            kind, workload, backend, shots=shots, **estimator_kwargs
+        session = Session(device, seed=seed, noise_scale=scale)
+        estimator = session.estimator(
+            kind, workload, shots=shots, **estimator_kwargs
         )
         energies.append(estimator.evaluate(np.asarray(params, dtype=float)))
     if method == "richardson":

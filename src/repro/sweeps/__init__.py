@@ -24,7 +24,8 @@ package turns those grids from ad-hoc loops into data:
 * :mod:`~repro.sweeps.aggregate` — groupby/mean/CI reductions and
   pivots from stored records back into the row/series shapes the
   figures print.
-* :mod:`~repro.sweeps.catalog` — all 27 paper grids registered as
+* :mod:`~repro.sweeps.catalog` — all 27 paper grids (plus extension
+  grids) registered as
   :class:`CatalogEntry`\\ s (spec builder + record-to-table reshaper);
   ``repro reproduce`` regenerates any subset against one shared,
   resumable store, and ``tests/golden/`` pins the rendered tables

@@ -1,7 +1,8 @@
 """The benchmark catalog: every paper grid as a declarative sweep.
 
-Each of the repository's 27 figure/table benchmarks is registered here
-as a :class:`CatalogEntry`:
+Each of the repository's figure/table benchmarks (the paper's 27 grids
+plus the extension studies) is registered here as a
+:class:`CatalogEntry`:
 
 * ``build()`` returns the grid as a :class:`~repro.sweeps.SweepSpec`
   (scale-aware: quick under the default ``REPRO_SCALE``, paper-sized
@@ -2004,4 +2005,65 @@ _register(CatalogEntry(
     title="VarSaw vs / with zero-noise extrapolation",
     build=_build_ext_zne_comparison,
     tables=_tables_ext_zne_comparison,
+))
+
+
+# ====================================================== ext_api_session
+
+#: Inline estimator-spec payloads (repro.api registry kinds), one grid
+#: axis: the payload's ``kind`` overrides the point's scheme entirely,
+#: so every registered estimator — including the families the legacy
+#: string factory never exposed — is addressable from a sweep.
+API_SESSION_SPECS = [
+    {"kind": "varsaw"},
+    {"kind": "gc", "shots": 128},
+    {"kind": "selective", "global_mode": "always",
+     "mass_fraction": 0.85},
+    {"kind": "calibration_gated", "error_threshold": 0.02},
+]
+
+
+def _build_ext_api_session() -> SweepSpec:
+    return SweepSpec(
+        name="ext_api_session",
+        base={
+            "workload": {"key": "H2-4"},
+            "device": MUMBAI2,
+            "shots": scaled(64, 512),
+            "max_iterations": scaled(4, 80),
+            "seed": 23,
+        },
+        axes={"estimator": API_SESSION_SPECS},
+    )
+
+
+def api_session_rows(records: list) -> dict:
+    """Payload kind -> tuning result (shared with the bench shim)."""
+    return {
+        payload["kind"]: _one(records, point__estimator=payload)["result"]
+        for payload in API_SESSION_SPECS
+    }
+
+
+def _tables_ext_api_session(records: list) -> list[Table]:
+    iterations = records[0]["point"]["max_iterations"]
+    rows = [
+        [kind, fmt(result["energy"]), fmt(result["error"]),
+         str(result["circuits"])]
+        for kind, result in api_session_rows(records).items()
+    ]
+    return [Table(
+        f"Extension: registry kinds via inline estimator specs "
+        f"(H2-4, {iterations} iterations)",
+        ["kind", "energy", "|error|", "circuits"],
+        rows,
+    )]
+
+
+_register(CatalogEntry(
+    name="ext_api_session",
+    figure="Extension (API)",
+    title="Typed estimator specs driving the sweep pipeline",
+    build=_build_ext_api_session,
+    tables=_tables_ext_api_session,
 ))

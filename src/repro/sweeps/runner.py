@@ -32,15 +32,11 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from ..api import Session
 from ..noise import DEVICE_PRESETS, DeviceModel, SimulatorBackend
 from ..optimizers import SPSA
 from ..vqe import run_vqe
-from ..workloads import (
-    Workload,
-    make_estimator,
-    make_spin_workload,
-    make_workload,
-)
+from ..workloads import Workload, make_spin_workload, make_workload
 from .spec import Point, SweepSpec, canonical_json
 from .store import ResultStore
 
@@ -75,18 +71,28 @@ def execute_tuning(
 ):
     """One scheme's full VQE tuning loop (the repository's one code path).
 
-    Returns a :class:`~repro.analysis.TuningRun`.  ``backend=None``
-    builds a fresh ``SimulatorBackend(device or workload.device, seed)``
-    — the deterministic per-trial discipline; pass an existing backend
-    to keep reading its ledger afterwards (the sweep runner does).
+    ``kind`` may be a registered kind name, an
+    :class:`~repro.api.EstimatorSpec`, or a payload dict with a
+    ``'kind'`` key — construction goes through a
+    :class:`~repro.api.Session` either way.  Returns a
+    :class:`~repro.analysis.TuningRun`.  ``backend=None`` builds a
+    fresh ``SimulatorBackend(device or workload.device, seed)`` — the
+    deterministic per-trial discipline; pass an existing backend to
+    keep reading its ledger afterwards (the sweep runner does).
     """
     from ..analysis.experiments import TuningRun
+
+    from ..api.spec import split_live_params
 
     if backend is None:
         device = device if device is not None else workload.device
         backend = SimulatorBackend(device, seed=seed)
-    estimator = make_estimator(
-        kind, workload, backend, shots=shots, **estimator_kwargs
+    engine = estimator_kwargs.pop("engine", None)
+    estimator_kwargs, overrides = split_live_params(estimator_kwargs)
+    session = Session(backend=backend, engine=engine)
+    spec = session.spec(kind, shots=shots, **estimator_kwargs)
+    estimator = spec.build(
+        workload, session.backend, engine=session.engine, **overrides
     )
     result = run_vqe(
         estimator,
@@ -97,7 +103,9 @@ def execute_tuning(
         seed=seed,
     )
     fraction = getattr(estimator, "global_fraction", None)
-    return TuningRun(kind=kind, result=result, global_fraction=fraction)
+    return TuningRun(
+        kind=spec.kind, result=result, global_fraction=fraction
+    )
 
 
 def execute_fixed_budget(
@@ -282,27 +290,26 @@ def execute_point(
 
 
 def execute_tuning_point(point: Point, workload_cache: dict) -> dict:
-    """The ``tuning`` task: one deterministic VQE tuning run."""
+    """The ``tuning`` task: one deterministic VQE tuning run.
+
+    The estimator comes from the point's ``scheme`` plus ``estimator``
+    parameter payload; a payload carrying its own ``'kind'`` overrides
+    the scheme entirely (the inline-spec form).  Either way the
+    ``mbm: true`` flag is materialized by the spec itself
+    (:class:`repro.core.VarSawSpec`), bit-identically to the old
+    hand-wired :class:`~repro.mitigation.MatrixMitigator` setup.
+    """
     workload, device, initial = _prepare_point(point, workload_cache)
     backend = SimulatorBackend(
         device if device is not None else workload.device, seed=point.seed
     )
-    estimator_kwargs = dict(point.estimator)
-    if estimator_kwargs.pop("mbm", False):
-        from ..mitigation import MatrixMitigator
-
-        estimator_kwargs["mbm"] = MatrixMitigator.from_device(
-            SimulatorBackend(
-                device if device is not None else workload.device
-            ),
-            range(workload.n_qubits),
-        )
+    scheme, shots, estimator_kwargs = point.estimator_args()
     run = execute_tuning(
-        point.scheme,
+        scheme,
         workload,
         max_iterations=point.max_iterations,
         circuit_budget=point.circuit_budget,
-        shots=point.shots,
+        shots=shots,
         seed=point.seed,
         spsa_gain=point.spsa_gain,
         initial_params=initial,

@@ -124,9 +124,14 @@ class Point:
         noise-free VQE pre-tune, the spin/QAOA benchmark idiom).
         Mutually exclusive with ``warm_start_iterations``.
     estimator:
-        Extra keyword arguments for the estimator constructor
-        (``window``, selective-mitigation knobs, ...).  The boolean
-        ``mbm`` flag is materialized into a
+        Typed estimator parameters (``window``, selective-mitigation
+        knobs, ...), validated eagerly against the scheme's registered
+        :class:`~repro.api.EstimatorSpec` — a misspelled knob fails at
+        spec build, not mid-sweep.  The payload may carry its own
+        ``"kind"`` (an inline spec, e.g. ``{"kind": "selective",
+        "mass_fraction": 0.85}``), which overrides ``scheme`` entirely
+        and makes every registered kind addressable from a grid.  The
+        boolean ``mbm`` flag is materialized into a
         :class:`~repro.mitigation.MatrixMitigator` for the point's
         device (Fig. 18's stacking).
     options:
@@ -158,12 +163,18 @@ class Point:
                     f"a {self.task!r} workload must name exactly one of "
                     f"{WORKLOAD_KINDS}; got {workload!r}"
                 )
-            if self.task in ("tuning", "energy", "zne") and (
-                not self.scheme or not isinstance(self.scheme, str)
+            inline_kind = dict(self.estimator).get("kind")
+            if self.task in ("tuning", "energy", "zne") and not (
+                (self.scheme and isinstance(self.scheme, str))
+                or (inline_kind and isinstance(inline_kind, str))
             ):
-                # These executors build an estimator from the scheme;
-                # fail at spec build, not mid-sweep.
-                raise ValueError("scheme must be a non-empty string")
+                # These executors build an estimator from the scheme
+                # (or an inline estimator-spec payload); fail at spec
+                # build, not mid-sweep.
+                raise ValueError(
+                    "scheme must be a non-empty string (or the "
+                    "estimator payload must carry a 'kind')"
+                )
         elif len(kinds) > 1:
             raise ValueError(
                 f"workload names several kinds {kinds}; got {workload!r}"
@@ -216,6 +227,48 @@ class Point:
             object.__setattr__(self, "warm_start", dict(self.warm_start))
         object.__setattr__(self, "estimator", dict(self.estimator))
         object.__setattr__(self, "options", dict(self.options))
+        self._validate_estimator_payload()
+
+    def _validate_estimator_payload(self) -> None:
+        """Eagerly validate estimator parameters against the registry.
+
+        A misspelled or out-of-range knob in ``estimator`` fails at
+        point construction (i.e. at :class:`SweepSpec` build) with the
+        offending key and the kind's accepted fields, instead of deep
+        in a constructor mid-sweep.  Inline payload kinds must resolve;
+        a *scheme* the registry doesn't know is left for the point's
+        task executor to interpret.
+        """
+        payload = dict(self.estimator)
+        kind = payload.pop("kind", None)
+        inline = kind is not None
+        if kind is None:
+            if not payload or not self.scheme:
+                return
+            kind = self.scheme
+        from ..api import spec_class
+
+        try:
+            cls = spec_class(kind)
+        except ValueError:
+            if inline:
+                raise
+            return
+        cls(**cls.check_params(payload))
+
+    def estimator_args(self) -> tuple[str, int, dict]:
+        """``(kind, shots, extra spec params)`` for this point.
+
+        The one place the estimator-payload conventions are decoded:
+        an inline payload ``kind`` overrides the ``scheme`` field, and
+        a payload-pinned ``shots`` wins over the point-level ``shots``.
+        Estimator-building task executors (``tuning``, ``energy``,
+        ``zne``) all go through this.
+        """
+        payload = dict(self.estimator)
+        kind = payload.pop("kind", None) or self.scheme
+        shots = payload.pop("shots", self.shots)
+        return kind, shots, payload
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -20,7 +20,7 @@ byte-for-byte.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -206,26 +206,27 @@ def _energy(point: Point, workload_cache: dict) -> dict:
     params = optimal_parameters(
         workload, iterations=options.get("params_iterations", 400)
     )
+    kind, shots, estimator_kwargs = point.estimator_args()
     trials = options.get("trials")
     if trials is None:
         energy = energy_at_params(
-            point.scheme,
+            kind,
             workload,
             params,
             device=device,
-            shots=point.shots,
+            shots=shots,
             seed=point.seed,
-            **point.estimator,
+            **estimator_kwargs,
         )
     else:
         energy = mean_energy_at_params(
-            point.scheme,
+            kind,
             workload,
             params,
             trials=trials,
             device=device,
-            shots=point.shots,
-            **point.estimator,
+            shots=shots,
+            **estimator_kwargs,
         )
     return {
         "energy": float(energy),
@@ -245,14 +246,16 @@ def _zne(point: Point, workload_cache: dict) -> dict:
     params = optimal_parameters(
         workload, iterations=options.get("params_iterations", 400)
     )
+    kind, shots, estimator_kwargs = point.estimator_args()
     energy, _ = zne_energy(
         workload,
         params,
-        kind=point.scheme,
+        kind=kind,
         scales=tuple(options["scales"]),
-        shots=point.shots,
+        shots=shots,
         seed=point.seed,
         base_device=device,
+        **estimator_kwargs,
     )
     return {
         "energy": float(energy),
@@ -290,43 +293,32 @@ def _calibration_gate(point: Point, workload_cache: dict) -> dict:
 
     Options: ``threshold`` (``None`` = plain VarSaw, the "off" row).
     """
-    from ..core import (
-        CalibrationGate,
-        CalibrationGatedVarSawEstimator,
-        VarSawEstimator,
-    )
-    from ..noise import SimulatorBackend
-    from ..vqe import IdealEstimator
+    from ..api import Session
     from ..workloads import make_workload
 
     threshold = dict(point.options).get("threshold")
     device = split_quality_device()
     workload = make_workload("H2-4", device=device)
     params = np.full(workload.ansatz.num_parameters, 0.1)
-    exact = IdealEstimator(
-        workload.hamiltonian, workload.ansatz
-    ).evaluate(params)
+    exact = Session().estimator("ideal", workload).evaluate(params)
 
     skipped = 0
     errors, circuits = [], 0
     for seed in range(6):
-        backend = SimulatorBackend(device, seed=200 + seed)
+        session = Session(device, seed=200 + seed)
         if threshold is None:
-            estimator = VarSawEstimator(
-                workload.hamiltonian, workload.ansatz, backend, shots=2048
-            )
+            estimator = session.estimator("varsaw", workload, shots=2048)
         else:
-            estimator = CalibrationGatedVarSawEstimator(
-                workload.hamiltonian,
-                workload.ansatz,
-                backend,
+            estimator = session.estimator(
+                "calibration_gated",
+                workload,
                 shots=2048,
-                gate=CalibrationGate(error_threshold=threshold),
+                error_threshold=threshold,
             )
             skipped = estimator.subsets_skipped
-        before = backend.circuits_run
+        before = session.ledger()
         errors.append(abs(estimator.evaluate(params) - exact))
-        circuits = backend.circuits_run - before
+        circuits = (session.ledger() - before).circuits
     return {
         "error": float(np.mean(errors)),
         "circuits": int(circuits),
@@ -383,25 +375,19 @@ def _gc_end_to_end(point: Point, workload_cache: dict) -> dict:
     Options: ``regime`` ("standard" | "10x gate noise"),
     ``estimator`` ("QWC baseline" | "GC estimator").
     """
+    from ..api import Session
     from ..noise import SimulatorBackend, ibmq_mumbai_like
-    from ..vqe import (
-        BaselineEstimator,
-        GeneralCommutationEstimator,
-        IdealEstimator,
-    )
     from ..workloads import make_workload
 
     options = dict(point.options)
     regime = options["regime"]
-    cls = {
-        "QWC baseline": BaselineEstimator,
-        "GC estimator": GeneralCommutationEstimator,
+    kind = {
+        "QWC baseline": "baseline",
+        "GC estimator": "gc",
     }[options["estimator"]]
     workload = make_workload("LiH-6")
     params = np.full(workload.ansatz.num_parameters, 0.09)
-    exact = IdealEstimator(
-        workload.hamiltonian, workload.ansatz
-    ).evaluate(params)
+    exact = Session().estimator("ideal", workload).evaluate(params)
     device = ibmq_mumbai_like()
     errors = []
     circuits = 0
@@ -410,8 +396,8 @@ def _gc_end_to_end(point: Point, workload_cache: dict) -> dict:
         if regime == "10x gate noise":
             backend.device = device.with_noise_scale(1.0)
             backend.device.gate_noise.scale = 10.0
-        estimator = cls(
-            workload.hamiltonian, workload.ansatz, backend, shots=2048
+        estimator = Session(backend=backend).estimator(
+            kind, workload, shots=2048
         )
         errors.append(abs(estimator.evaluate(params) - exact))
         circuits = estimator.circuits_per_evaluation
@@ -703,10 +689,11 @@ def _quench_sweep(point: Point, workload_cache: dict) -> dict:
 @task("tuner_tuning")
 def _tuner_tuning(point: Point, workload_cache: dict) -> dict:
     """Classical tuner ablation under VarSaw on noisy H2-4 (§5.1)."""
-    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..api import Session
+    from ..noise import ibmq_mumbai_like
     from ..optimizers import SPSA, ImFil, NelderMead
     from ..vqe import run_vqe
-    from ..workloads import make_estimator, make_workload
+    from ..workloads import make_workload
 
     options = dict(point.options)
     tuner_name = options["tuner"]
@@ -718,8 +705,8 @@ def _tuner_tuning(point: Point, workload_cache: dict) -> dict:
     }[tuner_name]()
     workload = make_workload("H2-4")
     start = np.full(workload.ansatz.num_parameters, 0.1)
-    backend = SimulatorBackend(ibmq_mumbai_like(scale=2.0), seed=19)
-    estimator = make_estimator("varsaw", workload, backend, shots=512)
+    session = Session(ibmq_mumbai_like(scale=2.0), seed=19)
+    estimator = session.estimator("varsaw", workload, shots=512)
     start_energy = estimator.evaluate(start)
     result = run_vqe(
         estimator,
@@ -746,10 +733,11 @@ def _engine_replay(point: Point, workload_cache: dict) -> dict:
     the bench's reported quantity) — it is volatile and masked by the
     parity suite.
     """
-    from ..engine import EngineConfig, ExecutionEngine
-    from ..noise import SimulatorBackend, ibmq_mumbai_like
+    from ..api import Session
+    from ..engine import EngineConfig
+    from ..noise import ibmq_mumbai_like
     from ..vqe import initial_parameters
-    from ..workloads import make_estimator, make_workload
+    from ..workloads import make_workload
 
     options = dict(point.options)
     trace_points = options.get("trace_points", 12)
@@ -759,15 +747,14 @@ def _engine_replay(point: Point, workload_cache: dict) -> dict:
         config_kwargs.update(cache_size=0, state_cache_size=0)
     if options.get("workers") is not None:
         config_kwargs.update(workers=options["workers"])
-    config = EngineConfig(**config_kwargs)
 
     workload = make_workload("H2-4")
-    device = ibmq_mumbai_like(scale=2.0)
-    backend = SimulatorBackend(device, seed=7)
-    engine = ExecutionEngine(backend, config)
-    estimator = make_estimator(
-        "varsaw", workload, backend, shots=256, engine=engine
+    session = Session(
+        ibmq_mumbai_like(scale=2.0),
+        seed=7,
+        engine=EngineConfig(**config_kwargs),
     )
+    estimator = session.estimator("varsaw", workload, shots=256)
     rng = np.random.default_rng(21)
     theta = initial_parameters(workload.ansatz.num_parameters, seed=21)
     points = []
@@ -783,13 +770,14 @@ def _engine_replay(point: Point, workload_cache: dict) -> dict:
     start = time.perf_counter()
     energies = [estimator.evaluate(theta) for theta in trace]
     elapsed = time.perf_counter() - start
-    stats = engine.stats
-    engine.close()
+    stats = session.engine.stats
+    ledger = session.ledger()
+    session.close()
     return {
         "energies": _floats(energies),
         "seconds": float(elapsed),
-        "circuits": int(backend.circuits_run),
-        "shots": int(backend.shots_run),
+        "circuits": int(ledger.circuits),
+        "shots": int(ledger.shots),
         "simulations": int(stats.simulations),
         "hit_rate": float(stats.pmf_cache.hit_rate),
         "dedup": int(stats.dedup_coalesced),
@@ -800,8 +788,7 @@ def _engine_replay(point: Point, workload_cache: dict) -> dict:
 def _term_selective(point: Point, workload_cache: dict) -> dict:
     """Term-selective mitigation trade-off at one mass fraction."""
     from ..analysis import optimal_parameters
-    from ..core import SelectiveVarSawEstimator, TermSelector
-    from ..noise import SimulatorBackend
+    from ..api import Session
     from .runner import _prepare_point
 
     options = dict(point.options)
@@ -810,19 +797,13 @@ def _term_selective(point: Point, workload_cache: dict) -> dict:
     params = optimal_parameters(
         workload, iterations=options.get("params_iterations", 400)
     )
-    from ..workloads import make_estimator
-
-    ideal = make_estimator(
-        "ideal", workload, SimulatorBackend(seed=0)
-    ).evaluate(params)
-    backend = SimulatorBackend(device, seed=point.seed)
-    estimator = SelectiveVarSawEstimator(
-        workload.hamiltonian,
-        workload.ansatz,
-        backend,
+    ideal = Session(seed=0).estimator("ideal", workload).evaluate(params)
+    estimator = Session(device, seed=point.seed).estimator(
+        "selective",
+        workload,
         shots=point.shots,
         global_mode="always",
-        term_selector=TermSelector(fraction),
+        mass_fraction=fraction,
     )
     energy = estimator.evaluate(params)
     return {
@@ -838,8 +819,7 @@ def _term_selective(point: Point, workload_cache: dict) -> dict:
 def _phase_selective(point: Point, workload_cache: dict) -> dict:
     """Phase-gated mitigation: endgame-only vs always-on tuning."""
     from ..analysis import optimal_parameters
-    from ..core import PhasePolicy, SelectiveVarSawEstimator
-    from ..noise import SimulatorBackend
+    from ..api import Session
     from ..optimizers import SPSA
     from ..vqe import run_vqe
     from .runner import _prepare_point
@@ -850,17 +830,13 @@ def _phase_selective(point: Point, workload_cache: dict) -> dict:
     params0 = optimal_parameters(
         workload, iterations=options.get("params_iterations", 400)
     )
+    phase = {}
     if options["policy"] == "endgame":
-        policy = PhasePolicy(2 * iterations, start_fraction=0.5)
-    else:
-        policy = None
-    backend = SimulatorBackend(device, seed=point.seed)
-    estimator = SelectiveVarSawEstimator(
-        workload.hamiltonian,
-        workload.ansatz,
-        backend,
-        shots=point.shots,
-        phase_policy=policy,
+        phase = {
+            "phase_evaluations": 2 * iterations, "phase_start": 0.5,
+        }
+    estimator = Session(device, seed=point.seed).estimator(
+        "selective", workload, shots=point.shots, **phase
     )
     result = run_vqe(
         estimator,

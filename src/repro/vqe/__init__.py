@@ -1,7 +1,13 @@
 """VQE driver: estimators, expectation assembly, and the tuning loop."""
 
-from .estimator import BaselineEstimator, EstimatorBase, IdealEstimator
-from .gc_estimator import GeneralCommutationEstimator
+from .estimator import (
+    BaselineEstimator,
+    BaselineSpec,
+    EstimatorBase,
+    IdealEstimator,
+    IdealSpec,
+)
+from .gc_estimator import GeneralCommutationEstimator, GeneralCommutationSpec
 from .expectation import (
     assign_terms_to_groups,
     energy_from_group_pmfs,
@@ -17,8 +23,11 @@ from .shot_allocation import (
 __all__ = [
     "EstimatorBase",
     "BaselineEstimator",
+    "BaselineSpec",
     "IdealEstimator",
+    "IdealSpec",
     "GeneralCommutationEstimator",
+    "GeneralCommutationSpec",
     "term_expectation",
     "energy_from_group_pmfs",
     "assign_terms_to_groups",

@@ -16,9 +16,13 @@ per submitted spec, exactly like the serial path did.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..ansatz import EfficientSU2
+from ..api import EstimatorSpec, register_estimator
+from ..api.spec import check_int
 from ..circuits import Circuit
 from ..engine import ensure_engine
 from ..hamiltonian import Hamiltonian
@@ -27,7 +31,13 @@ from ..pauli import PauliString
 from ..sim import PMF
 from .expectation import assign_terms_to_groups, energy_from_group_pmfs
 
-__all__ = ["EstimatorBase", "BaselineEstimator", "IdealEstimator"]
+__all__ = [
+    "EstimatorBase",
+    "BaselineEstimator",
+    "BaselineSpec",
+    "IdealEstimator",
+    "IdealSpec",
+]
 
 
 class EstimatorBase:
@@ -136,3 +146,42 @@ class IdealEstimator(EstimatorBase):
     @property
     def circuits_per_evaluation(self) -> int:
         return 0
+
+
+# ------------------------------------------------------------ registry
+
+
+@register_estimator("baseline")
+@dataclass(frozen=True)
+class BaselineSpec(EstimatorSpec):
+    """Traditional noisy VQA (QWC grouping, no mitigation)."""
+
+    shots: int = 1024
+
+    def validate(self) -> None:
+        check_int("shots", self.shots, minimum=1)
+
+    def build(self, workload, backend, engine=None, **overrides):
+        return BaselineEstimator(
+            workload.hamiltonian,
+            workload.ansatz,
+            backend,
+            shots=self.shots,
+            engine=engine,
+            **overrides,
+        )
+
+
+@register_estimator("ideal")
+@dataclass(frozen=True)
+class IdealSpec(EstimatorSpec):
+    """Noise-free, infinite-shot exact reference (no parameters)."""
+
+    def build(self, workload, backend, engine=None, **overrides):
+        return IdealEstimator(
+            workload.hamiltonian,
+            workload.ansatz,
+            backend,
+            engine=engine,
+            **overrides,
+        )

@@ -16,15 +16,19 @@ unit tests pin down both sides.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from ..api import EstimatorSpec, register_estimator
+from ..api.spec import check_choice, check_int
 from ..clifford import DiagonalizedGroup
 from ..hamiltonian import Hamiltonian
 from ..noise import SimulatorBackend
 from ..pauli import diagonalized_groups
 from .estimator import EstimatorBase
 
-__all__ = ["GeneralCommutationEstimator"]
+__all__ = ["GeneralCommutationEstimator", "GeneralCommutationSpec"]
 
 
 class GeneralCommutationEstimator(EstimatorBase):
@@ -92,3 +96,31 @@ class GeneralCommutationEstimator(EstimatorBase):
     @property
     def circuits_per_evaluation(self) -> int:
         return len(self.gc_groups)
+
+
+@register_estimator("gc")
+@dataclass(frozen=True)
+class GeneralCommutationSpec(EstimatorSpec):
+    """General-commutation grouping (Clifford-diagonalized families).
+
+    ``method`` selects the partitioner: ``'color'`` (greedy coloring,
+    fewer groups) or ``'greedy'`` (first-fit).
+    """
+
+    shots: int = 1024
+    method: str = "color"
+
+    def validate(self) -> None:
+        check_int("shots", self.shots, minimum=1)
+        check_choice("method", self.method, ("color", "greedy"))
+
+    def build(self, workload, backend, engine=None, **overrides):
+        return GeneralCommutationEstimator(
+            workload.hamiltonian,
+            workload.ansatz,
+            backend,
+            shots=self.shots,
+            method=self.method,
+            engine=engine,
+            **overrides,
+        )

@@ -2,9 +2,11 @@
 
 Experiments in the paper repeat the same setup dance — build a molecule's
 Hamiltonian, an EfficientSU2 ansatz of matching width, a noisy device
-model, and look up the ideal energy.  :func:`make_workload` packages that,
-and :func:`make_estimator` builds any of the paper's comparison schemes on
-top of it.
+model, and look up the ideal energy.  :func:`make_workload` packages
+that.  Estimator construction lives in :mod:`repro.api` (typed
+``EstimatorSpec`` classes + ``Session``); the :func:`make_estimator` /
+:func:`make_engine` factories kept here are thin deprecation shims over
+that registry, bit-identical to their historical behavior.
 """
 
 from __future__ import annotations
@@ -12,17 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ansatz import EfficientSU2
-from ..core import VarSawEstimator
-from ..engine import EngineConfig, ExecutionEngine
+from ..api import estimator_kinds, spec_class
+from ..engine import EngineConfig, ExecutionEngine, ensure_engine
 from ..hamiltonian import (
     MOLECULES,
     Hamiltonian,
     build_hamiltonian,
     ground_state_energy,
 )
-from ..mitigation import JigSawEstimator
 from ..noise import DeviceModel, SimulatorBackend, ibmq_mumbai_like
-from ..vqe import BaselineEstimator, IdealEstimator
 
 __all__ = [
     "Workload",
@@ -35,14 +35,11 @@ __all__ = [
     "SPIN_MODELS",
 ]
 
-ESTIMATOR_KINDS = (
-    "ideal",
-    "baseline",
-    "jigsaw",
-    "varsaw",
-    "varsaw_no_sparsity",
-    "varsaw_max_sparsity",
-)
+#: Every registered estimator kind, in canonical order.  A snapshot of
+#: :func:`repro.api.estimator_kinds` taken at import; out-of-tree kinds
+#: registered later are addressable everywhere but only appear in the
+#: live listing.
+ESTIMATOR_KINDS = estimator_kinds()
 
 
 @dataclass
@@ -192,7 +189,8 @@ def make_engine(
     }
     if cache_size == 0 and state_cache_size is None:
         overrides["state_cache_size"] = 0
-    return ExecutionEngine(backend, EngineConfig(**overrides))
+    # The same coercion Session applies to its engine= argument.
+    return ensure_engine(EngineConfig(**overrides), backend)
 
 
 def make_estimator(
@@ -206,10 +204,22 @@ def make_estimator(
     cache_size: int | None = None,
     **kwargs,
 ):
-    """Build one of the paper's comparison schemes for a workload.
+    """Build one of the comparison schemes (deprecation shim).
 
-    ``kind`` is one of :data:`ESTIMATOR_KINDS`; extra keyword arguments
-    pass through to the estimator's constructor.
+    Prefer the typed path::
+
+        session = Session(backend=backend)
+        estimator = session.estimator(kind, workload, shots=shots, ...)
+
+    This factory now resolves ``kind`` through the
+    :mod:`repro.api` registry, so every registered kind (including
+    ``gc``, ``selective``, ``calibration_gated``, and out-of-tree
+    estimators) is addressable — and unknown or misspelled keyword
+    arguments raise a ``ValueError`` naming the offending key and the
+    kind's accepted fields instead of being forwarded blindly.
+    Construction is bit-identical to the historical factory: ``shots``
+    and ``window`` apply only to kinds that accept them, exactly as the
+    old named-argument forwarding did.
 
     Execution engine configuration
     ------------------------------
@@ -219,45 +229,18 @@ def make_estimator(
     and/or ``cache_size`` to configure a fresh engine in place; with
     neither given the estimator builds a default-configured engine.
     """
+    from ..api.spec import split_live_params
+
     if workers is not None or cache_size is not None:
         if engine is not None:
             raise ValueError(
                 "pass either engine= or workers=/cache_size=, not both"
             )
         engine = make_engine(backend, workers=workers, cache_size=cache_size)
-    common = (workload.hamiltonian, workload.ansatz, backend)
-    if kind == "ideal":
-        return IdealEstimator(
-            workload.hamiltonian, workload.ansatz, backend, engine=engine
-        )
-    if kind == "baseline":
-        return BaselineEstimator(*common, shots=shots, engine=engine, **kwargs)
-    if kind == "jigsaw":
-        return JigSawEstimator(
-            *common, shots=shots, window=window, engine=engine, **kwargs
-        )
-    if kind == "varsaw":
-        return VarSawEstimator(
-            *common, shots=shots, window=window, engine=engine, **kwargs
-        )
-    if kind == "varsaw_no_sparsity":
-        return VarSawEstimator(
-            *common,
-            shots=shots,
-            window=window,
-            global_mode="always",
-            engine=engine,
-            **kwargs,
-        )
-    if kind == "varsaw_max_sparsity":
-        return VarSawEstimator(
-            *common,
-            shots=shots,
-            window=window,
-            global_mode="never",
-            engine=engine,
-            **kwargs,
-        )
-    raise ValueError(
-        f"unknown estimator kind {kind!r}; choose from {ESTIMATOR_KINDS}"
-    )
+    cls = spec_class(kind)
+    params, overrides = split_live_params(kwargs)
+    for name, value in (("shots", shots), ("window", window)):
+        if name in cls.field_names():
+            params.setdefault(name, value)
+    spec = cls(**cls.check_params(params))
+    return spec.build(workload, backend, engine=engine, **overrides)

@@ -1,0 +1,144 @@
+"""Session construction, ledger snapshots, and engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.api import LedgerSnapshot, Session, make_spec
+from repro.engine import EngineConfig, ExecutionEngine, shared_engine
+from repro.noise import SimulatorBackend, ibm_lagos_like, ibmq_mumbai_like
+from repro.workloads import make_workload
+
+
+@pytest.fixture
+def workload():
+    return make_workload("H2-4", reps=1, entanglement="linear")
+
+
+class TestConstruction:
+    def test_device_model(self):
+        device = ibm_lagos_like()
+        session = Session(device, seed=3)
+        assert session.device is device
+        assert session.seed == 3
+        assert session.backend.device is device
+
+    def test_device_preset_name(self):
+        session = Session("ibm_lagos_like", seed=1)
+        assert session.device.name == "ibm_lagos_like"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown device preset"):
+            Session("ibm_nowhere_like")
+
+    def test_default_is_ideal_device(self):
+        assert Session().device.name == "ideal"
+
+    def test_noise_scale_applied(self):
+        base = ibmq_mumbai_like()
+        session = Session(base, seed=0, noise_scale=2.0)
+        scaled = base.with_noise_scale(2.0)
+        assert session.device.readout.qubit_errors[0].p01 == (
+            scaled.readout.qubit_errors[0].p01
+        )
+
+    def test_noise_scale_without_device_rejected(self):
+        with pytest.raises(ValueError, match="noise_scale"):
+            Session(noise_scale=2.0)
+
+    def test_adopt_backend(self):
+        backend = SimulatorBackend(ibm_lagos_like(), seed=9)
+        session = Session(backend=backend)
+        assert session.backend is backend
+        assert session.seed == 9
+
+    def test_backend_and_device_mutually_exclusive(self):
+        backend = SimulatorBackend(seed=0)
+        with pytest.raises(ValueError, match="not both"):
+            Session(ibm_lagos_like(), backend=backend)
+        with pytest.raises(ValueError, match="not both"):
+            Session(backend=backend, seed=1)
+
+
+class TestEngineWiring:
+    def test_default_engine_is_backend_shared(self):
+        session = Session(ibm_lagos_like(), seed=0)
+        assert session.engine is shared_engine(session.backend)
+
+    def test_engine_config_builds_private_engine(self):
+        session = Session(ibm_lagos_like(), seed=0,
+                          engine=EngineConfig(cache_size=4))
+        assert session.engine is not shared_engine(session.backend)
+        assert session.engine.config.cache_size == 4
+
+    def test_ready_engine_adopted(self):
+        backend = SimulatorBackend(ibm_lagos_like(), seed=0)
+        engine = ExecutionEngine(backend)
+        session = Session(backend=backend, engine=engine)
+        assert session.engine is engine
+
+    def test_estimators_share_the_session_engine(self, workload):
+        session = Session(workload.device, seed=0)
+        first = session.estimator("baseline", workload, shots=16)
+        second = session.estimator("varsaw", workload, shots=16)
+        assert first.engine is session.engine
+        assert second.engine is session.engine
+
+    def test_context_manager_closes_engine(self):
+        with Session(ibm_lagos_like(), seed=0) as session:
+            assert session.engine is not None
+        # Idempotent close.
+        session.close()
+
+
+class TestSpecResolution:
+    def test_soft_shots_ignored_by_parameterless_kind(self, workload):
+        session = Session(workload.device, seed=0)
+        spec = session.spec("ideal", shots=512)
+        assert spec.field_names() == ()
+
+    def test_soft_shots_applied_when_accepted(self):
+        session = Session()
+        assert session.spec("baseline", shots=64).shots == 64
+
+    def test_payload_pins_win_over_soft_defaults(self):
+        session = Session()
+        spec = session.spec({"kind": "gc", "shots": 128}, shots=64)
+        assert spec.shots == 128
+
+    def test_strict_params_reject_misspellings(self):
+        with pytest.raises(ValueError, match="'windw'"):
+            Session().spec("varsaw", windw=3)
+
+    def test_spec_instance_passes_through(self):
+        spec = make_spec("varsaw", window=3)
+        assert Session().spec(spec) is spec
+        # A built spec is complete: soft defaults never alter it
+        # (`replace` is the explicit way to change fields).
+        assert Session().spec(spec, shots=64).shots == spec.shots
+        assert Session().spec(spec).window == 3
+
+    def test_payload_without_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Session().spec({"window": 2})
+
+
+class TestLedger:
+    def test_ledger_counts_work(self, workload):
+        session = Session(workload.device, seed=0)
+        start = session.ledger()
+        assert start == LedgerSnapshot(0, 0, 0, 0, 0)
+        estimator = session.estimator("baseline", workload, shots=16)
+        estimator.evaluate(np.zeros(workload.ansatz.num_parameters))
+        after = session.ledger()
+        delta = after - start
+        assert delta.circuits > 0
+        assert delta.shots == delta.circuits * 16
+        assert delta.simulations > 0
+
+    def test_ledger_matches_backend_counters(self, workload):
+        session = Session(workload.device, seed=0)
+        estimator = session.estimator("varsaw", workload, shots=16)
+        estimator.evaluate(np.zeros(workload.ansatz.num_parameters))
+        ledger = session.ledger()
+        assert ledger.circuits == session.backend.circuits_run
+        assert ledger.shots == session.backend.shots_run

@@ -45,7 +45,7 @@ class TestPoint:
             h2_point(warm_start_iterations=50),
             h2_point(device={"preset": "ibmq_mumbai_like", "scale": 3.0}),
             h2_point(device=None),
-            h2_point(estimator={"window": 3}),
+            h2_point(estimator={"shots": 96}),
         ]
         fingerprints = {p.fingerprint() for p in variants}
         assert base.fingerprint() not in fingerprints
@@ -61,7 +61,9 @@ class TestPoint:
         )
 
     def test_dict_roundtrip_preserves_fingerprint(self):
-        point = h2_point(estimator={"window": 3}, circuit_budget=500)
+        point = h2_point(
+            scheme="varsaw", estimator={"window": 3}, circuit_budget=500
+        )
         clone = Point.from_dict(point.to_dict())
         assert clone == point
         assert clone.fingerprint() == point.fingerprint()
@@ -93,7 +95,11 @@ class TestPoint:
 
     def test_unserializable_field_rejected(self):
         with pytest.raises(TypeError):
-            h2_point(estimator={"callback": object()}).fingerprint()
+            h2_point(options={"callback": object()}).fingerprint()
+        # Estimator payloads fail even earlier: the registry's typed
+        # validation rejects a non-JSON value at point construction.
+        with pytest.raises(ValueError):
+            h2_point(estimator={"shots": object()})
 
 
 class TestSweepSpec:
@@ -187,3 +193,73 @@ class TestV2Validation:
                 scheme="varsaw",
                 warm_start={"kind": "optimal", "iterations": 0},
             )
+
+
+class TestEstimatorPayloadValidation:
+    """PR 4: estimator payloads are typed against the repro.api registry."""
+
+    BASE = dict(workload={"key": "H2-4"}, scheme="varsaw")
+
+    def test_valid_payload_accepted(self):
+        point = Point(estimator={"window": 3, "mbm": True}, **self.BASE)
+        assert point.estimator == {"window": 3, "mbm": True}
+
+    def test_misspelled_key_fails_at_point_build(self):
+        with pytest.raises(ValueError, match="'windw'"):
+            Point(estimator={"windw": 3}, **self.BASE)
+
+    def test_out_of_range_value_fails_at_point_build(self):
+        with pytest.raises(ValueError, match="window"):
+            Point(estimator={"window": 0}, **self.BASE)
+
+    def test_misspelled_key_fails_at_sweepspec_build(self):
+        with pytest.raises(ValueError, match="'windw'"):
+            SweepSpec(
+                name="bad",
+                base={"workload": {"key": "H2-4"}, "scheme": "varsaw"},
+                axes={"estimator": [{"window": 2}, {"windw": 3}]},
+            )
+
+    def test_inline_kind_replaces_scheme(self):
+        point = Point(
+            workload={"key": "H2-4"},
+            estimator={"kind": "selective", "mass_fraction": 0.8},
+        )
+        assert point.scheme == ""
+        assert point.estimator["kind"] == "selective"
+
+    def test_inline_kind_must_be_registered(self):
+        with pytest.raises(ValueError, match="unknown estimator kind"):
+            Point(
+                workload={"key": "H2-4"},
+                estimator={"kind": "magic"},
+            )
+
+    def test_inline_kind_params_validated(self):
+        with pytest.raises(ValueError, match="mass_fraction"):
+            Point(
+                workload={"key": "H2-4"},
+                estimator={"kind": "selective", "mass_fraction": 2.0},
+            )
+
+    def test_tuning_without_scheme_or_kind_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            Point(workload={"key": "H2-4"})
+
+    def test_unregistered_scheme_without_payload_deferred(self):
+        # Task executors may interpret schemes themselves; only points
+        # that carry estimator parameters (or inline kinds) must
+        # resolve against the registry.
+        point = Point(workload={"key": "H2-4"}, scheme="bespoke")
+        assert point.scheme == "bespoke"
+
+    def test_fingerprints_unchanged_for_classic_points(self):
+        # The schema gained no fields: stores written before the API
+        # redesign keep matching (golden parity depends on this).
+        point = Point(
+            workload={"key": "H2-4"}, scheme="varsaw",
+            estimator={"window": 2},
+        )
+        assert point.fingerprint() == Point.from_dict(
+            point.to_dict()
+        ).fingerprint()

@@ -27,6 +27,49 @@ class TestCommands:
         assert "CH4-6" in out
         assert "varsaw" in out
         assert "ibmq_mumbai_like" in out
+        # The registry's newly exposed kinds are listed too.
+        assert "selective" in out
+        assert "calibration_gated" in out
+
+    def test_kinds_lists_every_registered_kind(self, capsys):
+        from repro.api import estimator_kinds
+
+        assert main(["kinds"]) == 0
+        out = capsys.readouterr().out
+        for kind in estimator_kinds():
+            assert kind in out
+        # Typed knobs and defaults are shown.
+        assert "mass_fraction" in out
+        assert "error_threshold" in out
+        assert "register_estimator" in out
+
+    def test_run_new_scheme_with_knobs(self, capsys):
+        code = main(
+            ["run", "H2-4", "--scheme", "selective",
+             "--mass-fraction", "0.85", "--global-mode", "always",
+             "--iterations", "2", "--shots", "16"]
+        )
+        assert code == 0
+        assert "selective: energy =" in capsys.readouterr().out
+
+    def test_run_gc_scheme(self, capsys):
+        code = main(
+            ["run", "H2-4", "--scheme", "gc", "--iterations", "2",
+             "--shots", "16"]
+        )
+        assert code == 0
+        assert "gc: energy =" in capsys.readouterr().out
+
+    def test_run_knob_for_wrong_scheme_fails_cleanly(self, capsys):
+        code = main(
+            ["run", "H2-4", "--scheme", "baseline",
+             "--mass-fraction", "0.5", "--iterations", "2",
+             "--shots", "16"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "mass_fraction" in err
+        assert "baseline" in err
 
     def test_subsets(self, capsys):
         assert main(["subsets"]) == 0

@@ -2,10 +2,18 @@
 
 import pytest
 
-from repro.core import VarSawEstimator
+from repro.core import (
+    CalibrationGatedVarSawEstimator,
+    SelectiveVarSawEstimator,
+    VarSawEstimator,
+)
 from repro.mitigation import JigSawEstimator
 from repro.noise import SimulatorBackend, ibm_lagos_like
-from repro.vqe import BaselineEstimator, IdealEstimator
+from repro.vqe import (
+    BaselineEstimator,
+    GeneralCommutationEstimator,
+    IdealEstimator,
+)
 from repro.workloads import ESTIMATOR_KINDS, make_estimator, make_workload
 
 
@@ -50,11 +58,21 @@ class TestMakeEstimator:
             "varsaw": VarSawEstimator,
             "varsaw_no_sparsity": VarSawEstimator,
             "varsaw_max_sparsity": VarSawEstimator,
+            "gc": GeneralCommutationEstimator,
+            "selective": SelectiveVarSawEstimator,
+            "calibration_gated": CalibrationGatedVarSawEstimator,
         }
         assert set(ESTIMATOR_KINDS) == set(expected_types)
+        assert len(ESTIMATOR_KINDS) >= 9
         for kind, cls in expected_types.items():
             est = make_estimator(kind, w, backend, shots=16)
             assert isinstance(est, cls)
+
+    def test_legacy_kinds_listed_first(self):
+        assert ESTIMATOR_KINDS[:6] == (
+            "ideal", "baseline", "jigsaw", "varsaw",
+            "varsaw_no_sparsity", "varsaw_max_sparsity",
+        )
 
     def test_sparsity_modes_wired(self, setup):
         w, backend = setup
@@ -65,10 +83,45 @@ class TestMakeEstimator:
 
     def test_unknown_kind(self, setup):
         w, backend = setup
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown estimator kind"):
             make_estimator("magic", w, backend)
 
     def test_kwargs_passthrough(self, setup):
         w, backend = setup
         est = make_estimator("varsaw", w, backend, initial_period=8)
         assert est.scheduler.period == 8
+
+    def test_misspelled_kwarg_names_key_and_fields(self, setup):
+        # The silent-forwarding fix: a typo'd knob fails loudly, by
+        # name, with the kind's accepted fields — at build time.
+        w, backend = setup
+        with pytest.raises(ValueError, match=r"'windw'") as excinfo:
+            make_estimator("varsaw", w, backend, windw=3)
+        assert "window" in str(excinfo.value)
+        assert "'varsaw'" in str(excinfo.value)
+
+    def test_kwarg_for_wrong_kind_rejected(self, setup):
+        w, backend = setup
+        with pytest.raises(ValueError, match="mass_fraction"):
+            make_estimator("baseline", w, backend, mass_fraction=0.5)
+
+    def test_new_kind_knobs_wired(self, setup):
+        w, backend = setup
+        selective = make_estimator(
+            "selective", w, backend, mass_fraction=0.8,
+            global_mode="always",
+        )
+        assert selective.term_selector.mass_fraction == 0.8
+        gated = make_estimator(
+            "calibration_gated", w, backend, error_threshold=0.5
+        )
+        assert gated.gate.error_threshold == 0.5
+        gc = make_estimator("gc", w, backend, method="greedy")
+        assert gc.num_groups >= 1
+
+    def test_pinned_sparsity_mode_conflict_rejected(self, setup):
+        w, backend = setup
+        with pytest.raises(ValueError, match="pins global_mode"):
+            make_estimator(
+                "varsaw_no_sparsity", w, backend, global_mode="never"
+            )
