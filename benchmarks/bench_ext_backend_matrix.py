@@ -1,0 +1,58 @@
+"""Extension: the pluggable execution-backend matrix.
+
+One small stabilizer workload (seeded random Clifford circuits) swept
+across the three registered execution backends through the declarative
+catalog (entry ``ext_backend_matrix``): ``dense`` (the default
+statevector simulator), ``clifford`` (the stabilizer-tableau fast
+path), and ``density`` (exact mixed-state evaluation with analytic
+counts).  Each cell records wall clock plus the circuit/shot ledger.
+
+Expected shape: every backend charges the identical ledger (backend
+choice never changes the paper's cost metric); the clifford backend
+dispatches every circuit to the stabilizer path with zero dense
+fallbacks (and wins on wall clock — the timing column is volatile, so
+the golden-parity suite masks it); the density backend's analytic
+all-zeros weight differs from the sampled backends' (local-channel
+noise model, no shot noise) and is reproduced exactly on re-execution.
+"""
+
+from conftest import print_tables
+
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import backend_matrix_rows
+
+
+def test_ext_backend_matrix(benchmark, tmp_path):
+    entry = get_entry("ext_backend_matrix")
+    store = ResultStore(tmp_path / "backends.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
+    )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    rows = backend_matrix_rows(outcome.records)
+    assert set(rows) == {"dense", "clifford", "density"}
+    # Backend choice never changes the paper's cost metric: one charge
+    # per executed circuit, shots included, on every backend.
+    ledgers = {
+        (result["circuits"], result["shots"]) for result in rows.values()
+    }
+    assert len(ledgers) == 1, rows
+    # The clifford backend dispatched every circuit to the stabilizer
+    # path; nothing fell back to dense simulation.
+    assert rows["clifford"]["stabilizer_runs"] == rows["clifford"][
+        "circuits"
+    ]
+    assert rows["clifford"]["fallbacks"] == 0
+    assert rows["dense"]["stabilizer_runs"] == 0
+    # Analytic density counts carry no shot noise: the all-zeros weight
+    # is a plain probability in [0, 1], and the sampled backends agree
+    # with each other (same PMF up to float dust, same seeded RNG —
+    # tolerance of a couple of shots, not exact equality, so a numpy
+    # upgrade shifting the dust across one draw boundary cannot flake).
+    assert 0.0 <= rows["density"]["zero_weight"] <= 1.0
+    shots_per_run = rows["dense"]["shots"] / rows["dense"]["circuits"]
+    assert abs(
+        rows["dense"]["zero_weight"] - rows["clifford"]["zero_weight"]
+    ) <= 2.0 / shots_per_run

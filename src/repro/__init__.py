@@ -28,10 +28,11 @@ raises immediately with the kind's accepted fields::
 
 and every spec round-trips through plain JSON (``make_spec``,
 ``spec.to_dict()``), so the same description works in sweep grids, the
-CLI, and result stores.  See README.md ("Experiment API") for the
-registry extension how-to.
+CLI, and result stores.  See ``docs/architecture.md`` for the registry
+extension how-to and ``docs/backends.md`` for the execution-backend
+registry.
 
-Package map (see README.md for the full inventory):
+Package map (see ``docs/architecture.md`` for the full inventory):
 
 * :mod:`repro.api` — the typed experiment API: ``EstimatorSpec``
   registry + ``Session`` (the single estimator-construction path).
@@ -40,6 +41,8 @@ Package map (see README.md for the full inventory):
 * :mod:`repro.vqe`, :mod:`repro.optimizers` — the VQE stack.
 * :mod:`repro.engine` — batched, caching, parallel circuit execution
   (every estimator submits through it).
+* :mod:`repro.backends` — the pluggable execution-backend registry
+  (``dense``/``clifford``/``density``; ``Session(backend=...)``).
 * :mod:`repro.circuits`, :mod:`repro.sim`, :mod:`repro.noise` — the
   quantum execution substrate.
 * :mod:`repro.pauli`, :mod:`repro.hamiltonian`, :mod:`repro.ansatz` —
@@ -56,6 +59,12 @@ from .api import (
     estimator_kinds,
     make_spec,
     register_estimator,
+)
+from .backends import (
+    BackendSpec,
+    backend_kinds,
+    make_backend,
+    register_backend,
 )
 from .clifford import CliffordTableau, diagonalize_commuting
 from .core import GlobalScheduler, VarSawEstimator, varsaw_subset_plan
@@ -78,6 +87,10 @@ __all__ = [
     "register_estimator",
     "make_spec",
     "estimator_kinds",
+    "BackendSpec",
+    "register_backend",
+    "make_backend",
+    "backend_kinds",
     "PauliString",
     "Hamiltonian",
     "build_hamiltonian",

@@ -26,12 +26,15 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..engine import EngineConfig, ExecutionEngine, ensure_engine
 from ..noise import DEVICE_PRESETS, DeviceModel, SimulatorBackend
 from .registry import resolve_spec
 from .spec import EstimatorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle)
+    from ..backends import BackendSpec
 
 __all__ = ["LedgerSnapshot", "Session"]
 
@@ -83,9 +86,15 @@ class Session:
         or ``None`` for the backend's shared default engine (estimators
         on one backend then pool their PMF/state caches).
     backend:
-        A ready :class:`~repro.noise.SimulatorBackend` to adopt instead
-        of constructing one (mutually exclusive with ``device`` /
-        ``seed`` / ``noise_scale``).
+        Which execution backend to construct over ``device``/``seed``:
+        a registered kind name (``"dense"``, ``"clifford"``,
+        ``"density"``, see :func:`repro.backends.backend_kinds`), a
+        :class:`~repro.backends.BackendSpec`, or a payload dict with a
+        ``'kind'`` key.  ``None`` (the default) builds the ``dense``
+        backend — bit-identical to the pre-registry behavior.
+        Alternatively a ready live backend to adopt as-is (then
+        mutually exclusive with ``device`` / ``seed`` /
+        ``noise_scale``).
     """
 
     def __init__(
@@ -95,15 +104,32 @@ class Session:
         seed: int | None = None,
         noise_scale: float | None = None,
         engine: ExecutionEngine | EngineConfig | None = None,
-        backend: SimulatorBackend | None = None,
+        backend: (
+            "SimulatorBackend | BackendSpec | str | Mapping[str, Any] "
+            "| None"
+        ) = None,
     ):
-        if backend is not None:
+        from ..backends import BackendSpec, make_backend
+
+        declarative = backend is None or isinstance(
+            backend, (str, Mapping, BackendSpec)
+        )
+        if not declarative:
+            if not isinstance(backend, SimulatorBackend):
+                raise TypeError(
+                    f"backend must be a registered kind name, a "
+                    f"BackendSpec, a payload dict, a live "
+                    f"SimulatorBackend, or None; "
+                    f"got {type(backend).__name__}"
+                )
             if device is not None or noise_scale is not None or (
                 seed is not None
             ):
                 raise ValueError(
-                    "pass either backend= or device=/seed=/noise_scale=, "
-                    "not both"
+                    "pass either backend=<live backend> or "
+                    "device=/seed=/noise_scale=, not both (a backend "
+                    "*kind* composes with them; a ready backend object "
+                    "already owns its device and seed)"
                 )
             self.backend = backend
         else:
@@ -120,18 +146,25 @@ class Session:
                         "noise_scale needs a device to scale"
                     )
                 device = device.with_noise_scale(noise_scale)
-            self.backend = SimulatorBackend(device, seed=seed)
+            self.backend = make_backend(backend, device, seed=seed)
         self.engine = ensure_engine(engine, self.backend)
 
     # ------------------------------------------------------- properties
 
     @property
     def device(self) -> DeviceModel:
+        """The backend's device model."""
         return self.backend.device
 
     @property
     def seed(self) -> int | None:
+        """The backend's sampling seed (``None`` if unseeded)."""
         return self.backend.seed
+
+    @property
+    def backend_kind(self) -> str:
+        """The registry kind of this session's execution backend."""
+        return getattr(self.backend, "backend_kind", "dense")
 
     # ----------------------------------------------------- construction
 

@@ -34,10 +34,13 @@ import hashlib
 import json
 from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, ClassVar
+from typing import Any, ClassVar, TypeVar, cast
+
+_S = TypeVar("_S", bound="SpecRecord")
 
 __all__ = [
     "EstimatorSpec",
+    "SpecRecord",
     "canonical_spec_json",
     "check_bool",
     "check_choice",
@@ -123,18 +126,24 @@ def split_live_params(
 
 
 @dataclass(frozen=True)
-class EstimatorSpec:
-    """Base class for one estimator family's typed parameters.
+class SpecRecord:
+    """Shared machinery for registry-addressable frozen spec records.
 
-    Subclasses are frozen dataclasses whose fields are the family's
-    knobs (all with defaults, all JSON-serializable scalars), decorated
-    with :func:`repro.api.register_estimator` to claim a ``kind`` name.
-    They override :meth:`validate` for eager parameter checking and
-    :meth:`build` for the actual construction.
+    Both spec families in the repository — estimator specs
+    (:class:`EstimatorSpec`, below) and execution-backend specs
+    (:class:`repro.backends.BackendSpec`) — are frozen dataclasses of
+    plain JSON values that claim a ``kind`` name in a registry,
+    validate eagerly, round-trip through dicts, and carry stable
+    content fingerprints.  This base owns exactly that shared contract;
+    each family adds its own construction method (``build`` / ``create``)
+    and registry dispatch.
     """
 
-    #: Registry name; assigned by :func:`repro.api.register_estimator`.
+    #: Registry name; assigned by the family's ``register_*`` decorator.
     kind: ClassVar[str] = ""
+
+    #: Noun used in error messages (``"estimator"``/``"backend"``).
+    _spec_noun: ClassVar[str] = "spec"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -144,20 +153,9 @@ class EstimatorSpec:
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range parameters (eagerly)."""
 
-    def build(
-        self, workload: Any, backend: Any, engine: Any = None,
-        **overrides: Any,
-    ) -> Any:
-        """Construct the live estimator for ``workload`` on ``backend``.
-
-        ``engine`` is an :class:`~repro.engine.ExecutionEngine`,
-        :class:`~repro.engine.EngineConfig`, or ``None`` (the backend's
-        shared engine).  ``overrides`` are raw constructor keyword
-        arguments layered over the spec's materialized parameters —
-        the escape hatch for live objects (e.g. a ready
-        :class:`~repro.mitigation.MatrixMitigator`) that have no JSON
-        spelling.
-        """
+    @classmethod
+    def _registry_lookup(cls, data: Mapping[str, Any]) -> "SpecRecord":
+        """Family hook: dispatch a payload through the kind registry."""
         raise NotImplementedError
 
     # ---------------------------------------------------- serialization
@@ -181,7 +179,8 @@ class EstimatorSpec:
             noun = "parameters" if len(unknown) > 1 else "parameter"
             raise ValueError(
                 f"unknown {noun} {', '.join(map(repr, unknown))} for "
-                f"estimator kind {cls.kind!r}; accepted fields: {accepted}"
+                f"{cls._spec_noun} kind {cls.kind!r}; "
+                f"accepted fields: {accepted}"
             )
         return dict(params)
 
@@ -193,17 +192,15 @@ class EstimatorSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> EstimatorSpec:
+    def from_dict(cls: type[_S], data: Mapping[str, Any]) -> _S:
         """Rebuild a spec from :meth:`to_dict` output.
 
-        On the base class this dispatches through the registry by the
-        payload's ``kind``; on a concrete class the payload's ``kind``
-        (when present) must match.
+        On a family's base class this dispatches through its registry
+        by the payload's ``kind``; on a concrete class the payload's
+        ``kind`` (when present) must match.
         """
-        from .registry import spec_from_dict
-
-        if cls is EstimatorSpec:
-            return spec_from_dict(data)
+        if cls.kind == "":
+            return cast(_S, cls._registry_lookup(data))
         payload = dict(data)
         kind = payload.pop("kind", cls.kind)
         if kind != cls.kind:
@@ -213,7 +210,7 @@ class EstimatorSpec:
             )
         return cls(**cls.check_params(payload))
 
-    def replace(self, **changes: Any) -> EstimatorSpec:
+    def replace(self: _S, **changes: Any) -> _S:
         """A copy with ``changes`` applied (unknown keys rejected)."""
         return dataclasses.replace(self, **self.check_params(changes))
 
@@ -223,3 +220,39 @@ class EstimatorSpec:
         digest = hashlib.blake2b(digest_size=16)
         digest.update(canonical_spec_json(self.to_dict()).encode())
         return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class EstimatorSpec(SpecRecord):
+    """Base class for one estimator family's typed parameters.
+
+    Subclasses are frozen dataclasses whose fields are the family's
+    knobs (all with defaults, all JSON-serializable scalars), decorated
+    with :func:`repro.api.register_estimator` to claim a ``kind`` name.
+    They override :meth:`validate` for eager parameter checking and
+    :meth:`build` for the actual construction.
+    """
+
+    _spec_noun: ClassVar[str] = "estimator"
+
+    def build(
+        self, workload: Any, backend: Any, engine: Any = None,
+        **overrides: Any,
+    ) -> Any:
+        """Construct the live estimator for ``workload`` on ``backend``.
+
+        ``engine`` is an :class:`~repro.engine.ExecutionEngine`,
+        :class:`~repro.engine.EngineConfig`, or ``None`` (the backend's
+        shared engine).  ``overrides`` are raw constructor keyword
+        arguments layered over the spec's materialized parameters —
+        the escape hatch for live objects (e.g. a ready
+        :class:`~repro.mitigation.MatrixMitigator`) that have no JSON
+        spelling.
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def _registry_lookup(cls, data: Mapping[str, Any]) -> "EstimatorSpec":
+        from .registry import spec_from_dict
+
+        return spec_from_dict(data)

@@ -1,0 +1,174 @@
+"""The ``density`` backend: exact mixed-state evaluation, analytic PMFs.
+
+Two departures from the ``dense`` default, both aimed at *reference*
+quality rather than throughput:
+
+* **Local gate noise.**  Full-circuit executions evolve a
+  :class:`~repro.sim.DensityMatrix` with a depolarizing Kraus channel
+  after every gate (plus optional amplitude damping) — the physical
+  noise model :mod:`repro.sim.density` implements — instead of the
+  dense backend's single global-depolarizing approximation.  The
+  prepared-state fast path (``run_from_state``) keeps the global
+  approximation: it starts from a cached pure statevector, where the
+  per-gate channel history is no longer available.
+* **Analytic sampling.**  ``run``/``run_from_state`` return the
+  *expected* counts (``pmf * shots``, as floats) instead of drawing
+  multinomial samples, so an estimator whose statistic is linear in
+  the counts — every PMF-based expectation in the library — evaluates
+  to the exact noisy expectation with zero shot variance, and consumes
+  no RNG.  Set ``analytic=False`` to restore sampling.
+
+Density-matrix evolution is O(4^n) per gate: this backend is for
+validation and small-system studies, not the VQA tuning loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..api.spec import check_bool, check_fraction
+from ..circuits import Circuit
+from ..noise import DeviceModel, SimulatorBackend
+from ..sim import PMF, Counts, run_density_matrix
+from .registry import register_backend
+from .spec import BackendSpec
+
+__all__ = ["DensityBackend", "DensityBackendSpec"]
+
+
+class DensityBackend(SimulatorBackend):
+    """A :class:`~repro.noise.SimulatorBackend` over mixed states."""
+
+    backend_kind = "density"
+
+    def __init__(
+        self,
+        device: DeviceModel | None = None,
+        seed: int | None = None,
+        analytic: bool = True,
+        amplitude_damping: float = 0.0,
+        readout_enabled: bool = True,
+        gate_noise_enabled: bool = True,
+    ):
+        super().__init__(
+            device,
+            seed=seed,
+            readout_enabled=readout_enabled,
+            gate_noise_enabled=gate_noise_enabled,
+        )
+        self.analytic = analytic
+        self.amplitude_damping = amplitude_damping
+
+    def pmf_fingerprint_extra(self) -> str:
+        """Extra PMF-shaping state for the engine's cache key.
+
+        ``amplitude_damping`` changes exact PMFs, so (like the noise
+        kill-switches) it must never let two configurations share a
+        memoized distribution.
+        """
+        return f"ad{float(self.amplitude_damping).hex()}"
+
+    # ------------------------------------------------------- simulation
+
+    def circuit_probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Mixed-state evolution with local per-gate noise channels."""
+        gn = self.device.gate_noise
+        scale = gn.scale if self.gate_noise_enabled else 0.0
+        rho = run_density_matrix(
+            circuit,
+            gate_error_1q=min(1.0, gn.error_1q * scale),
+            gate_error_2q=min(1.0, gn.error_2q * scale),
+            amplitude_damping=self.amplitude_damping,
+        )
+        return rho.probabilities()
+
+    def exact_pmf(self, circuit: Circuit, map_to_best: bool = False) -> PMF:
+        """The exact noisy distribution, noise applied gate by gate.
+
+        Gate noise is already inside :meth:`circuit_probabilities`
+        (local Kraus channels), so the downstream pipeline must not mix
+        in the global depolarizing weight again — the gate load is
+        reported as zero and only readout error remains to apply.
+        """
+        if not circuit.measured_qubits:
+            raise ValueError("circuit measures no qubits")
+        return self._pmf_from_probs(
+            self.circuit_probabilities(circuit),
+            circuit.n_qubits,
+            sorted(circuit.measured_qubits),
+            map_to_best,
+            (0, 0),
+        )
+
+    # --------------------------------------------------------- sampling
+
+    def sample(
+        self, pmf: PMF, shots: int, rng: np.random.Generator
+    ) -> Counts:
+        """Expected counts when analytic; multinomial otherwise."""
+        if self.analytic:
+            return Counts.from_pmf_exact(pmf, shots)
+        return super().sample(pmf, shots, rng)
+
+    def __repr__(self) -> str:
+        mode = "analytic" if self.analytic else "sampled"
+        return (
+            f"<DensityBackend device={self.device.name!r} {mode} "
+            f"circuits_run={self.circuits_run}>"
+        )
+
+
+@register_backend("density")
+@dataclass(frozen=True)
+class DensityBackendSpec(BackendSpec):
+    """Exact density-matrix evaluation with analytic expectations.
+
+    Parameters
+    ----------
+    analytic:
+        ``True`` (default) returns expected counts instead of sampling,
+        making PMF-based expectations zero-variance; ``False`` restores
+        multinomial shot noise.
+    amplitude_damping:
+        Optional per-gate T1-relaxation strength in [0, 1] — a noise
+        channel the dense backend cannot express at all.
+    readout / gate_noise:
+        The shared noise kill-switches (see
+        :class:`~repro.backends.DenseBackendSpec`).
+
+    Example
+    -------
+    >>> from repro.backends import make_backend
+    >>> backend = make_backend({"kind": "density", "analytic": True})
+    >>> backend.backend_kind
+    'density'
+    """
+
+    analytic: bool = True
+    amplitude_damping: float = 0.0
+    readout: bool = True
+    gate_noise: bool = True
+
+    def validate(self) -> None:
+        """Check the flag types and the damping range eagerly."""
+        check_bool("analytic", self.analytic)
+        check_fraction("amplitude_damping", self.amplitude_damping)
+        check_bool("readout", self.readout)
+        check_bool("gate_noise", self.gate_noise)
+
+    def create(
+        self,
+        device: DeviceModel | None = None,
+        seed: int | None = None,
+    ) -> DensityBackend:
+        """Build the live :class:`DensityBackend`."""
+        return DensityBackend(
+            device,
+            seed=seed,
+            analytic=self.analytic,
+            amplitude_damping=self.amplitude_damping,
+            readout_enabled=self.readout,
+            gate_noise_enabled=self.gate_noise,
+        )

@@ -1,0 +1,186 @@
+"""The backend registry: ``kind`` name -> :class:`BackendSpec` class.
+
+Execution backends self-register by decorating their spec dataclass::
+
+    from repro.backends import BackendSpec, register_backend
+
+    @register_backend("my_backend")
+    @dataclass(frozen=True)
+    class MyBackendSpec(BackendSpec):
+        knob: int = 1
+
+        def create(self, device=None, seed=None):
+            return MyBackend(device, seed=seed, knob=self.knob)
+
+The built-in kinds (``dense``, ``clifford``, ``density``) live next to
+their backend classes in this package; :func:`_ensure_builtin` imports
+those modules on first lookup so the registry is complete however
+:mod:`repro.backends` is reached.  Out-of-tree backends register the
+same way — importing the defining module makes the kind addressable by
+name everywhere (:class:`~repro.api.Session`, sweep Points, the CLI's
+``--backend`` flag and ``repro backends`` listing).
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable, Mapping
+from typing import TYPE_CHECKING, Any
+
+from .spec import BackendSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..noise import DeviceModel, SimulatorBackend
+
+__all__ = [
+    "backend_class",
+    "backend_kinds",
+    "backend_spec_from_dict",
+    "make_backend",
+    "make_backend_spec",
+    "register_backend",
+    "resolve_backend_spec",
+]
+
+#: kind name -> registered spec class (insertion-ordered).
+_REGISTRY: dict[str, type[BackendSpec]] = {}
+
+#: Canonical listing order for the built-in kinds; out-of-tree kinds
+#: list after these, in registration order.
+_BUILTIN_ORDER = ("dense", "clifford", "density")
+
+#: Modules whose import registers the built-in backends.
+_BUILTIN_MODULES = (
+    "repro.backends.dense",
+    "repro.backends.clifford",
+    "repro.backends.density",
+)
+
+
+def register_backend(
+    kind: str,
+) -> Callable[[type[BackendSpec]], type[BackendSpec]]:
+    """Class decorator registering a :class:`BackendSpec` subclass.
+
+    Sets ``cls.kind = kind`` and makes the kind addressable by name
+    through :func:`make_backend_spec`, :class:`~repro.api.Session`,
+    sweep Points, and the CLI.  Re-registering a kind to a *different*
+    class raises (re-decorating the same class, e.g. on module reload,
+    is a no-op).
+    """
+    if not kind or not isinstance(kind, str):
+        raise ValueError("backend kind must be a non-empty string")
+
+    def wrap(cls: type[BackendSpec]) -> type[BackendSpec]:
+        if not (isinstance(cls, type) and issubclass(cls, BackendSpec)):
+            raise TypeError(
+                f"@register_backend({kind!r}) needs a BackendSpec "
+                f"subclass; got {cls!r}"
+            )
+        existing = _REGISTRY.get(kind)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"backend kind {kind!r} is already registered to "
+                f"{existing.__qualname__}"
+            )
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return wrap
+
+
+def _ensure_builtin() -> None:
+    """Import the modules hosting the built-in registrations (idempotent)."""
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def backend_kinds() -> tuple[str, ...]:
+    """Every registered kind name, built-ins first in canonical order."""
+    _ensure_builtin()
+    builtin_rank = {kind: i for i, kind in enumerate(_BUILTIN_ORDER)}
+    registered = list(_REGISTRY)
+    return tuple(
+        sorted(
+            registered,
+            key=lambda kind: (
+                builtin_rank.get(kind, len(builtin_rank)),
+                registered.index(kind),
+            ),
+        )
+    )
+
+
+def backend_class(kind: str) -> type[BackendSpec]:
+    """The spec class registered under ``kind`` (``ValueError`` if none)."""
+    _ensure_builtin()
+    if kind not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend kind {kind!r}; "
+            f"choose from {', '.join(backend_kinds())}"
+        )
+    return _REGISTRY[kind]
+
+
+def make_backend_spec(kind: str, **params: Any) -> BackendSpec:
+    """Build ``kind``'s validated spec from keyword parameters.
+
+    Unknown or misspelled parameters raise a ``ValueError`` naming the
+    offending key and the kind's accepted fields; out-of-range values
+    raise from the spec's eager :meth:`~BackendSpec.validate`.
+    """
+    cls = backend_class(kind)
+    return cls(**cls.check_params(params))
+
+
+def backend_spec_from_dict(data: Mapping[str, Any]) -> BackendSpec:
+    """Rebuild a spec from a plain-dict payload carrying a ``kind``."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(
+            f"backend payload needs a 'kind' naming a registered "
+            f"backend; got {dict(data)!r}"
+        )
+    return make_backend_spec(kind, **payload)
+
+
+def resolve_backend_spec(
+    spec: BackendSpec | str | Mapping[str, Any] | None,
+) -> BackendSpec:
+    """Coerce any backend-spec spelling into a validated spec.
+
+    ``spec`` may be a ready :class:`BackendSpec`, a registered kind
+    name, a payload dict with a ``'kind'`` key, or ``None`` — which
+    resolves to the default ``dense`` backend (the pre-registry
+    :class:`~repro.noise.SimulatorBackend`, bit for bit).
+    """
+    if spec is None:
+        return make_backend_spec("dense")
+    if isinstance(spec, BackendSpec):
+        return spec
+    if isinstance(spec, str):
+        return make_backend_spec(spec)
+    if isinstance(spec, Mapping):
+        return backend_spec_from_dict(spec)
+    raise TypeError(
+        f"backend must be a BackendSpec, a kind name, a payload dict, "
+        f"or None; got {type(spec).__name__}"
+    )
+
+
+def make_backend(
+    spec: BackendSpec | str | Mapping[str, Any] | None = None,
+    device: "DeviceModel | None" = None,
+    seed: int | None = None,
+) -> "SimulatorBackend":
+    """Create a live execution backend from any spec spelling.
+
+    The one construction path behind :class:`~repro.api.Session`'s
+    ``backend=`` argument, sweep points' ``backend`` field, and the
+    CLI's ``--backend`` flag.  ``spec=None`` builds the default
+    ``dense`` backend — bit-identical to constructing
+    ``SimulatorBackend(device, seed=seed)`` directly.
+    """
+    return resolve_backend_spec(spec).create(device, seed=seed)

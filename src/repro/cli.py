@@ -4,9 +4,11 @@ Gives the repository's main workflows one-line entry points::
 
     python -m repro list                      # workloads and schemes
     python -m repro kinds                     # estimator registry listing
+    python -m repro backends                  # execution-backend registry
     python -m repro subsets                   # Fig. 12-style report
     python -m repro run CH4-6 --scheme varsaw --budget 20000
     python -m repro run H2-4 --scheme selective --mass-fraction 0.85
+    python -m repro run H2-4 --scheme baseline --backend density
     python -m repro characterize --device ibmq_mumbai_like
     python -m repro grouping LiH-6            # QWC vs GC report (§3.1)
     python -m repro qaoa --nodes 6            # VarSaw on MaxCut (§7.3)
@@ -28,6 +30,7 @@ import sys
 
 from .analysis import sparkline
 from .api import Session, estimator_kinds, spec_class
+from .backends import backend_class, backend_kinds, make_backend
 from .core import count_jigsaw_subsets, count_varsaw_subsets
 from .hamiltonian import MOLECULES, build_hamiltonian, molecule_keys
 from .noise import DEVICE_PRESETS, SimulatorBackend, characterize_readout
@@ -51,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "kinds",
         help="list every registered estimator kind with its typed "
+        "parameters and defaults",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list every registered execution backend with its typed "
         "parameters and defaults",
     )
 
@@ -219,6 +228,11 @@ def _add_engine_arguments(parser) -> None:
     through to :class:`~repro.engine.EngineConfig`'s canonical values.
     """
     parser.add_argument(
+        "--backend", default=None, metavar="KIND",
+        help="execution backend kind (see 'repro backends'; "
+        "default: dense)",
+    )
+    parser.add_argument(
         "--workers", type=_int_at_least(1), default=None,
         help="parallel simulation workers (default: serial)",
     )
@@ -301,10 +315,10 @@ def _print_engine_stats(session) -> None:
     )
 
 
-def _cmd_kinds(_args) -> int:
-    """Every registered estimator kind, its spec, and its defaults."""
-    for kind in estimator_kinds():
-        cls = spec_class(kind)
+def _print_registry_listing(kinds, cls_for) -> None:
+    """Shared kind/spec/defaults listing for 'kinds' and 'backends'."""
+    for kind in kinds:
+        cls = cls_for(kind)
         doc = (cls.__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"{kind}  ({cls.__name__})")
@@ -313,10 +327,26 @@ def _cmd_kinds(_args) -> int:
         defaults = cls()
         for name in cls.field_names():
             print(f"    --  {name} = {getattr(defaults, name)!r}")
+
+
+def _cmd_kinds(_args) -> int:
+    """Every registered estimator kind, its spec, and its defaults."""
+    _print_registry_listing(estimator_kinds(), spec_class)
     print(
         "\nSelect with 'repro run --scheme <kind>' or a sweep Point's "
         "scheme/estimator payload; extend with "
         "@repro.api.register_estimator."
+    )
+    return 0
+
+
+def _cmd_backends(_args) -> int:
+    """Every registered execution backend and its typed parameters."""
+    _print_registry_listing(backend_kinds(), backend_class)
+    print(
+        "\nSelect with 'repro run --backend <kind>', "
+        "Session(backend=<kind>), or a sweep Point's backend field; "
+        "extend with @repro.backends.register_backend."
     )
     return 0
 
@@ -332,6 +362,7 @@ def _cmd_list(_args) -> int:
         )
     print("\nSchemes:", ", ".join(ESTIMATOR_KINDS))
     print("Devices:", ", ".join(sorted(DEVICE_PRESETS)))
+    print("Backends:", ", ".join(backend_kinds()))
     return 0
 
 
@@ -367,8 +398,8 @@ def _cmd_run(args) -> int:
         args.workload, reps=args.reps, entanglement=args.entanglement
     )
     device = workload.device.with_noise_scale(args.noise_scale)
-    backend = SimulatorBackend(device, seed=args.seed)
     try:
+        backend = make_backend(args.backend, device, seed=args.seed)
         estimator, session = _make_cli_session(args, workload, backend)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -454,8 +485,8 @@ def _cmd_qaoa(args) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     device = workload.device.with_noise_scale(args.noise_scale)
-    backend = SimulatorBackend(device, seed=args.seed)
     try:
+        backend = make_backend(args.backend, device, seed=args.seed)
         estimator, session = _make_cli_session(args, workload, backend)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -685,6 +716,7 @@ def _cmd_reproduce(args) -> int:
 _COMMANDS = {
     "list": _cmd_list,
     "kinds": _cmd_kinds,
+    "backends": _cmd_backends,
     "subsets": _cmd_subsets,
     "run": _cmd_run,
     "characterize": _cmd_characterize,

@@ -11,14 +11,20 @@ measured instead of assumed:
 * :func:`diagonalize_commuting` — build the Clifford measurement circuit
   that maps a mutually-commuting Pauli family to Z-only strings, plus the
   signed diagonal image of every member.
+* :func:`stabilizer_probabilities` — exact outcome distributions of
+  Clifford-only circuits straight from the tableau (the ``clifford``
+  execution backend's fast path; see :mod:`repro.backends`).
 """
 
 from .tableau import CliffordTableau, CLIFFORD_GATES
 from .diagonalize import DiagonalizedGroup, diagonalize_commuting
+from .stabilizer import is_clifford_circuit, stabilizer_probabilities
 
 __all__ = [
     "CliffordTableau",
     "CLIFFORD_GATES",
     "DiagonalizedGroup",
     "diagonalize_commuting",
+    "is_clifford_circuit",
+    "stabilizer_probabilities",
 ]

@@ -67,6 +67,7 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -168,6 +169,7 @@ class LRUCache:
 
     @property
     def stats(self) -> CacheStats:
+        """A point-in-time :class:`CacheStats` snapshot."""
         return CacheStats(
             hits=self.hits,
             misses=self.misses,

@@ -99,6 +99,7 @@ class JobHandle:
         self._pmf: PMF | None = None
 
     def done(self) -> bool:
+        """Whether the owning batch has executed this job."""
         return self._counts is not None
 
     def result(self) -> Counts:
@@ -232,6 +233,7 @@ class ExecutionEngine:
     # ------------------------------------------------------------ submission
 
     def new_batch(self) -> Batch:
+        """Open an empty :class:`Batch` bound to this engine."""
         return Batch(self)
 
     def run_spec(self, spec) -> Counts:
@@ -310,7 +312,7 @@ class ExecutionEngine:
                 rng = self.backend.rng
             else:
                 rng = np.random.default_rng((self._rng_root, job.index))
-            counts = Counts.from_pmf_samples(pmf, job.spec.shots, rng)
+            counts = self.backend.sample(pmf, job.spec.shots, rng)
             self.backend.charge(job.spec.shots)
             job._pmf = pmf
             job._counts = counts
@@ -319,6 +321,7 @@ class ExecutionEngine:
 
     @property
     def stats(self) -> EngineStats:
+        """Lifetime execution counters (see :class:`EngineStats`)."""
         return EngineStats(
             jobs_submitted=self._job_counter,
             batches_run=self._batches_run,
@@ -329,6 +332,7 @@ class ExecutionEngine:
         )
 
     def clear_caches(self) -> None:
+        """Drop every memoized PMF and prepared state."""
         self._pmf_cache.clear()
         self._state_cache.clear()
 

@@ -28,6 +28,7 @@ class SerialExecutor:
     workers = 1
 
     def submit(self, fn, *args) -> Future:
+        """Run ``fn(*args)`` now; return its already-resolved future."""
         future: Future = Future()
         try:
             future.set_result(fn(*args))
@@ -36,6 +37,7 @@ class SerialExecutor:
         return future
 
     def shutdown(self) -> None:
+        """Nothing to release (tasks ran inline)."""
         pass
 
 
@@ -49,6 +51,7 @@ class PoolExecutor:
         self._pool: ThreadPoolExecutor | None = None
 
     def submit(self, fn, *args) -> Future:
+        """Queue ``fn(*args)`` on the pool (started on first use)."""
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers,
@@ -57,6 +60,7 @@ class PoolExecutor:
         return self._pool.submit(fn, *args)
 
     def shutdown(self) -> None:
+        """Drain and release the pool (restarts lazily if reused)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

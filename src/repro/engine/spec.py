@@ -65,17 +65,25 @@ def circuit_fingerprint(circuit: Circuit) -> str:
 def device_fingerprint(backend) -> str:
     """Digest of everything on a backend that shapes exact PMFs.
 
-    Covers per-qubit readout rates, crosstalk, gate-noise rates/scales,
-    and the backend's noise kill-switches — but *not* its RNG state,
-    which only affects sampling.
+    Covers the backend kind (a ``clifford`` and a ``density`` backend
+    over one device must never share memoized PMFs), per-qubit readout
+    rates, crosstalk, gate-noise rates/scales, and the backend's noise
+    kill-switches — but *not* its RNG state, which only affects
+    sampling.
     """
     device = backend.device
     h = _hasher()
     h.update(
         f"d:{device.name}:{device.n_qubits}"
+        f":k{getattr(backend, 'backend_kind', 'dense')}"
         f":ro{int(backend.readout_enabled)}"
         f":gn{int(backend.gate_noise_enabled)}".encode()
     )
+    # Backend subclasses with extra PMF-shaping knobs (e.g. the density
+    # backend's amplitude damping) contribute them here.
+    extra = getattr(backend, "pmf_fingerprint_extra", None)
+    if extra is not None:
+        h.update(f"|e:{extra()}".encode())
     readout = device.readout
     h.update(
         f"|x:{readout.crosstalk_strength.hex()}"
@@ -117,6 +125,7 @@ class CircuitSpec:
             raise ValueError("circuit measures no qubits")
 
     def fingerprint(self) -> str:
+        """Content digest over circuit structure + readout mapping."""
         h = _hasher()
         _feed_circuit(h, self.circuit)
         h.update(f"|b:{int(self.map_to_best)}".encode())
@@ -159,6 +168,7 @@ class StateSpec:
             raise ValueError("no measured qubits")
 
     def fingerprint(self) -> str:
+        """Content digest over state bytes + suffix + measurement."""
         h = _hasher()
         h.update(b"s:")
         digest = self.digest

@@ -39,7 +39,25 @@ class SimulatorBackend:
     readout_enabled / gate_noise_enabled:
         Independent kill-switches, used by experiments that isolate
         measurement error from gate error.
+
+    Subclassing (the :mod:`repro.backends` registry)
+    ------------------------------------------------
+    Alternative execution backends subclass this class and override the
+    narrow hooks below — :meth:`circuit_probabilities` (how a full
+    circuit becomes ideal outcome probabilities) and :meth:`sample`
+    (how a PMF becomes counts) — so the noise pipeline, the cost
+    ledger, and the engine contract stay shared.  ``backend_kind`` is
+    the registry name; the engine mixes it into its cache keys.  A
+    subclass with extra PMF-shaping state beyond the device and the
+    kill-switches must expose it via a ``pmf_fingerprint_extra() ->
+    str`` method (see :func:`repro.engine.device_fingerprint`) so
+    memoized PMFs are never shared across configurations.
     """
+
+    #: Registry kind name (see :mod:`repro.backends`); subclasses
+    #: override.  Part of the engine's cache key, so two backend kinds
+    #: over one device never share memoized PMFs.
+    backend_kind = "dense"
 
     def __init__(
         self,
@@ -94,7 +112,7 @@ class SimulatorBackend:
         """
         pmf = self.exact_pmf(circuit, map_to_best=map_to_best)
         self._charge(shots)
-        return Counts.from_pmf_samples(pmf, shots, self.rng)
+        return self.sample(pmf, shots, self.rng)
 
     def run_from_state(
         self,
@@ -115,19 +133,41 @@ class SimulatorBackend:
             state, suffix, measured_qubits, map_to_best, gate_load
         )
         self._charge(shots)
-        return Counts.from_pmf_samples(pmf, shots, self.rng)
+        return self.sample(pmf, shots, self.rng)
+
+    def sample(
+        self, pmf: PMF, shots: int, rng: np.random.Generator
+    ) -> Counts:
+        """Turn one executed circuit's exact PMF into counts.
+
+        The default draws ``shots`` multinomial samples from ``rng``
+        (shot noise); analytic backends override this to return
+        expected counts instead.  The engine's sampling phase delegates
+        here, so overriding it changes batched and direct execution
+        consistently.
+        """
+        return Counts.from_pmf_samples(pmf, shots, rng)
 
     # ---------------------------------------------------- exact distributions
+
+    def circuit_probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Ideal (pre-noise) outcome probabilities of a bound circuit.
+
+        The simulation hook subclasses override: the dense default runs
+        the statevector engine; the ``clifford`` backend substitutes a
+        stabilizer-tableau evaluation for Clifford-only circuits.  The
+        noise pipeline downstream (:meth:`exact_pmf`) is shared.
+        """
+        return probabilities(run_statevector(circuit))
 
     def exact_pmf(self, circuit: Circuit, map_to_best: bool = False) -> PMF:
         """The exact (noisy) outcome distribution over measured qubits."""
         if not circuit.measured_qubits:
             raise ValueError("circuit measures no qubits")
-        state = run_statevector(circuit)
         g2 = circuit.num_two_qubit_gates
         g1 = circuit.num_gates - g2
         return self._pmf_from_probs(
-            probabilities(state),
+            self.circuit_probabilities(circuit),
             circuit.n_qubits,
             sorted(circuit.measured_qubits),
             map_to_best,

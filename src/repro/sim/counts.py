@@ -51,8 +51,40 @@ class Counts:
         }
         return cls(data, pmf.qubits)
 
+    @classmethod
+    def from_pmf_exact(cls, pmf: PMF, shots: int) -> "Counts":
+        """Expected (analytic) counts: ``pmf * shots`` without sampling.
+
+        The values are floats — the exact expectation of
+        :meth:`from_pmf_samples` over the shot noise — so estimators
+        whose statistic is linear in the counts (any PMF-based
+        expectation) become zero-variance.  Used by analytic execution
+        backends (see :mod:`repro.backends.density`); the constructor's
+        integer coercion is deliberately bypassed.
+        """
+        n = pmf.n_qubits
+        return cls._exact(
+            {
+                format(i, f"0{n}b"): float(p) * shots
+                for i, p in enumerate(pmf.probs)
+                if p > 0
+            },
+            pmf.qubits,
+        )
+
+    @classmethod
+    def _exact(
+        cls, data: dict[str, float], qubits: tuple[int, ...]
+    ) -> "Counts":
+        """Build float-valued (analytic) counts, bypassing coercion."""
+        obj = cls.__new__(cls)
+        obj.data = {key: value for key, value in data.items() if value}
+        obj.qubits = qubits
+        return obj
+
     @property
-    def shots(self) -> int:
+    def shots(self) -> int | float:
+        """Total recorded shots (a float for analytic counts)."""
         return sum(self.data.values())
 
     @property
@@ -69,12 +101,19 @@ class Counts:
         return PMF(probs, self.qubits)
 
     def merge(self, other: "Counts") -> "Counts":
-        """Combine counts from another run of the same circuit."""
+        """Combine counts from another run of the same circuit.
+
+        Analytic (float-valued) counts merge losslessly — the
+        constructor's integer coercion must not silently truncate
+        expected counts back to integers.
+        """
         if other.qubits != self.qubits:
             raise ValueError("cannot merge counts over different qubits")
         merged = dict(self.data)
         for key, value in other.data.items():
             merged[key] = merged.get(key, 0) + value
+        if any(isinstance(value, float) for value in merged.values()):
+            return Counts._exact(merged, self.qubits)
         return Counts(merged, self.qubits)
 
     def most_frequent(self) -> str:

@@ -74,6 +74,7 @@ def _register(entry: CatalogEntry) -> None:
 
 
 def get_entry(name: str) -> CatalogEntry:
+    """Look up one registered grid (``KeyError`` names the choices)."""
     if name not in CATALOG:
         raise KeyError(
             f"unknown catalog entry {name!r}; "
@@ -83,6 +84,7 @@ def get_entry(name: str) -> CatalogEntry:
 
 
 def entry_names() -> list[str]:
+    """Every registered entry name, in registration order."""
     return list(CATALOG)
 
 
@@ -101,6 +103,7 @@ class EntryOutcome:
     complete: bool = False
 
     def tables(self) -> list[Table]:
+        """The entry's printed tables (requires a complete grid)."""
         if not self.complete:
             raise RuntimeError(
                 f"entry {self.entry.name!r} is not complete "
@@ -110,6 +113,7 @@ class EntryOutcome:
         return self.entry.tables(self.records)
 
     def summary(self) -> str:
+        """One-line progress summary (the CLI's report line)."""
         state = "complete" if self.complete else "incomplete"
         return (
             f"{self.entry.name}: executed {len(self.executed)} points, "
@@ -403,6 +407,7 @@ def _build_fig12() -> SweepSpec:
 
 
 def fig12_rows(records: list) -> list[dict]:
+    """Fig. 12 row dicts from stored records (shared with the shim)."""
     rows = []
     for record in records:
         result = record["result"]
@@ -616,6 +621,7 @@ def _build_fig15() -> SweepSpec:
 
 
 def fig15_rows(records: list) -> list[dict]:
+    """Fig. 15 row dicts from stored records (shared with the shim)."""
     rows = []
     for key in _keys_in_order(records):
         jig = _one(records, point__workload__key=key,
@@ -859,6 +865,7 @@ def _build_fig19() -> SweepSpec:
 
 
 def fig19_rows(records: list) -> list[dict]:
+    """Fig. 19 row dicts from stored records (shared with the shim)."""
     from ..core import count_varsaw_subsets
     from ..hamiltonian import build_hamiltonian
 
@@ -938,6 +945,7 @@ def _build_table1() -> SweepSpec:
 
 
 def table1_rows(records: list) -> list[dict]:
+    """Table 1 row dicts from stored records (shared with the shim)."""
     rows = []
     for key in TABLE1_KEYS:
         ref_record = _one(records, point__workload__key=key,
@@ -1208,6 +1216,7 @@ def _build_sec67() -> SweepSpec:
 
 
 def sec67_rows(records: list) -> list[dict]:
+    """Section 6.7 row dicts from stored records (shared with the shim)."""
     rows = []
     for key in _keys_in_order(records):
         counts = _one(records, point__task="structure",
@@ -2066,4 +2075,80 @@ _register(CatalogEntry(
     title="Typed estimator specs driving the sweep pipeline",
     build=_build_ext_api_session,
     tables=_tables_ext_api_session,
+))
+
+
+# =================================================== ext_backend_matrix
+
+#: The three built-in execution backends, one grid axis (the Point
+#: ``backend`` field selects through the repro.backends registry).
+BACKEND_MATRIX_KINDS = ["dense", "clifford", "density"]
+
+
+def _build_ext_backend_matrix() -> SweepSpec:
+    return SweepSpec(
+        name="ext_backend_matrix",
+        base={
+            "task": "backend_matrix",
+            "seed": 11,
+            "shots": 256,
+            # Full scale stays modest on purpose: the density cell is
+            # O(4^n) per gate, so 8 qubits / 60 layers keeps it to
+            # minutes while dense-vs-clifford still separates clearly.
+            "options": {
+                "n_qubits": scaled(6, 8),
+                "layers": scaled(30, 60),
+                "runs": scaled(4, 6),
+            },
+        },
+        axes={"backend": BACKEND_MATRIX_KINDS},
+    )
+
+
+def backend_matrix_rows(records: list) -> dict:
+    """Backend kind -> task result (shared with the bench shim)."""
+    return {
+        kind: _one(records, point__backend=kind)["result"]
+        for kind in BACKEND_MATRIX_KINDS
+    }
+
+
+def _tables_ext_backend_matrix(records: list) -> list[Table]:
+    options = records[0]["point"]["options"]
+    rows = [
+        [
+            kind, fmt(result["seconds"], 3), result["circuits"],
+            result["shots"], fmt(result["zero_weight"], 4),
+            result["stabilizer_runs"], result["fallbacks"],
+        ]
+        for kind, result in backend_matrix_rows(records).items()
+    ]
+    return [Table(
+        f"Extension: execution-backend matrix on a stabilizer workload "
+        f"({options['runs']} Clifford circuits, "
+        f"{options['n_qubits']} qubits x {options['layers']} layers)",
+        ["backend", "wall-clock (s)", "circuits", "shots",
+         "P(0...0)", "stabilizer runs", "dense fallbacks"],
+        rows,
+    )]
+
+
+_BACKEND_SECONDS = re.compile(r"\b\d+\.\d{3}\b")
+
+
+def _normalize_backend_matrix(text: str) -> str:
+    """Mask the volatile wall-clock cells before golden comparison."""
+    text = _BACKEND_SECONDS.sub("#.###", text)
+    text = re.sub(r"-{3,}", "---", text)
+    text = re.sub(r" +", " ", text)
+    return "\n".join(line.rstrip() for line in text.splitlines())
+
+
+_register(CatalogEntry(
+    name="ext_backend_matrix",
+    figure="Extension (backends)",
+    title="Pluggable execution backends on one stabilizer workload",
+    build=_build_ext_backend_matrix,
+    tables=_tables_ext_backend_matrix,
+    normalize=_normalize_backend_matrix,
 ))

@@ -298,10 +298,19 @@ def execute_tuning_point(point: Point, workload_cache: dict) -> dict:
     ``mbm: true`` flag is materialized by the spec itself
     (:class:`repro.core.VarSawSpec`), bit-identically to the old
     hand-wired :class:`~repro.mitigation.MatrixMitigator` setup.
+
+    The execution backend comes from the point's optional ``backend``
+    field through the :mod:`repro.backends` registry; absent, the
+    ``dense`` default is constructed exactly as the pre-registry
+    runner did.
     """
+    from ..backends import make_backend
+
     workload, device, initial = _prepare_point(point, workload_cache)
-    backend = SimulatorBackend(
-        device if device is not None else workload.device, seed=point.seed
+    backend = make_backend(
+        point.backend,
+        device if device is not None else workload.device,
+        seed=point.seed,
     )
     scheme, shots, estimator_kwargs = point.estimator_args()
     run = execute_tuning(
@@ -353,6 +362,7 @@ class SweepReport:
         return self.total - len(self.records)
 
     def summary(self) -> str:
+        """One-line progress summary (the CLI's report line)."""
         return (
             f"executed {len(self.executed)} points, skipped {self.skipped} "
             f"already complete ({self.total} total"

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Iterator, Mapping
 
 __all__ = [
+    "BACKEND_AWARE_TASKS",
     "POINT_SCHEMA_VERSION",
     "WORKLOAD_KINDS",
     "WORKLOAD_TASKS",
@@ -36,7 +37,10 @@ __all__ = [
 #: Bumped whenever a Point field changes meaning; part of every
 #: fingerprint, so stores never silently mix incompatible schemas.
 #: v2: added ``task``/``options``/``warm_start`` and the QAOA/named
-#: workload kinds (the full benchmark-catalog schema).
+#: workload kinds (the full benchmark-catalog schema).  The optional
+#: ``backend`` field is *not* a version bump: it is omitted from the
+#: serialized form when unset (= ``dense``), so every pre-existing
+#: point keeps its v2 fingerprint.
 POINT_SCHEMA_VERSION = 2
 
 #: Workload-description discriminator keys: exactly one must be present
@@ -59,6 +63,13 @@ WORKLOAD_KINDS = ("key", "model", "qaoa", "named")
 WORKLOAD_TASKS = frozenset(
     {"tuning", "energy", "zne", "term_selective", "phase_selective"}
 )
+
+#: Tasks whose executors honor the point's ``backend`` field.  Every
+#: other executor constructs its own (dense) backends internally, so a
+#: ``backend`` on such a point would be silently ignored and mislabel
+#: the stored results — point validation rejects the combination
+#: instead.
+BACKEND_AWARE_TASKS = frozenset({"tuning", "backend_matrix"})
 
 
 def _canonical(value):
@@ -134,6 +145,17 @@ class Point:
         boolean ``mbm`` flag is materialized into a
         :class:`~repro.mitigation.MatrixMitigator` for the point's
         device (Fig. 18's stacking).
+    backend:
+        Which execution backend runs the point's circuits: a registered
+        :mod:`repro.backends` kind name (``"clifford"``, ...) or a
+        payload dict with a ``'kind'`` key, validated eagerly against
+        the backend registry.  Only accepted on
+        :data:`BACKEND_AWARE_TASKS` — other executors build their own
+        backends, and a silently-ignored field would mislabel results.
+        ``None`` (the default) means ``dense`` and is *omitted from
+        the serialized form*, so fingerprints of pre-existing points —
+        and therefore every checkpointed store and golden snapshot —
+        are unchanged.
     options:
         Task-specific JSON payload for non-tuning executors.
     """
@@ -150,6 +172,7 @@ class Point:
     warm_start_iterations: int | None = None
     warm_start: Mapping[str, Any] | None = None
     estimator: Mapping[str, Any] = field(default_factory=dict)
+    backend: str | Mapping[str, Any] | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -225,9 +248,12 @@ class Point:
             object.__setattr__(self, "device", dict(self.device))
         if self.warm_start is not None:
             object.__setattr__(self, "warm_start", dict(self.warm_start))
+        if isinstance(self.backend, Mapping):
+            object.__setattr__(self, "backend", dict(self.backend))
         object.__setattr__(self, "estimator", dict(self.estimator))
         object.__setattr__(self, "options", dict(self.options))
         self._validate_estimator_payload()
+        self._validate_backend()
 
     def _validate_estimator_payload(self) -> None:
         """Eagerly validate estimator parameters against the registry.
@@ -256,6 +282,28 @@ class Point:
             return
         cls(**cls.check_params(payload))
 
+    def _validate_backend(self) -> None:
+        """Eagerly validate ``backend`` against the backend registry.
+
+        Mirrors :meth:`_validate_estimator_payload`: an unknown kind or
+        misspelled backend knob fails at point construction, not
+        mid-sweep.  Tasks outside :data:`BACKEND_AWARE_TASKS` build
+        their own backends internally, so a ``backend`` there would be
+        silently ignored — rejected here instead of mislabeling
+        results.
+        """
+        if self.backend is None:
+            return
+        if self.task not in BACKEND_AWARE_TASKS:
+            raise ValueError(
+                f"task {self.task!r} does not honor the backend field "
+                f"(its executor constructs its own backends); backend "
+                f"applies to {sorted(BACKEND_AWARE_TASKS)}"
+            )
+        from ..backends import resolve_backend_spec
+
+        resolve_backend_spec(self.backend)
+
     def estimator_args(self) -> tuple[str, int, dict]:
         """``(kind, shots, extra spec params)`` for this point.
 
@@ -271,10 +319,20 @@ class Point:
         return kind, shots, payload
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        """JSON form of the point.
+
+        The default ``backend`` (``None``, i.e. ``dense``) is omitted
+        entirely so points written before the field existed serialize —
+        and therefore fingerprint — identically today.
+        """
+        data = asdict(self)
+        if data["backend"] is None:
+            del data["backend"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Point":
+        """Rebuild a point from :meth:`to_dict` output (any schema age)."""
         return cls(**data)
 
     def fingerprint(self) -> str:
@@ -302,6 +360,13 @@ class Point:
             parts.append(self.task)
         if self.scheme:
             parts.append(self.scheme)
+        if self.backend is not None:
+            kind = (
+                self.backend
+                if isinstance(self.backend, str)
+                else self.backend.get("kind", "?")
+            )
+            parts.append(f"backend={kind}")
         parts.append(f"seed={self.seed}")
         if self.device is not None:
             scale = self.device.get("scale", 1.0)
@@ -384,6 +449,7 @@ class SweepSpec:
         return len(self._points)
 
     def to_dict(self) -> dict:
+        """JSON form of the grid (what ``repro sweep`` files hold)."""
         data = {
             "name": self.name,
             "base": dict(self.base),
@@ -397,6 +463,7 @@ class SweepSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Rebuild a grid from :meth:`to_dict` output."""
         return cls(
             name=data["name"],
             base=data.get("base", {}),
@@ -406,13 +473,16 @@ class SweepSpec:
         )
 
     def to_json(self) -> str:
+        """Pretty-printed JSON text of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a grid from JSON text."""
         return cls.from_dict(json.loads(text))
 
     @classmethod
     def from_json_file(cls, path) -> "SweepSpec":
+        """Load a grid from a JSON spec file (the CLI's input)."""
         with open(path, encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))

@@ -784,6 +784,79 @@ def _engine_replay(point: Point, workload_cache: dict) -> dict:
     }
 
 
+def _stabilizer_bench_circuit(n_qubits: int, layers: int, rng):
+    """One random layered Clifford circuit (GHZ prefix + mixing layers).
+
+    Deterministic given ``rng``; every gate has a tableau update, so
+    the ``clifford`` backend's fast path covers the whole circuit.
+    """
+    from ..circuits import Circuit
+
+    circuit = Circuit(n_qubits)
+    circuit.h(0)
+    for q in range(n_qubits - 1):
+        circuit.cx(q, q + 1)
+    one_qubit = ("h", "s", "sdg", "x", "z", "sx")
+    for _ in range(layers):
+        for q in range(n_qubits):
+            circuit.append(str(rng.choice(one_qubit)), q)
+        for q in range(0, n_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+        for q in range(1, n_qubits - 1, 2):
+            circuit.cz(q, q + 1)
+    circuit.measure_all()
+    return circuit
+
+
+@task("backend_matrix")
+def _backend_matrix(point: Point, workload_cache: dict) -> dict:
+    """One stabilizer workload executed on the point's backend.
+
+    The point's ``backend`` field (the :mod:`repro.backends` registry)
+    selects the execution path; the task itself is backend-agnostic.
+    Runs ``runs`` distinct seeded Clifford circuits of ``layers``
+    mixing layers each, and reports the wall clock (volatile — masked
+    by the parity suite), the circuit/shot ledger, dispatch counters,
+    and the mean all-zeros outcome weight as the checksum column.
+
+    Options: ``n_qubits`` (default 8), ``layers`` (default 40),
+    ``runs`` (default 6), ``noise_scale`` (default 2.0).
+    """
+    from ..api import Session
+    from ..noise import ibmq_mumbai_like
+
+    options = dict(point.options)
+    n_qubits = options.get("n_qubits", 8)
+    layers = options.get("layers", 40)
+    runs = options.get("runs", 6)
+    device = ibmq_mumbai_like(scale=options.get("noise_scale", 2.0))
+    rng = np.random.default_rng(point.seed)
+    circuits = [
+        _stabilizer_bench_circuit(n_qubits, layers, rng)
+        for _ in range(runs)
+    ]
+    session = Session(device, seed=point.seed, backend=point.backend)
+    zeros = "0" * n_qubits
+    start = time.perf_counter()
+    zero_weights = []
+    for circuit in circuits:
+        counts = session.backend.run(circuit, point.shots)
+        zero_weights.append(counts[zeros] / counts.shots)
+    elapsed = time.perf_counter() - start
+    ledger = session.ledger()
+    session.close()
+    backend = session.backend
+    return {
+        "backend": getattr(backend, "backend_kind", "dense"),
+        "seconds": float(elapsed),
+        "circuits": int(ledger.circuits),
+        "shots": int(ledger.shots),
+        "zero_weight": float(np.mean(zero_weights)),
+        "stabilizer_runs": int(getattr(backend, "stabilizer_runs", 0)),
+        "fallbacks": int(getattr(backend, "dense_fallbacks", 0)),
+    }
+
+
 @task("term_selective")
 def _term_selective(point: Point, workload_cache: dict) -> dict:
     """Term-selective mitigation trade-off at one mass fraction."""

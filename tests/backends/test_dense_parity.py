@@ -1,0 +1,101 @@
+"""The ``dense`` backend is bit-identical to the pre-registry path.
+
+The acceptance bar for the backend registry: selecting ``dense`` (or
+selecting nothing) through any layer — ``Session(backend=...)``, the
+registry's ``make_backend``, a sweep point — produces the very same
+energies and circuit/shot ledgers as constructing
+:class:`repro.noise.SimulatorBackend` directly, for every registered
+estimator kind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Session, estimator_kinds
+from repro.backends import make_backend
+from repro.noise import SimulatorBackend
+from repro.sweeps import Point
+from repro.sweeps.runner import execute_point
+from repro.vqe import run_vqe
+from repro.workloads import make_workload
+
+ALL_KINDS = (
+    "ideal",
+    "baseline",
+    "jigsaw",
+    "varsaw",
+    "varsaw_no_sparsity",
+    "varsaw_max_sparsity",
+    "gc",
+    "selective",
+    "calibration_gated",
+)
+
+
+def test_all_nine_kinds_are_covered():
+    assert set(ALL_KINDS) == set(estimator_kinds())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("H2-4", reps=1, entanglement="linear")
+
+
+def _tune(backend, workload, kind):
+    session = Session(backend=backend)
+    estimator = session.estimator(kind, workload, shots=32)
+    result = run_vqe(estimator, max_iterations=3, seed=11)
+    return result, backend.circuits_run, backend.shots_run
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_dense_kind_matches_direct_backend(kind, workload):
+    direct = SimulatorBackend(workload.device, seed=11)
+    registry = make_backend("dense", workload.device, seed=11)
+    r_direct, c_direct, s_direct = _tune(direct, workload, kind)
+    r_registry, c_registry, s_registry = _tune(registry, workload, kind)
+    assert r_registry.energy == r_direct.energy
+    assert r_registry.energy_history == r_direct.energy_history
+    assert (c_registry, s_registry) == (c_direct, s_direct)
+
+
+@pytest.mark.parametrize("kind", ["baseline", "varsaw", "gc"])
+def test_session_backend_kind_matches_default_session(kind, workload):
+    implicit = Session(workload.device, seed=7)
+    explicit = Session(workload.device, seed=7, backend="dense")
+    r_implicit = run_vqe(
+        implicit.estimator(kind, workload, shots=32),
+        max_iterations=3, seed=7,
+    )
+    r_explicit = run_vqe(
+        explicit.estimator(kind, workload, shots=32),
+        max_iterations=3, seed=7,
+    )
+    assert r_explicit.energy == r_implicit.energy
+    assert explicit.ledger() == implicit.ledger()
+
+
+def test_sweep_point_backend_dense_matches_absent():
+    base = dict(
+        workload={"key": "H2-4"}, scheme="varsaw", seed=5, shots=32,
+        max_iterations=2,
+    )
+    implicit, _ = execute_point(Point(**base))
+    explicit, _ = execute_point(Point(**base, backend="dense"))
+    assert explicit == implicit
+
+
+def test_live_backend_adoption_still_exclusive(workload):
+    with pytest.raises(ValueError, match="not both"):
+        Session(workload.device, backend=SimulatorBackend())
+
+
+def test_seed_composes_with_backend_kind(workload):
+    session = Session(workload.device, seed=9, backend="clifford")
+    assert session.seed == 9
+    assert session.backend_kind == "clifford"
+    assert np.isfinite(
+        session.estimator("baseline", workload, shots=16).evaluate(
+            np.zeros(workload.ansatz.num_parameters)
+        )
+    )

@@ -1,0 +1,123 @@
+"""Sweep points with the optional ``backend`` field.
+
+The compatibility bar: points that do not set ``backend`` serialize and
+fingerprint exactly as they did before the field existed, so every
+checkpointed store, golden snapshot, and resume path is untouched.
+"""
+
+import pytest
+
+from repro.sweeps import Point, ResultStore, SweepSpec, run_sweep
+from repro.sweeps.runner import execute_point
+
+#: Fingerprints recorded on the pre-backend-field code (PR 4 tree).
+PINNED = {
+    "molecule": "489687cab84c1759d8e144cc421e2758",
+    "spin": "be228ddca3c908379b5e5bb6b9bea88c",
+    "structure": "0a64fcd33c4eb5865927b9243ab266ad",
+}
+
+
+class TestFingerprintStability:
+    def test_pinned_fingerprints_unchanged(self):
+        assert Point(
+            workload={"key": "H2-4"}, scheme="varsaw", seed=3
+        ).fingerprint() == PINNED["molecule"]
+        assert Point(
+            workload={"model": "tfim", "n_qubits": 6},
+            scheme="baseline", shots=128,
+            device={"preset": "ibmq_mumbai_like", "scale": 2.0},
+        ).fingerprint() == PINNED["spin"]
+        assert Point(
+            task="structure", options={"window": 2},
+            workload={"key": "LiH-6"},
+        ).fingerprint() == PINNED["structure"]
+
+    def test_absent_backend_is_omitted_from_serialization(self):
+        point = Point(workload={"key": "H2-4"}, scheme="varsaw")
+        assert "backend" not in point.to_dict()
+
+    def test_set_backend_changes_the_fingerprint(self):
+        base = dict(workload={"key": "H2-4"}, scheme="varsaw", seed=3)
+        plain = Point(**base)
+        clifford = Point(**base, backend="clifford")
+        density = Point(**base, backend={"kind": "density"})
+        prints = {p.fingerprint() for p in (plain, clifford, density)}
+        assert len(prints) == 3
+
+    def test_round_trip_preserves_backend(self):
+        point = Point(
+            workload={"key": "H2-4"}, scheme="varsaw",
+            backend={"kind": "density", "analytic": True},
+        )
+        assert Point.from_dict(point.to_dict()) == point
+
+    def test_old_records_load_without_the_field(self):
+        payload = Point(
+            workload={"key": "H2-4"}, scheme="varsaw"
+        ).to_dict()
+        assert Point.from_dict(payload).backend is None
+
+
+class TestValidation:
+    def test_unknown_backend_kind_fails_at_point_build(self):
+        with pytest.raises(ValueError, match="unknown backend kind"):
+            Point(workload={"key": "H2-4"}, scheme="varsaw",
+                  backend="statevector")
+
+    def test_misspelled_backend_knob_fails_at_point_build(self):
+        with pytest.raises(ValueError, match="accepted fields"):
+            Point(workload={"key": "H2-4"}, scheme="varsaw",
+                  backend={"kind": "clifford", "falback": "dense"})
+
+    def test_backend_axis_validates_at_spec_build(self):
+        with pytest.raises(ValueError, match="unknown backend kind"):
+            SweepSpec(
+                name="bad",
+                base={"workload": {"key": "H2-4"}, "scheme": "varsaw"},
+                axes={"backend": ["dense", "nope"]},
+            )
+
+    def test_backend_rejected_on_non_backend_aware_tasks(self):
+        """Executors that build their own backends would silently
+        ignore the field and mislabel results — refuse instead."""
+        with pytest.raises(ValueError, match="does not honor"):
+            Point(task="structure", workload={"key": "H2-4"},
+                  options={"window": 2}, backend="clifford")
+        with pytest.raises(ValueError, match="does not honor"):
+            Point(task="engine_replay", backend="dense")
+
+    def test_label_names_the_backend(self):
+        point = Point(workload={"key": "H2-4"}, scheme="varsaw",
+                      backend="clifford")
+        assert "backend=clifford" in point.label()
+
+
+class TestExecution:
+    def test_density_point_executes_and_differs_from_dense(self):
+        base = dict(
+            workload={"key": "H2-4"}, scheme="baseline", seed=5,
+            shots=32, max_iterations=2,
+        )
+        dense, _ = execute_point(Point(**base))
+        density, _ = execute_point(
+            Point(**base, backend={"kind": "density"})
+        )
+        assert dense["circuits"] == density["circuits"]
+        assert dense["energy"] != density["energy"]
+
+    def test_backend_axis_sweeps_and_resumes(self, tmp_path):
+        spec = SweepSpec(
+            name="backend-axis",
+            base={
+                "workload": {"key": "H2-4"}, "scheme": "baseline",
+                "shots": 16, "max_iterations": 2,
+            },
+            axes={"backend": ["dense", "clifford"]},
+        )
+        store = ResultStore(tmp_path / "s.jsonl")
+        report = run_sweep(spec, store)
+        assert len(report.executed) == 2
+        resumed = run_sweep(spec, store)
+        assert resumed.executed == []
+        assert resumed.skipped == 2

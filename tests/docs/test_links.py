@@ -1,0 +1,77 @@
+"""Docs link checker: every relative link in docs/ + README resolves.
+
+This is the in-repo half of the CI ``docs`` job (the job also runs
+``mkdocs build --strict``): it walks every Markdown link in ``docs/``
+and ``README.md`` and asserts the target file exists, so a renamed or
+deleted page fails the tier-1 suite, not just a nightly crawl.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+#: Inline Markdown links: [text](target) — images included.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: pathlib.Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        links.append(target)
+    return links
+
+
+def test_docs_tree_exists():
+    names = {path.name for path in DOC_FILES}
+    assert {
+        "README.md", "index.md", "architecture.md", "backends.md",
+        "sweeps.md",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.name for p in DOC_FILES]
+)
+def test_every_relative_link_resolves(doc):
+    broken = []
+    for target in _relative_links(doc):
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue  # pure in-page anchor
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.name for p in DOC_FILES]
+)
+def test_referenced_code_paths_exist(doc):
+    """Backtick-quoted repo paths mentioned in prose must exist."""
+    text = doc.read_text(encoding="utf-8")
+    pattern = re.compile(
+        r"`((?:src|docs|tests|benchmarks|examples)/[\w./-]+|"
+        r"[\w-]+\.(?:md|py|yml|toml|json))`"
+    )
+    missing = [
+        mention
+        for mention in pattern.findall(text)
+        if not (REPO / mention).exists()
+        and not (doc.parent / mention).exists()
+        and "*" not in mention
+        and not mention.startswith("grid.json")  # CLI placeholder
+    ]
+    assert not missing, f"{doc.name}: dangling path references {missing}"

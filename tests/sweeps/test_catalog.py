@@ -19,13 +19,15 @@ EXPECTED_ENTRIES = {
     "ext_trotter_mitigation", "ext_tuner_comparison",
     "ext_zne_comparison",
     "ext_api_session",
+    "ext_backend_matrix",
 }
 
 
 def test_all_grids_registered():
-    # The paper's 27 grids plus the PR 4 inline-estimator-spec entry.
+    # The paper's 27 grids plus the PR 4 inline-estimator-spec entry
+    # and the PR 5 execution-backend matrix.
     assert set(CATALOG) == EXPECTED_ENTRIES
-    assert len(CATALOG) == 28
+    assert len(CATALOG) == 29
 
 
 def test_unknown_entry_raises():
