@@ -1,0 +1,51 @@
+"""Extension: multi-tenant serve throughput with request coalescing.
+
+One shared H2-4 VarSaw workload served to 1 vs 8 tenants through the
+``repro.serve`` service (catalog entry ``ext_serve_throughput``): every
+tenant submits the same seeded parameter trace, rotated by tenant index
+and interleaved round-robin, so duplicates arrive from *different*
+tenants and the coalescer's content-addressed dedup does the work.
+
+Expected shape: the lone tenant executes every job itself (no
+cross-tenant dedup possible); the 8-tenant fleet executes exactly the
+same number of *distinct* jobs — submissions scale 8x, executions
+don't — with a nonzero cross-tenant dedup counter proving the sharing.
+In both cells the per-tenant budget charges sum exactly to the engines'
+circuit/shot ledger (cost attribution loses nothing to coalescing).
+The wall-clock and jobs/s columns are volatile and masked by the
+golden-parity suite; the dedup counters and ledger columns are pinned.
+"""
+
+from conftest import print_tables
+
+from repro.sweeps import ResultStore, get_entry, run_entry
+from repro.sweeps.catalog import serve_throughput_rows
+
+
+def test_ext_serve_throughput(benchmark, tmp_path):
+    entry = get_entry("ext_serve_throughput")
+    store = ResultStore(tmp_path / "serve.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
+    )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    rows = serve_throughput_rows(outcome.records)
+    solo, fleet = rows[1], rows[8]
+    # A lone tenant has nobody to share with; a fleet of 8 submitting
+    # the same jobs shares almost everything.
+    assert solo["cross_tenant_dedup"] == 0
+    assert fleet["cross_tenant_dedup"] > 0
+    # Job-level dedup: 8x the submissions, identical executions.
+    assert fleet["submitted"] == 8 * solo["submitted"]
+    assert fleet["executed"] == solo["executed"]
+    # Every distinct job ran exactly once in both cells, so the
+    # engines' ledgers agree — the fleet paid nothing extra.
+    assert fleet["circuits"] == solo["circuits"]
+    assert fleet["shots"] == solo["shots"]
+    # Cost attribution is exact: per-tenant charges sum to the
+    # engines' total ledger in both cells.
+    assert solo["ledger_match"] and fleet["ledger_match"]
+    assert fleet["tenant_circuits"] == fleet["circuits"]
+    assert fleet["tenant_shots"] == fleet["shots"]

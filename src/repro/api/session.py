@@ -225,6 +225,18 @@ class Session:
             cache_requests=stats.pmf_cache.requests,
         )
 
+    def stats(self):
+        """The engine's execution statistics, as a frozen snapshot.
+
+        Returns the shared engine's :class:`~repro.engine.EngineStats`:
+        cache hit/miss/eviction counters, simulation counts, and the
+        content-addressed dedup counter.  Snapshots subtract
+        (``session.stats() - before``), mirroring :meth:`ledger` — the
+        observability surface the serve subsystem's status output
+        aggregates across sessions.
+        """
+        return self.engine.stats
+
     # -------------------------------------------------------- lifecycle
 
     def close(self) -> None:

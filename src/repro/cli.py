@@ -14,6 +14,9 @@ Gives the repository's main workflows one-line entry points::
     python -m repro qaoa --nodes 6            # VarSaw on MaxCut (§7.3)
     python -m repro route --qubits 6          # routing cost on heavy-hex
     python -m repro sweep grid.json --resume  # checkpointed sweep
+    python -m repro serve --journal run1      # multi-tenant service
+    python -m repro submit --tenant alice --workload H2-4 --wait
+    python -m repro jobs --journal run1       # offline journal listing
     python -m repro reproduce --only fig8,table3 --processes 4
                                               # regenerate paper grids
 
@@ -164,6 +167,83 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--limit", type=_int_at_least(0), default=None,
         help="execute at most this many pending points",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant estimation service over HTTP "
+        "(durable journal, request coalescing, tenant budgets)",
+    )
+    serve.add_argument(
+        "--journal", default="serve-journal",
+        help="journal directory (queue.jsonl + results.jsonl); "
+        "reopening resumes completed work with zero re-execution",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8753)
+    serve.add_argument(
+        "--max-batch", type=_int_at_least(1), default=32,
+        help="most requests coalesced into one shared batch",
+    )
+    serve.add_argument(
+        "--coalesce-window", type=float, default=0.01,
+        help="seconds the worker waits for concurrent submissions "
+        "to coalesce before taking a batch",
+    )
+    serve.add_argument(
+        "--budget-circuits", type=_int_at_least(1), default=None,
+        help="per-tenant executed-circuit cap (default: unlimited)",
+    )
+    serve.add_argument(
+        "--budget-shots", type=_int_at_least(1), default=None,
+        help="per-tenant shot cap (default: unlimited)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one estimation/tuning job to a running server",
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8753")
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument(
+        "--job", default=None,
+        help="path to a JobSpec JSON file (overrides the flag form)",
+    )
+    submit.add_argument("--workload", default=None,
+                        help="Table 2 key, e.g. H2-4")
+    submit.add_argument(
+        "--kind", default="estimate", choices=("estimate", "tuning"),
+    )
+    submit.add_argument("--scheme", default="varsaw")
+    submit.add_argument("--shots", type=_int_at_least(1), default=256)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--params", default=None,
+        help="comma-separated ansatz parameters (estimate jobs; "
+        "default: the all-zeros vector)",
+    )
+    submit.add_argument("--iterations", type=_int_at_least(1), default=100,
+                        help="tuning jobs: SPSA iterations")
+    submit.add_argument(
+        "--device", default=None, choices=sorted(DEVICE_PRESETS),
+        help="device preset (default: the workload's device)",
+    )
+    submit.add_argument("--noise-scale", type=float, default=None)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job completes and print its result",
+    )
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="list a server's requests (live --url, or offline "
+        "--journal for a stopped/killed server)",
+    )
+    jobs.add_argument("--url", default=None)
+    jobs.add_argument(
+        "--journal", default=None,
+        help="read the journal directory directly instead of a "
+        "live server",
     )
 
     repro = sub.add_parser(
@@ -713,6 +793,215 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _print_serve_status(status: dict) -> None:
+    """Render a ServiceStatus dict (shutdown summary / `repro jobs`)."""
+    print(
+        f"requests: {status['requests']} "
+        f"({status['complete']} complete, {status['pending']} pending, "
+        f"{status['failed']} failed)"
+    )
+    print(
+        f"dedup: {status['executed']} executed, "
+        f"{status['coalesced']} coalesced in-batch, "
+        f"{status['served_from_db']} served from results DB, "
+        f"{status['cross_tenant_dedup']} cross-tenant"
+    )
+    engine = status["engine"]
+    print(
+        f"engine: {engine['circuits']} circuits, "
+        f"{engine['shots']} shots, "
+        f"{engine['simulations']} simulations, "
+        f"cache {engine['pmf_cache_hits']}/"
+        f"{engine['pmf_cache_requests']} hits "
+        f"({engine['pmf_cache_evictions']} evicted) "
+        f"across {status['sessions']} sessions"
+    )
+    for tenant, charge in sorted(status["tenants"].items()):
+        caps = []
+        if charge.get("max_circuits") is not None:
+            caps.append(f"cap {charge['max_circuits']} circuits")
+        if charge.get("max_shots") is not None:
+            caps.append(f"cap {charge['max_shots']} shots")
+        suffix = f" ({', '.join(caps)})" if caps else ""
+        print(
+            f"  tenant {tenant}: {charge['jobs']} jobs, "
+            f"{charge['circuits']} circuits, "
+            f"{charge['shots']} shots{suffix}"
+        )
+
+
+def _cmd_serve(args) -> int:
+    from .serve import Service, TenantQuota, serve_http
+
+    default_quota = None
+    if args.budget_circuits is not None or args.budget_shots is not None:
+        default_quota = TenantQuota(
+            max_circuits=args.budget_circuits,
+            max_shots=args.budget_shots,
+        )
+    service = Service(
+        args.journal,
+        default_quota=default_quota,
+        max_batch=args.max_batch,
+        coalesce_window=args.coalesce_window,
+    )
+    total, pending = service.recovered()
+    print(
+        f"journal {service.root}: recovered {total} requests "
+        f"({total - pending} complete, {pending} pending)"
+    )
+    try:
+        server = serve_http(service, args.host, args.port)
+    except OSError as exc:
+        print(
+            f"cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        service.close()
+        return 2
+    service.start()
+    print(
+        f"serving on http://{args.host}:{args.port} "
+        f"(Ctrl-C to stop; journal survives kill -9)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+        _print_serve_status(service.status().to_dict())
+    return 0
+
+
+def _submit_job_payload(args) -> dict:
+    """Build the JobSpec JSON payload from `repro submit` flags."""
+    import json
+
+    if args.job is not None:
+        with open(args.job, encoding="utf-8") as handle:
+            return json.load(handle)
+    if args.workload is None:
+        raise ValueError("pass --workload KEY or --job FILE")
+    job: dict = {
+        "workload": {"key": args.workload},
+        "kind": args.kind,
+        "scheme": args.scheme,
+        "shots": args.shots,
+        "seed": args.seed,
+    }
+    if args.params is not None:
+        job["params"] = [
+            float(text) for text in args.params.split(",") if text.strip()
+        ]
+    if args.kind == "tuning":
+        job["max_iterations"] = args.iterations
+    if args.device is not None:
+        device: dict = {"preset": args.device}
+        if args.noise_scale is not None:
+            device["noise_scale"] = args.noise_scale
+        job["device"] = device
+    elif args.noise_scale is not None:
+        raise ValueError("--noise-scale needs --device to scale")
+    return job
+
+
+def _cmd_submit(args) -> int:
+    from .serve import JobSpec, request_json
+
+    try:
+        payload = _submit_job_payload(args)
+        JobSpec.from_dict(payload)  # validate before the round-trip
+    except (OSError, TypeError, ValueError) as exc:
+        print(f"bad job: {exc}", file=sys.stderr)
+        return 2
+    try:
+        reply = request_json(
+            args.url,
+            "/submit",
+            {"tenant": args.tenant, "job": payload, "wait": args.wait},
+        )
+    except (RuntimeError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    line = f"{reply['request_id']}  {reply['state']}  {reply['label']}"
+    result = reply.get("result")
+    if result is not None:
+        energy = result["result"].get("energy")
+        if energy is not None:
+            line += f"  energy {energy:.6f}"
+    print(line)
+    if reply.get("error"):
+        print(f"error: {reply['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _print_job_rows(rows) -> None:
+    if not rows:
+        print("no requests")
+        return
+    width = max(len(row["request_id"]) for row in rows)
+    tenant_w = max(len(row["tenant"]) for row in rows)
+    for row in rows:
+        print(
+            f"{row['request_id']:<{width}}  "
+            f"{row['tenant']:<{tenant_w}}  "
+            f"{row['state']:<8}  {row['label']}"
+        )
+
+
+def _cmd_jobs(args) -> int:
+    from .serve import request_json
+
+    if (args.url is None) == (args.journal is None):
+        print("pass exactly one of --url or --journal", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        try:
+            listing = request_json(args.url, "/jobs")
+            status = request_json(args.url, "/status")
+        except (RuntimeError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        _print_job_rows(listing["jobs"])
+        print()
+        _print_serve_status(status)
+        return 0
+
+    # Offline: read the journal pair directly (server stopped/killed).
+    import pathlib
+
+    from .serve import JobQueue, JobSpec, ResultsDB
+
+    root = pathlib.Path(args.journal)
+    if not root.is_dir():
+        print(f"no journal directory at {root}", file=sys.stderr)
+        return 2
+    queue = JobQueue(root / "queue.jsonl")
+    results = ResultsDB(root / "results.jsonl")
+    rows = []
+    pending = 0
+    for entry in queue.records():
+        done = entry["job_fingerprint"] in results
+        pending += 0 if done else 1
+        rows.append(
+            {
+                "request_id": entry["request_id"],
+                "tenant": entry["tenant"],
+                "state": "complete" if done else "pending",
+                "label": JobSpec.from_dict(entry["job"]).label(),
+            }
+        )
+    _print_job_rows(rows)
+    print(
+        f"\n{len(rows)} journaled requests, {pending} pending "
+        f"({len(results)} distinct results stored)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "kinds": _cmd_kinds,
@@ -724,6 +1013,9 @@ _COMMANDS = {
     "qaoa": _cmd_qaoa,
     "route": _cmd_route,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "reproduce": _cmd_reproduce,
 }
 

@@ -55,7 +55,12 @@ def approx_nbytes(value) -> int:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Point-in-time counters for one cache."""
+    """Point-in-time counters for one cache.
+
+    Snapshots subtract field-wise (``after - before`` is one phase's
+    cache activity); the size/byte gauges subtract too, giving the
+    phase's net growth rather than an absolute level.
+    """
 
     hits: int
     misses: int
@@ -64,6 +69,17 @@ class CacheStats:
     maxsize: int
     bytes: int = 0
     max_bytes: int = 0
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            size=self.size - other.size,
+            maxsize=self.maxsize,
+            bytes=self.bytes - other.bytes,
+            max_bytes=self.max_bytes,
+        )
 
     @property
     def requests(self) -> int:

@@ -72,7 +72,13 @@ def _resolve_byte_budget(
 
 @dataclass(frozen=True)
 class EngineStats:
-    """Lifetime counters for one engine instance."""
+    """Lifetime counters for one engine instance.
+
+    Snapshots subtract: ``engine.stats - before`` is the cost of one
+    phase (a batch, a request, a tenant's job), with the nested cache
+    stats subtracted field-wise.  This is the delta hook the serve
+    subsystem charges per-tenant work through.
+    """
 
     jobs_submitted: int
     batches_run: int
@@ -80,6 +86,16 @@ class EngineStats:
     dedup_coalesced: int
     pmf_cache: CacheStats
     state_cache: CacheStats
+
+    def __sub__(self, other: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            jobs_submitted=self.jobs_submitted - other.jobs_submitted,
+            batches_run=self.batches_run - other.batches_run,
+            simulations=self.simulations - other.simulations,
+            dedup_coalesced=self.dedup_coalesced - other.dedup_coalesced,
+            pmf_cache=self.pmf_cache - other.pmf_cache,
+            state_cache=self.state_cache - other.state_cache,
+        )
 
 
 class JobHandle:

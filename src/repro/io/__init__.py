@@ -1,0 +1,15 @@
+"""repro.io — shared durable-storage primitives.
+
+The append-only JSONL journal discipline that makes killed sweeps
+resumable (atomic single-line appends, torn-tail-tolerant loading,
+key-first-wins merge) lives here as :class:`~repro.io.journal.Journal`,
+consumed by both the sweeps :class:`~repro.sweeps.ResultStore` and the
+serve subsystem's :class:`~repro.serve.JobQueue` /
+:class:`~repro.serve.ResultsDB`.
+"""
+
+from __future__ import annotations
+
+from .journal import Journal, LoadReport
+
+__all__ = ["Journal", "LoadReport"]

@@ -1,0 +1,70 @@
+"""repro.serve — the multi-tenant estimation service.
+
+VarSaw is a *shared-cost* idea: spatial subset dedup and sparse Global
+reuse amortize measurement circuits across a workload.  This subsystem
+serves that amortization to many concurrent clients:
+
+* :class:`JobSpec` — one estimation/tuning request as content-addressed
+  JSON (:mod:`repro.serve.jobs`);
+* :class:`JobQueue` / :class:`ResultsDB` — the durable journal pair
+  (the sweeps checkpoint discipline, via :class:`repro.io.Journal`)
+  that lets a killed server resume with zero re-executed jobs
+  (:mod:`repro.serve.queue`);
+* :class:`TenantBudget` — per-tenant shot/circuit quotas with
+  snapshot-subtraction cost attribution (:mod:`repro.serve.budget`);
+* :class:`Coalescer` — batches requests from many tenants into shared
+  engine execution, deduping identical jobs (and, via shared sessions,
+  identical circuits) across tenants (:mod:`repro.serve.coalescer`);
+* :class:`Service` — the front door: synchronous, asyncio, and (via
+  :mod:`repro.serve.http`) HTTP (:mod:`repro.serve.service`).
+
+Quickstart (in-process)::
+
+    from repro.serve import JobSpec, Service
+
+    with Service("journal-dir") as service:
+        job = JobSpec(workload={"key": "H2-4"}, scheme="varsaw",
+                      shots=128)
+        alice = service.submit("alice", job)
+        bob = service.submit("bob", job)      # identical -> coalesces
+        service.drain()
+        assert alice.future.result() == bob.future.result()
+        print(service.status().to_dict()["cross_tenant_dedup"])  # 1
+
+Over HTTP: ``repro serve --journal journal-dir`` then
+``repro submit --tenant alice --workload H2-4 --wait``.
+"""
+
+from __future__ import annotations
+
+from .budget import (
+    BudgetExceededError,
+    TenantBudget,
+    TenantCharge,
+    TenantQuota,
+)
+from .coalescer import Coalescer, CoalescerStats, Request
+from .http import request_json, serve_http
+from .jobs import JOB_KINDS, JOB_SCHEMA_VERSION, JobSpec, execute_job
+from .queue import JobQueue, ResultsDB
+from .service import Service, ServiceStatus
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_SCHEMA_VERSION",
+    "BudgetExceededError",
+    "Coalescer",
+    "CoalescerStats",
+    "JobQueue",
+    "JobSpec",
+    "Request",
+    "ResultsDB",
+    "Service",
+    "ServiceStatus",
+    "TenantBudget",
+    "TenantCharge",
+    "TenantQuota",
+    "execute_job",
+    "request_json",
+    "serve_http",
+]

@@ -1,0 +1,147 @@
+"""Per-tenant shot/circuit budgets over subtractable ledger snapshots.
+
+The paper's cost metric — circuits executed, shots consumed — is what
+multi-tenant fairness has to meter.  :class:`TenantBudget` keeps one
+cumulative :class:`~repro.api.LedgerSnapshot`-shaped charge per tenant,
+fed by the coalescer with the *execution deltas* it measures around
+each job (``session.ledger() - before``, the snapshot-subtraction
+discipline).  Because every executed job charges exactly one tenant —
+the first submitter — and deduped submissions charge nobody, the
+per-tenant charges always sum to the engines' total ledger; the
+concurrency suite asserts this invariant.
+
+Quotas are hard caps checked at submission time: a tenant at or over
+either cap gets a :class:`BudgetExceededError` naming the exhausted
+resource (HTTP 429 over the wire), never a silently-queued job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "BudgetExceededError",
+    "TenantQuota",
+    "TenantCharge",
+    "TenantBudget",
+]
+
+
+class BudgetExceededError(RuntimeError):
+    """A tenant's submission was rejected for an exhausted quota."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Hard per-tenant caps (``None`` = unlimited)."""
+
+    max_circuits: int | None = None
+    max_shots: int | None = None
+
+
+@dataclass(frozen=True)
+class TenantCharge:
+    """Cumulative execution cost charged to one tenant."""
+
+    circuits: int = 0
+    shots: int = 0
+    jobs: int = 0
+
+    def __add__(self, other: "TenantCharge") -> "TenantCharge":
+        return TenantCharge(
+            circuits=self.circuits + other.circuits,
+            shots=self.shots + other.shots,
+            jobs=self.jobs + other.jobs,
+        )
+
+
+class TenantBudget:
+    """Quota enforcement + cost attribution for every tenant.
+
+    Parameters
+    ----------
+    quotas:
+        Per-tenant :class:`TenantQuota` overrides (tenant name keyed).
+    default:
+        The quota applied to tenants without an override; the default
+        default is unlimited.
+    """
+
+    def __init__(
+        self,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        default: TenantQuota | None = None,
+    ):
+        self._quotas = dict(quotas or {})
+        self._default = default if default is not None else TenantQuota()
+        self._charges: dict[str, TenantCharge] = {}
+
+    def quota(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant``."""
+        return self._quotas.get(tenant, self._default)
+
+    def charged(self, tenant: str) -> TenantCharge:
+        """What ``tenant`` has been charged so far."""
+        return self._charges.get(tenant, TenantCharge())
+
+    def tenants(self) -> list[str]:
+        """Every tenant with a recorded charge or explicit quota."""
+        return sorted(set(self._charges) | set(self._quotas))
+
+    def check(self, tenant: str) -> None:
+        """Reject (raise) when ``tenant`` is at or over either cap.
+
+        Checked at submission: a request admitted under budget may
+        finish the job that crosses the cap (quotas are caps on
+        *admission*, not mid-job aborts), and the next submission is
+        rejected.
+        """
+        quota = self.quota(tenant)
+        charge = self.charged(tenant)
+        if (
+            quota.max_circuits is not None
+            and charge.circuits >= quota.max_circuits
+        ):
+            raise BudgetExceededError(
+                f"tenant {tenant!r} is over its circuit budget "
+                f"({charge.circuits} >= {quota.max_circuits}); "
+                f"submission rejected"
+            )
+        if quota.max_shots is not None and charge.shots >= quota.max_shots:
+            raise BudgetExceededError(
+                f"tenant {tenant!r} is over its shot budget "
+                f"({charge.shots} >= {quota.max_shots}); "
+                f"submission rejected"
+            )
+
+    def charge(self, tenant: str, circuits: int, shots: int) -> TenantCharge:
+        """Attribute one executed job's ledger delta to ``tenant``."""
+        delta = TenantCharge(
+            circuits=int(circuits), shots=int(shots), jobs=1
+        )
+        total = self.charged(tenant) + delta
+        self._charges[tenant] = total
+        return total
+
+    def totals(self) -> TenantCharge:
+        """The sum of every tenant's charges (== the engines' ledger)."""
+        total = TenantCharge()
+        for charge in self._charges.values():
+            total = total + charge
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON form: tenant -> charged/quota numbers (HTTP + CLI)."""
+        out = {}
+        for tenant in self.tenants():
+            quota = self.quota(tenant)
+            charge = self.charged(tenant)
+            out[tenant] = {
+                "circuits": charge.circuits,
+                "shots": charge.shots,
+                "jobs": charge.jobs,
+                "max_circuits": quota.max_circuits,
+                "max_shots": quota.max_shots,
+            }
+        return out

@@ -1,0 +1,180 @@
+"""A dependency-free HTTP front end over :class:`~repro.serve.Service`.
+
+Built on the stdlib ``http.server`` (threading variant) — no ASGI
+framework, no new dependencies — because the service core is already
+thread-safe: handler threads call the same synchronous API the
+in-process tests use.  JSON in, JSON out:
+
+* ``POST /submit`` — body ``{"tenant": ..., "job": {...}, "wait":
+  false}``; returns the request id (and, with ``wait``, the result
+  record).  Over-budget tenants get ``429``, malformed jobs ``400``.
+* ``GET  /status`` — the :class:`~repro.serve.ServiceStatus` payload:
+  queue depth, dedup counters, engine cache stats, tenant ledgers.
+* ``GET  /tenants`` — per-tenant charges and quotas.
+* ``GET  /jobs`` — every request (id, tenant, state, fingerprint).
+* ``GET  /jobs/<request id>`` — one request, result included when done.
+
+:func:`request_json` is the matching client helper the ``repro
+submit`` / ``repro jobs`` CLI commands use (urllib, stdlib again).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .budget import BudgetExceededError
+from .jobs import JobSpec
+from .service import Service
+
+__all__ = ["serve_http", "request_json", "ServeHandler"]
+
+
+def _request_payload(request, include_result: bool) -> dict:
+    """JSON view of one live request for /jobs responses."""
+    payload = {
+        "request_id": request.request_id,
+        "tenant": request.tenant,
+        "state": request.state(),
+        "job_fingerprint": request.fingerprint,
+        "label": request.job.label(),
+    }
+    if request.future.done():
+        error = request.future.exception()
+        if error is not None:
+            payload["error"] = str(error)
+        elif include_result:
+            payload["result"] = request.future.result()
+    return payload
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto one :class:`Service` (class attribute)."""
+
+    service: Service
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the CLI prints status)."""
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        """Serve /status, /tenants, /jobs, and /jobs/<id>."""
+        path = self.path.rstrip("/")
+        if path in ("", "/status"):
+            self._send_json(200, self.service.status().to_dict())
+        elif path == "/tenants":
+            self._send_json(200, self.service.budget.to_dict())
+        elif path == "/jobs":
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        _request_payload(request, include_result=False)
+                        for request in self.service.requests()
+                    ]
+                },
+            )
+        elif path.startswith("/jobs/"):
+            request_id = path[len("/jobs/"):]
+            try:
+                request = self.service.request(request_id)
+            except KeyError:
+                self._send_json(
+                    404, {"error": f"unknown request id {request_id!r}"}
+                )
+                return
+            self._send_json(
+                200, _request_payload(request, include_result=True)
+            )
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        """Serve /submit."""
+        if self.path.rstrip("/") != "/submit":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            tenant = payload["tenant"]
+            job = JobSpec.from_dict(payload["job"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad submission: {exc}"})
+            return
+        try:
+            request = self.service.submit(tenant, job)
+        except BudgetExceededError as exc:
+            self._send_json(429, {"error": str(exc)})
+            return
+        if payload.get("wait"):
+            timeout = payload.get("timeout", 300.0)
+            try:
+                request.future.result(timeout)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                self._send_json(
+                    500,
+                    {
+                        "request_id": request.request_id,
+                        "error": str(exc),
+                    },
+                )
+                return
+        self._send_json(200, _request_payload(request, include_result=True))
+
+
+def serve_http(
+    service: Service, host: str = "127.0.0.1", port: int = 8753
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server over ``service`` (not yet serving).
+
+    The caller owns the loop: ``serve_http(...).serve_forever()``.
+    A ``service`` attribute is set on a handler *subclass* so multiple
+    servers (tests) never share state through the base class.
+    """
+    handler = type(
+        "BoundServeHandler", (ServeHandler,), {"service": service}
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def request_json(
+    base_url: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 300.0,
+) -> dict:
+    """One JSON round-trip to a serve endpoint (GET, or POST with body).
+
+    Error responses carrying a JSON ``error`` body raise
+    ``RuntimeError`` with that message; transport failures propagate as
+    ``urllib.error.URLError``.
+    """
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", str(exc))
+        except (json.JSONDecodeError, OSError):
+            detail = str(exc)
+        raise RuntimeError(
+            f"{path}: HTTP {exc.code}: {detail}"
+        ) from exc

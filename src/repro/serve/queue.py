@@ -1,0 +1,120 @@
+"""The durable job queue and results DB behind the service.
+
+Two :class:`~repro.io.Journal` files give the server the same
+crash-tolerance discipline a checkpointed sweep has:
+
+* ``queue.jsonl`` (:class:`JobQueue`) — one record per *submission*,
+  appended before the request is acknowledged, keyed by a unique
+  request id.  Tenancy lives here: the same job submitted by two
+  tenants is two queue records sharing one job fingerprint.
+* ``results.jsonl`` (:class:`ResultsDB`) — one record per *executed
+  job*, appended after execution, keyed by the job's content
+  fingerprint.  First record wins, so a job ever executes once; every
+  later submission of the same job — any tenant — is served from here.
+
+A killed server resumes exactly like a killed sweep: reload both
+journals, and every queue record whose job fingerprint is already in
+the results DB is complete — only the difference re-executes.  A torn
+tail on either file costs at most one record (the in-flight one).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Mapping
+
+from ..io.journal import Journal
+from .jobs import JobSpec
+
+__all__ = [
+    "QUEUE_SCHEMA_VERSION",
+    "RESULTS_SCHEMA_VERSION",
+    "JobQueue",
+    "ResultsDB",
+]
+
+#: Bumped when the queue record layout changes incompatibly.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Bumped when the results record layout changes incompatibly.
+RESULTS_SCHEMA_VERSION = 1
+
+
+class JobQueue(Journal):
+    """The submissions journal: every accepted request, durably.
+
+    A record is appended *before* the submission is acknowledged to the
+    client, so an acknowledged request survives any crash.  Request ids
+    are sequence-numbered (``r000001-<fp8>``) — readable in ``repro
+    jobs`` output and unique across restarts because the sequence
+    resumes from the journal's length.
+    """
+
+    def __init__(self, path):
+        super().__init__(
+            Path(path),
+            QUEUE_SCHEMA_VERSION,
+            key_field="request_id",
+            required_fields=("job", "tenant"),
+        )
+
+    def submit(self, tenant: str, job: JobSpec) -> dict:
+        """Journal one submission; return its record (with request id)."""
+        fingerprint = job.fingerprint()
+        with self._lock:
+            request_id = f"r{len(self._index) + 1:06d}-{fingerprint[:8]}"
+            record = {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "request_id": request_id,
+                "tenant": str(tenant),
+                "job": job.to_dict(),
+                "job_fingerprint": fingerprint,
+                "submitted_at": time.time(),
+            }
+            self.append_record(request_id, record)
+        return record
+
+
+class ResultsDB(Journal):
+    """The results journal: one record per executed job fingerprint.
+
+    ``tenant`` records who *paid* for the execution (the first
+    submitter); later submitters of the same fingerprint are served
+    from here free of charge — that difference is the cross-tenant
+    amortization the service exists to provide.  ``ledger`` stores the
+    execution's circuit/shot cost delta so tenant budgets can be
+    reconstructed after a restart.
+    """
+
+    def __init__(self, path):
+        super().__init__(
+            Path(path),
+            RESULTS_SCHEMA_VERSION,
+            key_field="fingerprint",
+            required_fields=("result", "job"),
+        )
+
+    def complete(
+        self,
+        fingerprint: str,
+        job: JobSpec,
+        tenant: str,
+        result: Mapping,
+        ledger: Mapping,
+        wall_time_s: float,
+    ) -> dict:
+        """Checkpoint one executed job (atomic single-line append)."""
+        record = {
+            "schema": RESULTS_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "job": job.to_dict(),
+            "tenant": str(tenant),
+            "result": dict(result),
+            "ledger": dict(ledger),
+            "wall_time_s": float(wall_time_s),
+            "finished_at": time.time(),
+        }
+        if not self.append_record(fingerprint, record):
+            return self._index[fingerprint]
+        return record

@@ -1,0 +1,299 @@
+"""The service front door: submissions in, durable results out.
+
+:class:`Service` wires the serve subsystem together — the durable
+:class:`~repro.serve.queue.JobQueue` / :class:`~repro.serve.queue.ResultsDB`
+journal pair, the :class:`~repro.serve.budget.TenantBudget` quota layer,
+and the :class:`~repro.serve.coalescer.Coalescer` executing shared
+batches — behind three front ends:
+
+* **In-process, synchronous** — ``service.submit(tenant, job)`` returns
+  a :class:`~repro.serve.coalescer.Request` whose future resolves to
+  the result record; ``service.drain()`` processes the queue
+  deterministically (tests, benchmarks, offline batch runs).
+* **In-process, asyncio** — ``await service.submit_wait(tenant, job)``
+  for concurrent tenant coroutines; ``service.start()`` runs the
+  batching worker in a background thread.
+* **HTTP** — :func:`repro.serve.http.serve_http` exposes the same
+  operations over the wire (``repro serve`` / ``repro submit``).
+
+Durability: a submission is journaled *before* it is acknowledged, and
+a result is journaled *before* its future resolves.  Killing the server
+at any instant and restarting over the same journal directory therefore
+recovers every acknowledged request — completed ones resolve instantly
+from the results DB (zero re-execution), in-flight ones re-enter the
+queue.  This is the sweeps checkpoint/resume discipline, serverized.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from .budget import TenantBudget, TenantQuota
+from .coalescer import Coalescer, CoalescerStats, Request
+from .jobs import JobSpec
+from .queue import JobQueue, ResultsDB
+
+__all__ = ["ServiceStatus", "Service"]
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """Point-in-time service counters (the ``/status`` payload)."""
+
+    requests: int
+    pending: int
+    complete: int
+    failed: int
+    recovered_pending: int
+    coalescer: CoalescerStats
+    engine: dict
+    tenants: dict
+
+    def to_dict(self) -> dict:
+        """JSON form (HTTP ``/status`` and CLI output)."""
+        return {
+            "requests": self.requests,
+            "pending": self.pending,
+            "complete": self.complete,
+            "failed": self.failed,
+            "recovered_pending": self.recovered_pending,
+            "executed": self.coalescer.executed,
+            "coalesced": self.coalescer.coalesced,
+            "served_from_db": self.coalescer.served_from_db,
+            "cross_tenant_dedup": self.coalescer.cross_tenant_dedup,
+            "batches": self.coalescer.batches,
+            "sessions": self.coalescer.sessions,
+            "engine": dict(self.engine),
+            "tenants": dict(self.tenants),
+        }
+
+
+class Service:
+    """A multi-tenant estimation service over one journal directory.
+
+    Parameters
+    ----------
+    root:
+        Journal directory (created if missing): ``queue.jsonl`` holds
+        submissions, ``results.jsonl`` holds executed jobs.  Reopening
+        a directory recovers its state (see :meth:`recovered`).
+    quotas / default_quota:
+        Per-tenant :class:`~repro.serve.budget.TenantQuota` overrides
+        and the fallback quota (default: unlimited).
+    max_batch:
+        Most requests drained into one coalescer batch.
+    coalesce_window:
+        Seconds the background worker waits after waking before taking
+        a batch, letting concurrent submitters coalesce (0 disables).
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        max_batch: int = 32,
+        coalesce_window: float = 0.01,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.queue = JobQueue(self.root / "queue.jsonl")
+        self.results = ResultsDB(self.root / "results.jsonl")
+        self.budget = TenantBudget(quotas, default_quota)
+        self.coalescer = Coalescer(self.results, self.budget)
+        self._max_batch = int(max_batch)
+        self._window = float(coalesce_window)
+        self._requests: dict[str, Request] = {}
+        self._pending: deque[Request] = deque()
+        self._cond = threading.Condition()
+        self._exec_lock = threading.Lock()
+        self._worker: threading.Thread | None = None
+        self._stop = False
+        self._recovered_pending = 0
+        self._recover()
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Rebuild requests, budgets, and the pending queue from disk.
+
+        Budget charges replay from the results journal (each record
+        stores its ledger delta and paying tenant), so quotas survive
+        restarts.  Queue records whose job fingerprint is already in
+        the results DB resolve immediately — they cost nothing to
+        recover, which is the zero-re-execution guarantee the smoke
+        test kills a live server to verify.
+        """
+        for record in self.results.records():
+            ledger = record.get("ledger", {})
+            self.budget.charge(
+                record["tenant"],
+                ledger.get("circuits", 0),
+                ledger.get("shots", 0),
+            )
+        for entry in self.queue.records():
+            request = Request(
+                request_id=entry["request_id"],
+                tenant=entry["tenant"],
+                job=JobSpec.from_dict(entry["job"]),
+                fingerprint=entry["job_fingerprint"],
+            )
+            self._requests[request.request_id] = request
+            stored = self.results.get(request.fingerprint)
+            if stored is not None:
+                # Direct resolution: recovery is replay, not dedup —
+                # the coalescer's counters stay at zero.
+                request.future.set_result(stored)
+            else:
+                self._pending.append(request)
+                self._recovered_pending += 1
+
+    def recovered(self) -> tuple[int, int]:
+        """``(total requests recovered, of which pending)`` at open."""
+        return len(self.queue), self._recovered_pending
+
+    # --------------------------------------------------------- submission
+
+    def submit(self, tenant: str, job: JobSpec) -> Request:
+        """Accept one request: check budget, journal, enqueue or serve.
+
+        Raises :class:`~repro.serve.budget.BudgetExceededError` when
+        the tenant is over quota (nothing is journaled), ``ValueError``
+        for malformed jobs.  The returned request's future resolves to
+        the durable result record.
+        """
+        self.budget.check(tenant)
+        entry = self.queue.submit(tenant, job)
+        request = Request(
+            request_id=entry["request_id"],
+            tenant=tenant,
+            job=job,
+            fingerprint=entry["job_fingerprint"],
+        )
+        self._requests[request.request_id] = request
+        if not self.coalescer.serve_from_db(request):
+            with self._cond:
+                self._pending.append(request)
+                self._cond.notify_all()
+        return request
+
+    async def submit_wait(self, tenant: str, job: JobSpec) -> dict:
+        """Asyncio front end: submit and await the result record.
+
+        Needs the background worker (:meth:`start`) — or a concurrent
+        :meth:`drain` — to make progress.
+        """
+        request = await asyncio.to_thread(self.submit, tenant, job)
+        return await asyncio.wrap_future(request.future)
+
+    def result(self, request_id: str, timeout: float | None = None) -> dict:
+        """Block for (and return) one request's result record."""
+        return self.request(request_id).future.result(timeout)
+
+    def request(self, request_id: str) -> Request:
+        """The live request for an id (``KeyError`` when unknown)."""
+        if request_id not in self._requests:
+            raise KeyError(f"unknown request id {request_id!r}")
+        return self._requests[request_id]
+
+    def requests(self) -> list[Request]:
+        """Every request this server knows, in submission order."""
+        return list(self._requests.values())
+
+    # ---------------------------------------------------------- execution
+
+    def _take_batch(self, size: int) -> list[Request]:
+        with self._cond:
+            batch = []
+            while self._pending and len(batch) < size:
+                batch.append(self._pending.popleft())
+            return batch
+
+    def drain(self, limit: int | None = None) -> int:
+        """Process pending requests now; return the number executed.
+
+        ``limit`` bounds *executions* (not submissions): batches shrink
+        to one request so the bound is exact — the deliberately
+        interruptible mode the durability tests kill mid-queue.  With
+        no limit, full batches coalesce as the worker would.
+        """
+        executed = 0
+        size = 1 if limit is not None else self._max_batch
+        while limit is None or executed < limit:
+            batch = self._take_batch(size)
+            if not batch:
+                break
+            with self._exec_lock:
+                executed += self.coalescer.execute_batch(batch)
+        return executed
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stop:
+                    self._cond.wait()
+                if self._stop and not self._pending:
+                    return
+            if self._window:
+                time.sleep(self._window)
+            batch = self._take_batch(self._max_batch)
+            if batch:
+                with self._exec_lock:
+                    self.coalescer.execute_batch(batch)
+
+    def start(self) -> "Service":
+        """Run the batching worker in a background thread (idempotent)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._stop = False
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serve", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    # ------------------------------------------------------------- status
+
+    def status(self) -> ServiceStatus:
+        """A point-in-time snapshot of queue depth, dedup, and budgets."""
+        states = [r.state() for r in self._requests.values()]
+        return ServiceStatus(
+            requests=len(states),
+            pending=states.count("pending"),
+            complete=states.count("complete"),
+            failed=states.count("failed"),
+            recovered_pending=self._recovered_pending,
+            coalescer=self.coalescer.stats,
+            engine=self.coalescer.engine_totals(),
+            tenants=self.budget.to_dict(),
+        )
+
+    # ---------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Stop the worker after finishing queued work; free sessions."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._worker is not None and self._worker.is_alive():
+            self._worker.join()
+        self._worker = None
+        self.coalescer.close()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Service {self.root} requests={len(self._requests)} "
+            f"pending={len(self._pending)}>"
+        )

@@ -2152,3 +2152,80 @@ _register(CatalogEntry(
     tables=_tables_ext_backend_matrix,
     normalize=_normalize_backend_matrix,
 ))
+
+
+# ================================================ ext_serve_throughput
+
+#: Fleet sizes for the multi-tenant serve bench: a lone tenant (no
+#: cross-tenant sharing possible) vs a fleet submitting the same jobs.
+SERVE_TENANT_COUNTS = [1, 8]
+
+
+def _build_ext_serve_throughput() -> SweepSpec:
+    return SweepSpec(
+        name="ext_serve_throughput",
+        base={
+            "task": "serve_throughput",
+            "workload": {"key": "H2-4"},
+            "scheme": "varsaw",
+            "seed": 13,
+            "shots": 128,
+        },
+        cells=[
+            {"options": {"tenants": t, "jobs": scaled(3, 6)}}
+            for t in SERVE_TENANT_COUNTS
+        ],
+    )
+
+
+def serve_throughput_rows(records: list) -> dict:
+    """Tenant count -> task result (shared with the bench shim)."""
+    return {
+        t: _one(records, point__options__tenants=t)["result"]
+        for t in SERVE_TENANT_COUNTS
+    }
+
+
+def _tables_ext_serve_throughput(records: list) -> list[Table]:
+    jobs = records[0]["point"]["options"]["jobs"]
+    rows = [
+        [
+            t, result["submitted"], result["executed"],
+            result["cross_tenant_dedup"],
+            f"{result['dedup_rate']:.1%}",
+            result["circuits"], result["shots"],
+            "yes" if result["ledger_match"] else "NO",
+            fmt(result["seconds"], 3),
+            fmt(result["jobs_per_s"], 3),
+        ]
+        for t, result in serve_throughput_rows(records).items()
+    ]
+    return [Table(
+        f"Extension: multi-tenant serve throughput "
+        f"(H2-4 varsaw, {jobs} distinct jobs per tenant)",
+        ["tenants", "submitted", "executed", "cross-tenant dedup",
+         "dedup rate", "circuits", "shots", "ledgers sum",
+         "wall-clock (s)", "jobs/s"],
+        rows,
+    )]
+
+
+_SERVE_SECONDS = re.compile(r"\b\d+\.\d{3}\b")
+
+
+def _normalize_serve(text: str) -> str:
+    """Mask the volatile wall-clock/throughput cells before comparison."""
+    text = _SERVE_SECONDS.sub("#.###", text)
+    text = re.sub(r"-{3,}", "---", text)
+    text = re.sub(r" +", " ", text)
+    return "\n".join(line.rstrip() for line in text.splitlines())
+
+
+_register(CatalogEntry(
+    name="ext_serve_throughput",
+    figure="Extension (serve)",
+    title="Multi-tenant estimation service with request coalescing",
+    build=_build_ext_serve_throughput,
+    tables=_tables_ext_serve_throughput,
+    normalize=_normalize_serve,
+))

@@ -5,33 +5,22 @@ One line per completed point::
     {"schema": 1, "fingerprint": "...", "point": {...},
      "result": {...}, "wall_time_s": 1.23, "finished_at": ...}
 
-Design rules that make a killed sweep resumable:
-
-* **Append-only, one record per line.**  A record is written only after
-  its point finished; partially-executed points leave no trace.
-* **Atomic line writes.**  Each record is serialized first and written
-  as a single ``write`` + flush + fsync under a lock, so concurrent
-  runner threads never interleave bytes and a crash can corrupt at most
-  the final line.
-* **Tolerant loading.**  Undecodable lines (the torn tail of a killed
-  run) and records with an unknown ``schema`` version are counted and
-  skipped, never fatal — the sweep they belong to simply re-executes
-  those points.
-* **Fingerprint-keyed merge.**  Within one file, the *first* record for
-  a fingerprint wins (later duplicates are ignored), so re-running a
-  sweep can only add points, never change history.
+The durability discipline — atomic single-line appends, torn-tail
+tolerant loading, fingerprint-first-wins merge — lives in the shared
+:class:`repro.io.Journal` base (it started here and was factored out
+for the serve subsystem's job queue); this module keeps the
+sweep-specific record shape: a record is written only after its point
+finished, keyed by the point's content fingerprint, so a killed sweep
+resumes by skipping completed points.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import threading
 import time
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Mapping
 
+from ..io.journal import Journal, LoadReport
 from .spec import Point
 
 __all__ = ["RESULT_SCHEMA_VERSION", "LoadReport", "ResultStore", "load_records"]
@@ -41,52 +30,12 @@ __all__ = ["RESULT_SCHEMA_VERSION", "LoadReport", "ResultStore", "load_records"]
 RESULT_SCHEMA_VERSION = 1
 
 
-@dataclass(frozen=True)
-class LoadReport:
-    """What one pass over a store file found."""
-
-    records: dict
-    corrupt_lines: int
-    incompatible_records: int
-    duplicate_records: int
-
-
-def _parse_lines(lines: Iterable[str]) -> LoadReport:
-    records: dict[str, dict] = {}
-    corrupt = incompatible = duplicates = 0
-    for line in lines:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-            fingerprint = record["fingerprint"]
-            schema = record["schema"]
-            record["result"]
-        except (json.JSONDecodeError, KeyError, TypeError):
-            corrupt += 1
-            continue
-        if schema != RESULT_SCHEMA_VERSION:
-            incompatible += 1
-            continue
-        if fingerprint in records:
-            duplicates += 1
-            continue
-        records[fingerprint] = record
-    return LoadReport(
-        records=records,
-        corrupt_lines=corrupt,
-        incompatible_records=incompatible,
-        duplicate_records=duplicates,
-    )
-
-
 def load_records(path) -> dict:
     """Fingerprint -> record mapping from a store file (missing -> {})."""
     return ResultStore(path).load().records
 
 
-class ResultStore:
+class ResultStore(Journal):
     """The checkpoint file behind one (or many) sweeps.
 
     Thread-safe: runner workers append concurrently under an internal
@@ -95,66 +44,19 @@ class ResultStore:
     """
 
     def __init__(self, path):
-        self.path = Path(path)
-        self._lock = threading.Lock()
-        self._index: dict[str, dict] = {}
-        self._load_report: LoadReport | None = None
-        if self.path.exists():
-            self.load()
-
-    # ------------------------------------------------------------- reading
-
-    def load(self) -> LoadReport:
-        """(Re)read the file into the in-memory index; return the report."""
-        with self._lock:
-            if self.path.exists():
-                with self.path.open(encoding="utf-8") as handle:
-                    report = _parse_lines(handle)
-            else:
-                report = LoadReport({}, 0, 0, 0)
-            self._index = report.records
-            self._load_report = report
-            return report
-
-    def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._index
-
-    def __len__(self) -> int:
-        return len(self._index)
-
-    def get(self, fingerprint: str) -> dict | None:
-        return self._index.get(fingerprint)
-
-    def records(self) -> list[dict]:
-        """All records, in file (i.e. completion) order."""
-        return list(self._index.values())
+        super().__init__(
+            Path(path),
+            RESULT_SCHEMA_VERSION,
+            key_field="fingerprint",
+            required_fields=("result",),
+        )
 
     def fingerprints(self) -> set[str]:
-        return set(self._index)
+        """Every stored point fingerprint (alias of :meth:`keys`)."""
+        return self.keys()
 
-    @property
-    def load_report(self) -> LoadReport | None:
-        return self._load_report
-
-    # ------------------------------------------------------------- writing
-
-    def _append_line(self, fingerprint: str, record: dict) -> bool:
-        """The one atomic-append protocol: lock, write, fsync, index.
-
-        Returns ``False`` without touching the file when the
-        fingerprint is already present (history is immutable).
-        """
-        line = json.dumps(record, sort_keys=True) + "\n"
-        with self._lock:
-            if fingerprint in self._index:
-                return False
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line)
-                handle.flush()
-                os.fsync(handle.fileno())
-            self._index[fingerprint] = record
-        return True
+    # Historical protocol name, still the one atomic-append primitive.
+    _append_line = Journal.append_record
 
     def append(
         self,
@@ -178,22 +80,9 @@ class ResultStore:
             "wall_time_s": float(wall_time_s),
             "finished_at": time.time(),
         }
-        if not self._append_line(fingerprint, record):
+        if not self.append_record(fingerprint, record):
             return self._index[fingerprint]
         return record
-
-    def merge_from(self, other) -> int:
-        """Append every record from ``other`` not already present here.
-
-        ``other`` may be a path or another :class:`ResultStore`.
-        Returns the number of records merged in.
-        """
-        if not isinstance(other, ResultStore):
-            other = ResultStore(other)
-        return sum(
-            self._append_line(fingerprint, record)
-            for fingerprint, record in other._index.items()
-        )
 
     def __repr__(self) -> str:
         return f"<ResultStore {self.path} ({len(self._index)} records)>"

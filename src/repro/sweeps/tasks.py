@@ -857,6 +857,87 @@ def _backend_matrix(point: Point, workload_cache: dict) -> dict:
     }
 
 
+@task("serve_throughput")
+def _serve_throughput(point: Point, workload_cache: dict) -> dict:
+    """Multi-tenant serve throughput on one shared VarSaw workload.
+
+    ``tenants`` clients each submit the *same* ``jobs`` distinct
+    estimate jobs (a seeded parameter trace) to one
+    :class:`~repro.serve.Service` over a throwaway journal.  Each
+    tenant's job list is rotated by its index and submission is
+    round-robin, so execution — and hence the ledger — spreads across
+    tenants while every duplicate coalesces.  Everything here is a
+    deterministic function of the point except the wall clock
+    (``seconds``/``jobs_per_s``, masked by the parity suite); the
+    dedup counters and the ledger-sum invariant are pinned.
+    """
+    import shutil
+    import tempfile
+
+    from ..serve import JobSpec, Service
+    from .runner import materialize_workload
+
+    options = dict(point.options)
+    tenants = int(options.get("tenants", 1))
+    jobs_per_tenant = int(options.get("jobs", 4))
+    kind, shots, estimator_kwargs = point.estimator_args()
+    workload = materialize_workload(point.workload)
+    rng = np.random.default_rng(point.seed)
+    jobs = [
+        JobSpec(
+            workload=dict(point.workload),
+            scheme=kind,
+            params=_floats(
+                rng.normal(0.0, 0.1, workload.ansatz.num_parameters)
+            ),
+            shots=shots,
+            seed=point.seed,
+            estimator=estimator_kwargs,
+        )
+        for _ in range(jobs_per_tenant)
+    ]
+    names = [f"tenant{t}" for t in range(tenants)]
+
+    root = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    try:
+        with Service(root, coalesce_window=0.0) as service:
+            start = time.perf_counter()
+            for step in range(jobs_per_tenant):
+                for t, name in enumerate(names):
+                    service.submit(
+                        name, jobs[(step + t) % jobs_per_tenant]
+                    )
+            service.drain()
+            elapsed = time.perf_counter() - start
+            stats = service.coalescer.stats
+            engine = service.coalescer.engine_totals()
+            charges = service.budget.totals()
+            submitted = tenants * jobs_per_tenant
+            return {
+                "tenants": tenants,
+                "submitted": submitted,
+                "executed": int(stats.executed),
+                "coalesced": int(stats.coalesced),
+                "served_from_db": int(stats.served_from_db),
+                "cross_tenant_dedup": int(stats.cross_tenant_dedup),
+                "dedup_rate": float(
+                    1.0 - stats.executed / submitted
+                ),
+                "circuits": int(engine["circuits"]),
+                "shots": int(engine["shots"]),
+                "tenant_circuits": int(charges.circuits),
+                "tenant_shots": int(charges.shots),
+                "ledger_match": bool(
+                    charges.circuits == engine["circuits"]
+                    and charges.shots == engine["shots"]
+                ),
+                "seconds": float(elapsed),
+                "jobs_per_s": float(submitted / elapsed),
+            }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 @task("term_selective")
 def _term_selective(point: Point, workload_cache: dict) -> dict:
     """Term-selective mitigation trade-off at one mass fraction."""

@@ -23,6 +23,8 @@ SCOPED = [
     "repro/api",
     "repro/backends",
     "repro/engine",
+    "repro/io",
+    "repro/serve",
     "repro/sweeps/spec.py",
     "repro/sweeps/catalog.py",
     "repro/sweeps/runner.py",

@@ -1,0 +1,89 @@
+"""Tenant quotas: admission caps, charge attribution, totals."""
+
+import pytest
+
+from repro.serve import (
+    BudgetExceededError,
+    TenantBudget,
+    TenantCharge,
+    TenantQuota,
+)
+
+
+class TestQuotaLookup:
+    def test_default_is_unlimited(self):
+        budget = TenantBudget()
+        assert budget.quota("anyone") == TenantQuota()
+        budget.check("anyone")  # never raises
+
+    def test_override_beats_default(self):
+        budget = TenantBudget(
+            {"alice": TenantQuota(max_circuits=5)},
+            TenantQuota(max_circuits=100),
+        )
+        assert budget.quota("alice").max_circuits == 5
+        assert budget.quota("bob").max_circuits == 100
+
+
+class TestCheck:
+    def test_at_cap_is_rejected(self):
+        budget = TenantBudget(default=TenantQuota(max_circuits=10))
+        budget.charge("alice", 10, 0)
+        with pytest.raises(BudgetExceededError, match="circuit budget"):
+            budget.check("alice")
+
+    def test_under_cap_is_admitted(self):
+        budget = TenantBudget(default=TenantQuota(max_circuits=10))
+        budget.charge("alice", 9, 0)
+        budget.check("alice")
+
+    def test_shot_cap(self):
+        budget = TenantBudget(default=TenantQuota(max_shots=100))
+        budget.charge("alice", 0, 100)
+        with pytest.raises(BudgetExceededError, match="shot budget"):
+            budget.check("alice")
+
+    def test_error_names_tenant_and_numbers(self):
+        budget = TenantBudget(default=TenantQuota(max_circuits=1))
+        budget.charge("dave", 10, 0)
+        with pytest.raises(
+            BudgetExceededError, match=r"'dave'.*\(10 >= 1\)"
+        ):
+            budget.check("dave")
+
+
+class TestCharges:
+    def test_charges_accumulate(self):
+        budget = TenantBudget()
+        budget.charge("alice", 3, 100)
+        total = budget.charge("alice", 4, 200)
+        assert total == TenantCharge(circuits=7, shots=300, jobs=2)
+        assert budget.charged("alice") == total
+
+    def test_uncharged_tenant_is_zero(self):
+        assert TenantBudget().charged("ghost") == TenantCharge()
+
+    def test_totals_sum_every_tenant(self):
+        budget = TenantBudget()
+        budget.charge("alice", 3, 100)
+        budget.charge("bob", 4, 200)
+        assert budget.totals() == TenantCharge(
+            circuits=7, shots=300, jobs=2
+        )
+
+    def test_tenants_lists_charged_and_quotad(self):
+        budget = TenantBudget({"quiet": TenantQuota(max_shots=1)})
+        budget.charge("alice", 1, 1)
+        assert budget.tenants() == ["alice", "quiet"]
+
+    def test_to_dict_carries_charges_and_caps(self):
+        budget = TenantBudget(default=TenantQuota(max_circuits=50))
+        budget.charge("alice", 3, 100)
+        payload = budget.to_dict()
+        assert payload["alice"] == {
+            "circuits": 3,
+            "shots": 100,
+            "jobs": 1,
+            "max_circuits": 50,
+            "max_shots": None,
+        }

@@ -1,0 +1,109 @@
+"""Concurrent tenants: asyncio fan-in, dedup, exact cost attribution.
+
+The satellites' acceptance invariants live here: N concurrent tenants
+submitting overlapping circuit sets drive the coalescer's cross-tenant
+dedup counter above zero, per-tenant budget charges sum exactly to the
+engines' ledger, and a killed server restarted over the same journal
+re-executes nothing.
+"""
+
+import asyncio
+
+from repro.serve import JobSpec, Service
+
+
+def job(**overrides):
+    fields = {"workload": {"key": "H2-4"}, "shots": 32}
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def run_tenants(service, tenant_jobs):
+    """Submit every tenant's jobs concurrently; return their records."""
+
+    async def tenant(name, jobs):
+        return [
+            await service.submit_wait(name, spec) for spec in jobs
+        ]
+
+    async def fleet():
+        return await asyncio.gather(*(
+            tenant(name, jobs) for name, jobs in tenant_jobs.items()
+        ))
+
+    service.start()
+    return asyncio.run(fleet())
+
+
+class TestConcurrentTenants:
+    def test_overlapping_tenants_dedup_and_attribute_exactly(
+        self, tmp_path
+    ):
+        # Four tenants, overlapping job sets: every tenant submits
+        # seeds {t, t+1} so each seed (but the ends) is shared.
+        tenant_jobs = {
+            f"tenant{t}": [job(seed=t), job(seed=t + 1)]
+            for t in range(4)
+        }
+        with Service(tmp_path / "journal", coalesce_window=0.0) as service:
+            results = run_tenants(service, tenant_jobs)
+
+            # Every submission resolved to a real record.
+            assert all(
+                r["result"]["kind"] == "estimate"
+                for per_tenant in results
+                for r in per_tenant
+            )
+            # 8 submissions over 5 distinct jobs (seeds 0..4).
+            stats = service.coalescer.stats
+            executed = stats.executed
+            assert executed == 5
+            assert stats.coalesced + stats.served_from_db == 3
+            assert stats.cross_tenant_dedup > 0
+
+            # Cost attribution is exact: per-tenant charges sum to
+            # the engines' total circuit/shot ledger.
+            totals = service.budget.totals()
+            engine = service.coalescer.engine_totals()
+            assert totals.circuits == engine["circuits"] > 0
+            assert totals.shots == engine["shots"] > 0
+            assert totals.jobs == executed
+
+    def test_identical_submissions_agree_bit_for_bit(self, tmp_path):
+        tenant_jobs = {
+            f"tenant{t}": [job()] for t in range(6)
+        }
+        with Service(tmp_path / "journal", coalesce_window=0.0) as service:
+            results = run_tenants(service, tenant_jobs)
+            energies = {
+                r[0]["result"]["energy"] for r in results
+            }
+            assert len(energies) == 1
+            assert service.coalescer.stats.executed == 1
+            assert service.coalescer.stats.cross_tenant_dedup == 5
+
+    def test_kill_and_restart_re_executes_nothing(self, tmp_path):
+        root = tmp_path / "journal"
+        tenant_jobs = {
+            f"tenant{t}": [job(seed=t % 3)] for t in range(4)
+        }
+        service = Service(root, coalesce_window=0.0)
+        run_tenants(service, tenant_jobs)
+        executed_before = service.coalescer.stats.executed
+        service.close()
+
+        # "kill -9": a fresh process sees only the journal files.
+        reopened = Service(root)
+        try:
+            total, pending = reopened.recovered()
+            assert total == 4
+            assert pending == 0
+            assert reopened.drain() == 0
+            assert reopened.coalescer.stats.executed == 0
+            assert executed_before == 3
+            # Budgets replayed: the same attribution, same totals.
+            assert (
+                reopened.budget.totals() == service.budget.totals()
+            )
+        finally:
+            reopened.close()

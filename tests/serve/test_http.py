@@ -1,0 +1,196 @@
+"""The stdlib HTTP front end: routes, error mapping, wire client."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    JobSpec,
+    Service,
+    TenantQuota,
+    request_json,
+    serve_http,
+)
+
+
+def job_payload(**overrides):
+    payload = {"workload": {"key": "H2-4"}, "shots": 32}
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live serve stack on an ephemeral port; yields its base URL."""
+    service = Service(tmp_path / "journal", coalesce_window=0.0)
+    service.start()
+    httpd = serve_http(service, "127.0.0.1", 0)  # ephemeral port
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        yield base, service
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join()
+        service.close()
+
+
+class TestRoutes:
+    def test_submit_wait_returns_result(self, server):
+        base, _ = server
+        reply = request_json(
+            base,
+            "/submit",
+            {"tenant": "alice", "job": job_payload(), "wait": True},
+        )
+        assert reply["state"] == "complete"
+        assert reply["result"]["result"]["kind"] == "estimate"
+        assert reply["label"] == "H2-4 estimate varsaw seed=0"
+
+    def test_submit_without_wait_acks_immediately(self, server):
+        base, service = server
+        reply = request_json(
+            base, "/submit", {"tenant": "alice", "job": job_payload()}
+        )
+        assert reply["request_id"].startswith("r000001-")
+        # The ack is durable even if the result is still pending.
+        record = service.result(reply["request_id"], timeout=60)
+        assert record["result"]["kind"] == "estimate"
+
+    def test_status_counts_requests(self, server):
+        base, _ = server
+        request_json(
+            base,
+            "/submit",
+            {"tenant": "alice", "job": job_payload(), "wait": True},
+        )
+        status = request_json(base, "/status")
+        assert status["requests"] == 1
+        assert status["complete"] == 1
+        assert status["tenants"]["alice"]["jobs"] == 1
+
+    def test_jobs_listing_and_detail(self, server):
+        base, _ = server
+        reply = request_json(
+            base,
+            "/submit",
+            {"tenant": "alice", "job": job_payload(), "wait": True},
+        )
+        listing = request_json(base, "/jobs")
+        assert [j["request_id"] for j in listing["jobs"]] == [
+            reply["request_id"]
+        ]
+        assert "result" not in listing["jobs"][0]
+
+        detail = request_json(base, f"/jobs/{reply['request_id']}")
+        assert detail["state"] == "complete"
+        assert detail["result"]["result"]["kind"] == "estimate"
+
+    def test_tenants_route(self, server):
+        base, _ = server
+        request_json(
+            base,
+            "/submit",
+            {"tenant": "alice", "job": job_payload(), "wait": True},
+        )
+        tenants = request_json(base, "/tenants")
+        assert tenants["alice"]["circuits"] > 0
+
+
+class TestErrors:
+    def test_malformed_job_is_400(self, server):
+        base, _ = server
+        with pytest.raises(RuntimeError, match="HTTP 400"):
+            request_json(
+                base,
+                "/submit",
+                {"tenant": "alice", "job": {"workload": {}}},
+            )
+
+    def test_missing_tenant_is_400(self, server):
+        base, _ = server
+        with pytest.raises(RuntimeError, match="HTTP 400"):
+            request_json(base, "/submit", {"job": job_payload()})
+
+    def test_unknown_request_id_is_404(self, server):
+        base, _ = server
+        with pytest.raises(RuntimeError, match="HTTP 404"):
+            request_json(base, "/jobs/r999999-deadbeef")
+
+    def test_unknown_path_is_404(self, server):
+        base, _ = server
+        with pytest.raises(RuntimeError, match="HTTP 404"):
+            request_json(base, "/nope")
+
+    def test_failed_job_with_wait_is_500(self, server):
+        base, _ = server
+        with pytest.raises(RuntimeError, match="HTTP 500"):
+            request_json(
+                base,
+                "/submit",
+                {
+                    "tenant": "alice",
+                    "job": job_payload(params=[0.1] * 3),
+                    "wait": True,
+                },
+            )
+
+
+class TestBudgetOverHTTP:
+    def test_over_budget_is_429(self, tmp_path):
+        service = Service(
+            tmp_path / "journal",
+            default_quota=TenantQuota(max_circuits=1),
+            coalesce_window=0.0,
+        )
+        service.start()
+        httpd = serve_http(service, "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            request_json(
+                base,
+                "/submit",
+                {"tenant": "alice", "job": job_payload(), "wait": True},
+            )
+            with pytest.raises(RuntimeError, match="HTTP 429"):
+                request_json(
+                    base,
+                    "/submit",
+                    {"tenant": "alice", "job": job_payload(seed=1)},
+                )
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join()
+            service.close()
+
+
+class TestDedupOverTheWire:
+    def test_two_tenants_same_job_share_one_execution(self, server):
+        base, service = server
+        replies = [
+            request_json(
+                base,
+                "/submit",
+                {"tenant": tenant, "job": job_payload(), "wait": True},
+            )
+            for tenant in ("alice", "bob")
+        ]
+        energies = {
+            r["result"]["result"]["energy"] for r in replies
+        }
+        assert len(energies) == 1
+        status = request_json(base, "/status")
+        assert status["executed"] == 1
+        assert status["cross_tenant_dedup"] == 1
+        # Serialized JobSpec round-trips through HTTP to the same
+        # fingerprint the in-process API computes.
+        assert replies[0]["job_fingerprint"] == JobSpec.from_dict(
+            job_payload()
+        ).fingerprint()

@@ -1,0 +1,119 @@
+"""JobSpec: validation, content fingerprints, session keys."""
+
+import pytest
+
+from repro.serve import JOB_KINDS, JobSpec
+
+
+def job(**overrides):
+    fields = {"workload": {"key": "H2-4"}, "shots": 64}
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = job()
+        assert spec.kind == "estimate"
+        assert spec.scheme == "varsaw"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="job kind"):
+            job(kind="banana")
+
+    def test_workload_must_name_one_kind(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            JobSpec(workload={})
+        with pytest.raises(ValueError, match="exactly one"):
+            JobSpec(workload={"key": "H2-4", "qaoa": "ring"})
+
+    def test_shots_positive(self):
+        with pytest.raises(ValueError, match="shots"):
+            job(shots=0)
+
+    def test_estimator_payload_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            job(estimator={"no_such_knob": 3})
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            job(scheme="not_a_scheme")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            job(backend="not_a_backend")
+
+    def test_device_needs_preset(self):
+        with pytest.raises(ValueError, match="preset"):
+            job(device={"scale": 2.0})
+
+    def test_inline_estimator_kind_wins(self):
+        spec = job(scheme="baseline", estimator={"kind": "varsaw"})
+        kind, extra = spec.estimator_args()
+        assert kind == "varsaw"
+        assert extra == {}
+
+    def test_job_kinds_constant(self):
+        assert JOB_KINDS == ("estimate", "tuning")
+
+
+class TestFingerprint:
+    def test_identical_jobs_share_fingerprints(self):
+        assert job().fingerprint() == job().fingerprint()
+
+    def test_any_field_change_changes_fingerprint(self):
+        base = job().fingerprint()
+        assert job(shots=128).fingerprint() != base
+        assert job(seed=1).fingerprint() != base
+        assert job(scheme="baseline").fingerprint() != base
+        assert job(params=[0.1] * 24).fingerprint() != base
+
+    def test_params_normalized_before_hashing(self):
+        ints = job(params=[0, 1])
+        floats = job(params=[0.0, 1.0])
+        assert ints.fingerprint() == floats.fingerprint()
+
+    def test_roundtrip_preserves_fingerprint(self):
+        spec = job(
+            params=[0.25] * 4,
+            device={"preset": "ibmq_mumbai_like", "scale": 2.0},
+            estimator={"window": 2},
+        )
+        assert JobSpec.from_dict(spec.to_dict()).fingerprint() == (
+            spec.fingerprint()
+        )
+
+
+class TestSessionKey:
+    def test_same_workload_default_device_shares_session(self):
+        # Different params, same device/seed/backend: one session.
+        a = job(params=[0.1] * 4)
+        b = job(params=[0.9] * 4)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.session_key() == b.session_key()
+
+    def test_seed_splits_sessions(self):
+        assert job(seed=0).session_key() != job(seed=1).session_key()
+
+    def test_backend_splits_sessions(self):
+        assert job().session_key() != job(
+            backend="clifford"
+        ).session_key()
+
+    def test_explicit_device_overrides_workload_default(self):
+        explicit = job(device={"preset": "ibmq_mumbai_like"})
+        assert explicit.session_key() != job().session_key()
+        # With an explicit device the workload no longer matters.
+        other = job(
+            workload={"key": "LiH-6"},
+            device={"preset": "ibmq_mumbai_like"},
+        )
+        assert explicit.session_key() == other.session_key()
+
+
+class TestLabel:
+    def test_label_names_workload_kind_scheme_seed(self):
+        assert job(seed=3).label() == "H2-4 estimate varsaw seed=3"
+
+    def test_tuning_label(self):
+        assert "tuning" in job(kind="tuning").label()

@@ -1,0 +1,69 @@
+"""The durable queue/results journal pair behind the service."""
+
+from repro.serve import JobQueue, JobSpec, ResultsDB
+
+
+def job(**overrides):
+    fields = {"workload": {"key": "H2-4"}, "shots": 64}
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestJobQueue:
+    def test_submit_journals_before_ack(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        entry = queue.submit("alice", job())
+        assert entry["request_id"].startswith("r000001-")
+        assert entry["tenant"] == "alice"
+        assert entry["job_fingerprint"] == job().fingerprint()
+
+        reloaded = JobQueue(tmp_path / "queue.jsonl")
+        assert entry["request_id"] in reloaded
+        assert reloaded.get(entry["request_id"])["job"] == job().to_dict()
+
+    def test_request_ids_are_sequential_and_unique(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        first = queue.submit("alice", job())
+        second = queue.submit("alice", job())  # same job, new request
+        assert first["request_id"] != second["request_id"]
+        assert first["job_fingerprint"] == second["job_fingerprint"]
+
+    def test_sequence_resumes_after_reload(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue.jsonl")
+        queue.submit("alice", job())
+        reloaded = JobQueue(tmp_path / "queue.jsonl")
+        entry = reloaded.submit("bob", job(seed=1))
+        assert entry["request_id"].startswith("r000002-")
+
+
+class TestResultsDB:
+    def test_complete_roundtrip(self, tmp_path):
+        db = ResultsDB(tmp_path / "results.jsonl")
+        spec = job()
+        record = db.complete(
+            spec.fingerprint(), spec, "alice",
+            {"kind": "estimate", "energy": -1.0},
+            {"circuits": 25, "shots": 1600},
+            0.5,
+        )
+        assert record["tenant"] == "alice"
+        assert record["ledger"]["circuits"] == 25
+
+        reloaded = ResultsDB(tmp_path / "results.jsonl")
+        stored = reloaded.get(spec.fingerprint())
+        assert stored["result"]["energy"] == -1.0
+        assert stored["job"] == spec.to_dict()
+
+    def test_first_result_wins(self, tmp_path):
+        db = ResultsDB(tmp_path / "results.jsonl")
+        spec = job()
+        first = db.complete(
+            spec.fingerprint(), spec, "alice",
+            {"energy": -1.0}, {"circuits": 1, "shots": 64}, 0.1,
+        )
+        second = db.complete(
+            spec.fingerprint(), spec, "bob",
+            {"energy": 99.0}, {"circuits": 9, "shots": 640}, 0.1,
+        )
+        assert second == first
+        assert db.get(spec.fingerprint())["tenant"] == "alice"

@@ -1,0 +1,262 @@
+"""Service end-to-end: coalescing, attribution, durability, budgets."""
+
+import pytest
+
+from repro.serve import (
+    BudgetExceededError,
+    JobQueue,
+    Service,
+    TenantQuota,
+)
+from repro.serve import JobSpec
+
+
+def job(**overrides):
+    fields = {"workload": {"key": "H2-4"}, "shots": 32}
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "journal"
+
+
+class TestCoalescing:
+    def test_identical_jobs_execute_once(self, root):
+        with Service(root) as service:
+            alice = service.submit("alice", job())
+            bob = service.submit("bob", job())
+            assert service.drain() == 1
+
+            assert alice.future.result() is bob.future.result()
+            stats = service.coalescer.stats
+            assert stats.executed == 1
+            assert stats.coalesced == 1
+            assert stats.cross_tenant_dedup == 1
+
+    def test_distinct_jobs_all_execute(self, root):
+        with Service(root) as service:
+            service.submit("alice", job(seed=0))
+            service.submit("alice", job(seed=1))
+            assert service.drain() == 2
+            assert service.coalescer.stats.cross_tenant_dedup == 0
+
+    def test_completed_job_served_from_db(self, root):
+        with Service(root) as service:
+            service.submit("alice", job())
+            service.drain()
+            late = service.submit("carol", job())
+            # Resolved at submission — nothing left to drain.
+            assert late.future.done()
+            assert service.drain() == 0
+            assert service.coalescer.stats.served_from_db == 1
+            assert service.coalescer.stats.cross_tenant_dedup == 1
+
+    def test_leader_pays_followers_do_not(self, root):
+        with Service(root) as service:
+            service.submit("alice", job())
+            service.submit("bob", job())
+            service.drain()
+            assert service.budget.charged("alice").jobs == 1
+            assert service.budget.charged("bob").jobs == 0
+
+    def test_tenant_charges_sum_to_engine_ledger(self, root):
+        with Service(root) as service:
+            service.submit("alice", job(seed=0))
+            service.submit("bob", job(seed=0, shots=64))
+            service.submit("bob", job(seed=1))
+            service.drain()
+
+            totals = service.budget.totals()
+            engine = service.coalescer.engine_totals()
+            assert totals.circuits == engine["circuits"] > 0
+            assert totals.shots == engine["shots"] > 0
+
+    def test_shared_session_dedups_circuits_across_jobs(self, root):
+        # Two *different* jobs (different shots -> different
+        # fingerprints) over the same circuits on one session: the
+        # engine's PMF cache serves the second job's simulations.
+        with Service(root) as service:
+            service.submit("alice", job(shots=32))
+            service.submit("bob", job(shots=64))
+            service.drain()
+            engine = service.coalescer.engine_totals()
+            assert service.coalescer.stats.executed == 2
+            assert engine["pmf_cache_hits"] > 0
+
+
+class TestResults:
+    def test_result_record_shape(self, root):
+        with Service(root) as service:
+            request = service.submit("alice", job())
+            service.drain()
+            record = service.result(request.request_id)
+            assert record["result"]["kind"] == "estimate"
+            assert isinstance(record["result"]["energy"], float)
+            assert record["tenant"] == "alice"
+            assert record["ledger"]["circuits"] > 0
+
+    def test_tuning_job_executes(self, root):
+        with Service(root) as service:
+            request = service.submit(
+                "alice", job(kind="tuning", max_iterations=2)
+            )
+            service.drain()
+            result = request.future.result()["result"]
+            assert result["kind"] == "tuning"
+            assert result["iterations"] >= 1
+
+    def test_unknown_request_id_raises(self, root):
+        with Service(root) as service:
+            with pytest.raises(KeyError, match="unknown request id"):
+                service.request("r999999-deadbeef")
+
+    def test_deterministic_across_journal_dirs(self, tmp_path):
+        energies = []
+        for name in ("a", "b"):
+            with Service(tmp_path / name) as service:
+                request = service.submit("alice", job())
+                service.drain()
+                energies.append(
+                    request.future.result()["result"]["energy"]
+                )
+        assert energies[0] == energies[1]
+
+
+class TestDurability:
+    def test_restart_recovers_completed_requests(self, root):
+        with Service(root) as service:
+            request = service.submit("alice", job())
+            service.drain()
+            stored = request.future.result()
+
+        with Service(root) as reopened:
+            assert reopened.recovered() == (1, 0)
+            again = reopened.request(request.request_id)
+            assert again.future.result() == stored
+            # Zero re-execution: nothing pending, no sessions built.
+            assert reopened.drain() == 0
+            assert reopened.coalescer.stats.executed == 0
+
+    def test_killed_mid_queue_resumes_only_the_difference(self, root):
+        service = Service(root)
+        for seed in range(3):
+            service.submit("alice", job(seed=seed))
+        assert service.drain(limit=1) == 1
+        # Simulate kill -9: no close(), no further draining — the
+        # journals on disk are all that survives.
+        del service
+
+        reopened = Service(root)
+        try:
+            total, pending = reopened.recovered()
+            assert (total, pending) == (3, 2)
+            assert reopened.drain() == 2  # only the missing two
+            assert all(
+                r.future.result()["result"]["kind"] == "estimate"
+                for r in reopened.requests()
+            )
+        finally:
+            reopened.close()
+
+    def test_budget_charges_replay_from_journal(self, root):
+        with Service(root) as service:
+            service.submit("alice", job())
+            service.drain()
+            charged = service.budget.charged("alice")
+            assert charged.circuits > 0
+
+        with Service(root) as reopened:
+            assert reopened.budget.charged("alice") == charged
+
+    def test_recovery_is_replay_not_dedup(self, root):
+        with Service(root) as service:
+            service.submit("alice", job())
+            service.submit("bob", job())
+            service.drain()
+
+        with Service(root) as reopened:
+            stats = reopened.coalescer.stats
+            assert stats.served_from_db == 0
+            assert stats.cross_tenant_dedup == 0
+
+
+class TestBudgets:
+    def test_over_budget_submission_rejected(self, root):
+        quota = TenantQuota(max_circuits=1)
+        with Service(root, default_quota=quota) as service:
+            service.submit("alice", job())
+            service.drain()
+            with pytest.raises(BudgetExceededError, match="'alice'"):
+                service.submit("alice", job(seed=1))
+
+    def test_rejected_submission_not_journaled(self, root):
+        quota = TenantQuota(max_circuits=1)
+        with Service(root, default_quota=quota) as service:
+            service.submit("alice", job())
+            service.drain()
+            with pytest.raises(BudgetExceededError):
+                service.submit("alice", job(seed=1))
+        assert len(JobQueue(root / "queue.jsonl")) == 1
+
+    def test_other_tenants_unaffected(self, root):
+        quotas = {"alice": TenantQuota(max_circuits=1)}
+        with Service(root, quotas=quotas) as service:
+            service.submit("alice", job())
+            service.drain()
+            with pytest.raises(BudgetExceededError):
+                service.submit("alice", job(seed=1))
+            service.submit("bob", job(seed=1))  # fine
+
+
+class TestFailures:
+    def test_bad_job_fails_loudly_and_is_not_journaled(self, root):
+        with Service(root) as service:
+            # Wrong parameter count: H2-4's ansatz needs 24 values.
+            request = service.submit("alice", job(params=[0.1] * 3))
+            assert service.drain() == 0
+            assert request.state() == "failed"
+            with pytest.raises(ValueError):
+                request.future.result()
+            # The failure was not checkpointed: resubmission re-runs.
+            assert len(service.results) == 0
+            assert service.budget.charged("alice").jobs == 0
+
+    def test_failed_group_fails_every_submitter(self, root):
+        with Service(root) as service:
+            bad = job(params=[0.1] * 3)
+            alice = service.submit("alice", bad)
+            bob = service.submit("bob", bad)
+            service.drain()
+            assert alice.state() == bob.state() == "failed"
+
+
+class TestStatusAndWorker:
+    def test_status_counters(self, root):
+        with Service(root) as service:
+            service.submit("alice", job())
+            service.submit("bob", job())
+            service.drain()
+            status = service.status().to_dict()
+            assert status["requests"] == 2
+            assert status["complete"] == 2
+            assert status["pending"] == status["failed"] == 0
+            assert status["executed"] == 1
+            assert status["cross_tenant_dedup"] == 1
+            assert status["engine"]["circuits"] > 0
+            assert status["tenants"]["alice"]["jobs"] == 1
+
+    def test_background_worker_resolves_futures(self, root):
+        with Service(root, coalesce_window=0.0) as service:
+            service.start()
+            request = service.submit("alice", job())
+            record = request.future.result(timeout=60)
+            assert record["result"]["kind"] == "estimate"
+
+    def test_close_finishes_queued_work(self, root):
+        service = Service(root, coalesce_window=0.0)
+        service.start()
+        request = service.submit("alice", job())
+        service.close()
+        assert request.future.done()

@@ -20,14 +20,15 @@ EXPECTED_ENTRIES = {
     "ext_zne_comparison",
     "ext_api_session",
     "ext_backend_matrix",
+    "ext_serve_throughput",
 }
 
 
 def test_all_grids_registered():
-    # The paper's 27 grids plus the PR 4 inline-estimator-spec entry
-    # and the PR 5 execution-backend matrix.
+    # The paper's 27 grids plus the PR 4 inline-estimator-spec entry,
+    # the PR 5 execution-backend matrix, and the PR 6 serve benchmark.
     assert set(CATALOG) == EXPECTED_ENTRIES
-    assert len(CATALOG) == 29
+    assert len(CATALOG) == 30
 
 
 def test_unknown_entry_raises():

@@ -262,3 +262,54 @@ class TestReproduce:
         ])
         assert code == 2
         assert "--resume" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.journal == "serve-journal"
+        assert args.port == 8753
+        assert args.budget_circuits is None
+
+    def test_submit_requires_workload_or_job(self, capsys):
+        assert main(["submit", "--tenant", "alice"]) == 2
+        err = capsys.readouterr().err
+        assert "--workload" in err
+
+    def test_submit_rejects_invalid_job_before_round_trip(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "job.json"
+        bad.write_text('{"workload": {"key": "H2-4"}, "shots": -1}')
+        code = main([
+            "submit", "--tenant", "alice", "--job", str(bad),
+        ])
+        assert code == 2
+        assert "bad job" in capsys.readouterr().err
+
+    def test_jobs_requires_exactly_one_source(self, capsys):
+        assert main(["jobs"]) == 2
+        assert main([
+            "jobs", "--url", "http://x", "--journal", "y",
+        ]) == 2
+
+    def test_jobs_offline_reads_journal_pair(self, tmp_path, capsys):
+        from repro.serve import JobSpec, Service
+
+        root = tmp_path / "journal"
+        with Service(root, coalesce_window=0.0) as service:
+            spec = JobSpec(workload={"key": "H2-4"}, shots=32)
+            service.submit("alice", spec)
+            service.submit("bob", spec)
+            service.drain()
+
+        assert main(["jobs", "--journal", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "bob" in out
+        assert "2 journaled requests, 0 pending" in out
+        assert "(1 distinct results stored)" in out
+
+    def test_jobs_missing_journal_directory(self, tmp_path, capsys):
+        code = main(["jobs", "--journal", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no journal" in capsys.readouterr().err
