@@ -900,7 +900,7 @@ def _submit_job_payload(args) -> dict:
     if args.device is not None:
         device: dict = {"preset": args.device}
         if args.noise_scale is not None:
-            device["noise_scale"] = args.noise_scale
+            device["scale"] = args.noise_scale
         job["device"] = device
     elif args.noise_scale is not None:
         raise ValueError("--noise-scale needs --device to scale")
@@ -986,12 +986,16 @@ def _cmd_jobs(args) -> int:
     for entry in queue.records():
         done = entry["job_fingerprint"] in results
         pending += 0 if done else 1
+        try:
+            label = JobSpec.from_dict(entry["job"]).label()
+        except (TypeError, ValueError):
+            label = "<invalid job>"
         rows.append(
             {
                 "request_id": entry["request_id"],
                 "tenant": entry["tenant"],
                 "state": "complete" if done else "pending",
-                "label": JobSpec.from_dict(entry["job"]).label(),
+                "label": label,
             }
         )
     _print_job_rows(rows)

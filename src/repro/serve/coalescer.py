@@ -44,11 +44,16 @@ __all__ = ["Request", "CoalescerStats", "Coalescer"]
 
 @dataclass
 class Request:
-    """One accepted submission awaiting (or holding) its result."""
+    """One accepted submission awaiting (or holding) its result.
+
+    ``job`` is ``None`` only for journaled submissions that no longer
+    validate on recovery (written by an older client); such requests
+    are recovered pre-failed and never reach the coalescer.
+    """
 
     request_id: str
     tenant: str
-    job: JobSpec
+    job: JobSpec | None
     fingerprint: str
     future: Future = field(default_factory=Future)
 
@@ -57,6 +62,10 @@ class Request:
         if not self.future.done():
             return "pending"
         return "failed" if self.future.exception() else "complete"
+
+    def label(self) -> str:
+        """Human-readable job label for status/listing output."""
+        return self.job.label() if self.job is not None else "<invalid job>"
 
 
 @dataclass(frozen=True)
@@ -172,10 +181,13 @@ class Coalescer:
                 continue
 
             leader, followers = group[0], group[1:]
-            session = self.session_for(leader.job)
-            before = session.ledger()
             start = time.perf_counter()
             try:
+                # Session construction is inside the try: a job whose
+                # device/backend cannot materialize must fail its own
+                # futures, not escape and kill the batching worker.
+                session = self.session_for(leader.job)
+                before = session.ledger()
                 result = execute_job(leader.job, session, self._workloads)
             except Exception as exc:  # noqa: BLE001 - isolate bad jobs
                 # A failed job is *not* journaled: the request fails

@@ -39,7 +39,7 @@ def _request_payload(request, include_result: bool) -> dict:
         "tenant": request.tenant,
         "state": request.state(),
         "job_fingerprint": request.fingerprint,
-        "label": request.job.label(),
+        "label": request.label(),
     }
     if request.future.done():
         error = request.future.exception()

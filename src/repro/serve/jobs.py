@@ -118,8 +118,6 @@ class JobSpec:
             raise ValueError("max_iterations must be positive")
         if self.circuit_budget is not None and self.circuit_budget < 1:
             raise ValueError("circuit_budget must be positive or None")
-        if self.device is not None and "preset" not in self.device:
-            raise ValueError("device must be {'preset': ..., 'scale': ...}")
         if self.params is not None:
             params = tuple(float(v) for v in self.params)
             object.__setattr__(self, "params", params)
@@ -131,6 +129,7 @@ class JobSpec:
         object.__setattr__(self, "estimator", dict(self.estimator))
         self._validate_estimator_payload()
         self._validate_backend()
+        self._validate_device()
 
     def _validate_estimator_payload(self) -> None:
         """Fail misspelled estimator knobs at submission, not mid-batch."""
@@ -148,6 +147,26 @@ class JobSpec:
         from ..backends import resolve_backend_spec
 
         resolve_backend_spec(self.backend)
+
+    def _validate_device(self) -> None:
+        """Fail unknown presets/device kwargs at submission, not mid-batch.
+
+        Dry-runs the preset factory so a malformed device is rejected
+        with a 400 at the front door instead of failing (and being
+        journaled, then replayed on every restart) inside a batch.
+        """
+        if self.device is None:
+            return
+        if "preset" not in self.device:
+            raise ValueError("device must be {'preset': ..., 'scale': ...}")
+        from ..sweeps.runner import materialize_device
+
+        try:
+            materialize_device(self.device)
+        except TypeError as exc:
+            raise ValueError(
+                f"bad device {dict(self.device)!r}: {exc}"
+            ) from exc
 
     def estimator_args(self) -> tuple[str, dict]:
         """``(kind, extra spec params)`` — inline payload kind wins."""

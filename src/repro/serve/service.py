@@ -139,10 +139,25 @@ class Service:
                 ledger.get("shots", 0),
             )
         for entry in self.queue.records():
+            try:
+                job = JobSpec.from_dict(entry["job"])
+            except (TypeError, ValueError) as exc:
+                # A journaled job that no longer validates (written by
+                # an older client) recovers pre-failed instead of
+                # crashing recovery and bricking the journal directory.
+                request = Request(
+                    request_id=entry["request_id"],
+                    tenant=entry["tenant"],
+                    job=None,
+                    fingerprint=entry["job_fingerprint"],
+                )
+                request.future.set_exception(exc)
+                self._requests[request.request_id] = request
+                continue
             request = Request(
                 request_id=entry["request_id"],
                 tenant=entry["tenant"],
-                job=JobSpec.from_dict(entry["job"]),
+                job=job,
                 fingerprint=entry["job_fingerprint"],
             )
             self._requests[request.request_id] = request
@@ -230,9 +245,20 @@ class Service:
             batch = self._take_batch(size)
             if not batch:
                 break
-            with self._exec_lock:
-                executed += self.coalescer.execute_batch(batch)
+            executed += self._execute(batch)
         return executed
+
+    def _execute(self, batch: list[Request]) -> int:
+        """Run one batch; never raise — a bad batch must not kill the
+        worker thread (or strand its futures unresolved forever)."""
+        with self._exec_lock:
+            try:
+                return self.coalescer.execute_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - isolate bad batches
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                return 0
 
     def _worker_loop(self) -> None:
         while True:
@@ -245,8 +271,7 @@ class Service:
                 time.sleep(self._window)
             batch = self._take_batch(self._max_batch)
             if batch:
-                with self._exec_lock:
-                    self.coalescer.execute_batch(batch)
+                self._execute(batch)
 
     def start(self) -> "Service":
         """Run the batching worker in a background thread (idempotent)."""
@@ -262,7 +287,10 @@ class Service:
 
     def status(self) -> ServiceStatus:
         """A point-in-time snapshot of queue depth, dedup, and budgets."""
-        states = [r.state() for r in self._requests.values()]
+        # Snapshot first: handler threads insert into _requests
+        # concurrently, and iterating the live dict can raise
+        # "dictionary changed size during iteration".
+        states = [r.state() for r in list(self._requests.values())]
         return ServiceStatus(
             requests=len(states),
             pending=states.count("pending"),

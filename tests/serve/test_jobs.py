@@ -47,6 +47,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="preset"):
             job(device={"scale": 2.0})
 
+    def test_unknown_device_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            job(device={"preset": "not_a_device"})
+
+    def test_unexpected_device_kwargs_rejected(self):
+        # Must fail (as ValueError, so HTTP maps it to a 400) at
+        # submission, not inside a batch after being journaled.
+        with pytest.raises(ValueError, match="bad device"):
+            job(device={"preset": "ideal", "noise_scale": 2.0})
+
     def test_inline_estimator_kind_wins(self):
         spec = job(scheme="baseline", estimator={"kind": "varsaw"})
         kind, extra = spec.estimator_args()

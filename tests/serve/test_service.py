@@ -170,6 +170,41 @@ class TestDurability:
         with Service(root) as reopened:
             assert reopened.budget.charged("alice") == charged
 
+    def test_malformed_journaled_job_recovers_as_failed(self, root):
+        # A journal written by an older client can hold a job that no
+        # longer validates; recovery must mark it failed — not crash
+        # the constructor (which would brick the journal directory) —
+        # and later submissions must still execute.
+        import json
+
+        with Service(root) as service:
+            service.submit("alice", job())
+            service.drain()
+        entry = {
+            "schema": 1,
+            "request_id": "r000002-deadbeef",
+            "tenant": "mallory",
+            "job": {
+                "workload": {"key": "H2-4"},
+                "device": {"preset": "ideal", "noise_scale": 2.0},
+            },
+            "job_fingerprint": "deadbeef" * 4,
+            "submitted_at": 0.0,
+        }
+        with (root / "queue.jsonl").open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+
+        with Service(root) as reopened:
+            bad = reopened.request("r000002-deadbeef")
+            assert bad.state() == "failed"
+            assert bad.label() == "<invalid job>"
+            with pytest.raises(ValueError, match="bad device"):
+                bad.future.result()
+            assert reopened.drain() == 0  # nothing pending, no crash
+            late = reopened.submit("alice", job(seed=9))
+            reopened.drain()
+            assert late.state() == "complete"
+
     def test_recovery_is_replay_not_dedup(self, root):
         with Service(root) as service:
             service.submit("alice", job())
@@ -230,6 +265,52 @@ class TestFailures:
             bob = service.submit("bob", bad)
             service.drain()
             assert alice.state() == bob.state() == "failed"
+
+    def test_session_construction_failure_fails_futures(
+        self, root, monkeypatch
+    ):
+        # A job whose session cannot be built (e.g. a journaled device
+        # that no longer materializes) must fail its own futures, not
+        # escape execute_batch and kill the batching worker.
+        with Service(root) as service:
+            request = service.submit("alice", job())
+            monkeypatch.setattr(
+                service.coalescer,
+                "session_for",
+                lambda spec: (_ for _ in ()).throw(
+                    RuntimeError("no such device")
+                ),
+            )
+            assert service.drain() == 0
+            assert request.state() == "failed"
+            with pytest.raises(RuntimeError, match="no such device"):
+                request.future.result()
+            monkeypatch.undo()
+            # The coalescer (and a fresh submission) still works.
+            good = service.submit("alice", job(seed=1))
+            service.drain()
+            assert good.state() == "complete"
+
+    def test_worker_survives_batch_level_failure(self, root, monkeypatch):
+        # Even an error escaping the coalescer itself must not kill the
+        # worker thread or strand the batch's futures unresolved.
+        with Service(root, coalesce_window=0.0) as service:
+            service.start()
+            real = service.coalescer.execute_batch
+            monkeypatch.setattr(
+                service.coalescer,
+                "execute_batch",
+                lambda batch: (_ for _ in ()).throw(RuntimeError("boom")),
+            )
+            poisoned = service.submit("alice", job(seed=2))
+            with pytest.raises(RuntimeError, match="boom"):
+                poisoned.future.result(timeout=60)
+            monkeypatch.setattr(service.coalescer, "execute_batch", real)
+            survivor = service.submit("alice", job(seed=3))
+            record = survivor.future.result(timeout=60)
+            assert record["result"]["kind"] == "estimate"
+            assert service._worker is not None
+            assert service._worker.is_alive()
 
 
 class TestStatusAndWorker:

@@ -287,6 +287,20 @@ class TestServeCommands:
         assert code == 2
         assert "bad job" in capsys.readouterr().err
 
+    def test_submit_device_flags_build_valid_job(self):
+        from repro.cli import _submit_job_payload
+        from repro.serve import JobSpec
+
+        args = build_parser().parse_args([
+            "submit", "--tenant", "alice", "--workload", "H2-4",
+            "--device", "ideal", "--noise-scale", "2.0",
+        ])
+        payload = _submit_job_payload(args)
+        # Preset factories take scale=, not noise_scale=; the payload
+        # must materialize cleanly or execution would fail mid-batch.
+        assert payload["device"] == {"preset": "ideal", "scale": 2.0}
+        JobSpec.from_dict(payload)
+
     def test_jobs_requires_exactly_one_source(self, capsys):
         assert main(["jobs"]) == 2
         assert main([
