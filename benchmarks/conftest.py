@@ -12,13 +12,16 @@ full scale, so statistical repetition is deliberately disabled).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import re
 import threading
+import time
 
 import pytest
 
+from repro.obs import REGISTRY, snapshot_delta
 from repro.sweeps.render import Table, fmt, render_table
 
 try:
@@ -118,6 +121,84 @@ def pytest_collection_modifyitems(session, config, items):
         entries.add(match.group(1) if match else stem)
     for entry in entries:
         (golden / f"{entry}.txt").unlink(missing_ok=True)
+
+
+#: Per-entry accumulated BENCH payloads: wall clock plus engine metric
+#: deltas around each test call, summed per catalog entry.
+_BENCH_STATS: dict[str, dict[str, float]] = {}
+
+_BENCH_COUNTERS = {
+    "circuits": "repro_engine_jobs_total",
+    "shots": "repro_engine_shots_total",
+    "simulations": "repro_engine_simulations_total",
+    "cache_hits": "repro_engine_cache_hits_total",
+    "batches": "repro_engine_batches_total",
+}
+
+
+def _bench_dir() -> pathlib.Path:
+    """Where BENCH_<entry>.json files land (repo root by default)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return pathlib.Path(override)
+    return RESULTS_FILE.parent
+
+
+def _entry_for_item(item) -> str:
+    stem = pathlib.PurePath(str(item.fspath)).stem
+    stem = stem.removeprefix("bench_")
+    match = _ENTRY_RE.match(stem)
+    return match.group(1) if match else stem
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Wrap each benchmark call with wall-clock + engine metric deltas.
+
+    Accumulated per catalog entry and written as ``BENCH_<entry>.json``
+    at session end — the machine-readable cost record CI uploads as an
+    artifact next to ``benchmark_results.txt``.
+    """
+    before = REGISTRY.snapshot()
+    started = time.perf_counter()
+    yield
+    wall = time.perf_counter() - started
+    delta = snapshot_delta(REGISTRY.snapshot(), before)
+    entry = _entry_for_item(item)
+    with _RESULTS_LOCK:
+        stats = _BENCH_STATS.setdefault(
+            entry, {"tests": 0, "wall_s": 0.0}
+        )
+        stats["tests"] += 1
+        stats["wall_s"] += wall
+        for name, metric in _BENCH_COUNTERS.items():
+            stats[name] = stats.get(name, 0) + int(delta.get(metric, 0))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<entry>.json`` per entry that ran.
+
+    Skipped in xdist workers (each would see only its shard); the
+    controlling process of a non-distributed run writes complete
+    per-entry files.
+    """
+    if os.environ.get("PYTEST_XDIST_WORKER") or not _BENCH_STATS:
+        return
+    bench_dir = _bench_dir()
+    try:
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        for entry, stats in sorted(_BENCH_STATS.items()):
+            payload = dict(stats)
+            payload["entry"] = entry
+            hits = payload.get("cache_hits", 0)
+            requests = hits + payload.get("simulations", 0)
+            payload["cache_requests"] = requests
+            path = bench_dir / f"BENCH_{entry}.json"
+            path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+    except OSError:
+        pass
 
 
 def run_once(benchmark, fn):

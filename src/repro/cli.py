@@ -19,6 +19,8 @@ Gives the repository's main workflows one-line entry points::
     python -m repro jobs --journal run1       # offline journal listing
     python -m repro reproduce --only fig8,table3 --processes 4
                                               # regenerate paper grids
+    python -m repro --trace run.trace.jsonl run H2-4 --scheme varsaw
+    python -m repro trace run.trace.jsonl     # span-tree timing report
 
 Everything the CLI does is a thin veneer over the public API —
 estimators are constructed through :class:`repro.api.Session`, exactly
@@ -31,6 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .analysis import sparkline
 from .api import Session, estimator_kinds, spec_class
 from .backends import backend_class, backend_kinds, make_backend
@@ -49,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="VarSaw reproduction: VQE with measurement error "
         "mitigation (ASPLOS 2023)",
+    )
+    parser.add_argument(
+        "--log-level", default="warning", choices=obs.LOG_LEVELS,
+        help="stdlib logging level for the repro.* loggers",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="journal tracing spans to this JSONL file "
+        "(inspect with 'repro trace PATH')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -284,6 +296,17 @@ def build_parser() -> argparse.ArgumentParser:
     repro.add_argument(
         "--no-tables", action="store_true",
         help="skip printing the regenerated tables",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="report on a trace journal written with --trace or "
+        "REPRO_TRACE (span tree, critical path, top self-time)",
+    )
+    trace.add_argument("trace_file", help="path to a span JSONL journal")
+    trace.add_argument(
+        "--top", type=_int_at_least(1), default=10,
+        help="rows in the top-by-self-time table",
     )
     return parser
 
@@ -680,6 +703,33 @@ def _sweep_progress(done, total, point, record):
     )
 
 
+def _print_run_cost(totals: dict, delta: dict) -> None:
+    """End-of-run cost summary: executed records + engine metric deltas.
+
+    ``totals`` comes from the stored records (works for every executor);
+    the engine delta comes from the in-process metrics registry, so it
+    is printed only when nonzero (process-pool workers count in their
+    own processes).
+    """
+    if totals["points"]:
+        line = f"cost: {totals['points']} points in {totals['wall_s']:.1f}s"
+        if totals["circuits"] or totals["shots"]:
+            line += (
+                f", {totals['circuits']} circuits, "
+                f"{totals['shots']} shots"
+            )
+        print(line)
+    sims = delta.get("repro_engine_simulations_total", 0)
+    hits = delta.get("repro_engine_cache_hits_total", 0)
+    if sims or hits:
+        rate = hits / (sims + hits)
+        print(
+            f"engine: {int(sims)} simulations, {int(hits)} cache hits "
+            f"({rate:.1%} hit rate), "
+            f"{int(delta.get('repro_engine_batches_total', 0))} batches"
+        )
+
+
 def _cmd_sweep(args) -> int:
     from .sweeps import SweepSpec, pivot, run_sweep
 
@@ -694,11 +744,16 @@ def _cmd_sweep(args) -> int:
         return 2
     print(f"sweep '{spec.name}': {len(spec)} points -> {out}")
 
+    before = obs.REGISTRY.snapshot()
     outcome = run_sweep(
         spec, store, progress=_sweep_progress, limit=args.limit,
         **_pool_arguments(args),
     )
     print(f"sweep '{spec.name}': {outcome.summary()}")
+    _print_run_cost(
+        outcome.executed_totals(),
+        obs.snapshot_delta(obs.REGISTRY.snapshot(), before),
+    )
 
     hints = spec.report or {}
     rows_path = hints.get("rows")
@@ -772,6 +827,7 @@ def _cmd_reproduce(args) -> int:
         f"reproduce: {len(names)} grids -> {args.out} "
         f"({len(store)} points already stored)"
     )
+    before = obs.REGISTRY.snapshot()
     outcomes = reproduce(
         names, store, limit=args.limit, progress=_sweep_progress,
         **_pool_arguments(args),
@@ -789,6 +845,23 @@ def _cmd_reproduce(args) -> int:
         f"already complete"
         + (f"; incomplete grids: {', '.join(incomplete)}"
            if incomplete else "")
+    )
+    totals = {"points": 0, "wall_s": 0.0, "circuits": 0, "shots": 0}
+    for outcome in outcomes:
+        fresh = set(outcome.executed)
+        for record in outcome.records:
+            if record.get("fingerprint") not in fresh:
+                continue
+            totals["points"] += 1
+            totals["wall_s"] += float(record.get("wall_time_s", 0.0))
+            result = record.get("result", {})
+            if isinstance(result, dict):
+                for key in ("circuits", "shots"):
+                    value = result.get(key)
+                    if isinstance(value, (int, float)):
+                        totals[key] += int(value)
+    _print_run_cost(
+        totals, obs.snapshot_delta(obs.REGISTRY.snapshot(), before)
     )
     return 0
 
@@ -862,7 +935,8 @@ def _cmd_serve(args) -> int:
     service.start()
     print(
         f"serving on http://{args.host}:{args.port} "
-        f"(Ctrl-C to stop; journal survives kill -9)"
+        f"(Ctrl-C to stop; journal survives kill -9; "
+        f"Prometheus metrics at /metrics)"
     )
     try:
         server.serve_forever()
@@ -1006,6 +1080,17 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import pathlib
+
+    path = pathlib.Path(args.trace_file)
+    if not path.exists():
+        print(f"no trace journal at {path}", file=sys.stderr)
+        return 2
+    print(obs.render_trace_report(path, top=args.top))
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "kinds": _cmd_kinds,
@@ -1021,12 +1106,21 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "reproduce": _cmd_reproduce,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    obs.setup_logging(args.log_level)
+    if args.trace:
+        obs.enable(args.trace)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if obs.enabled():
+            # Flush buffered spans (covers --trace and REPRO_TRACE).
+            obs.disable()
 
 
 if __name__ == "__main__":

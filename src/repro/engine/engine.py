@@ -28,11 +28,14 @@ interleaving entirely.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..circuits import Circuit
+from ..obs import REGISTRY as _METRICS
+from ..obs import span as _obs_span
 from ..sim import PMF, Counts
 from .cache import CacheStats, LRUCache
 from .config import EngineConfig
@@ -46,6 +49,34 @@ from .spec import (
 )
 
 __all__ = ["ExecutionEngine", "Batch", "JobHandle", "EngineStats"]
+
+# The engine's process-wide metrics: lifetime counters published into
+# the default registry (the `GET /metrics` + BENCH_*.json surface).
+# Incremented once per *batch*, never per job, so the hot path pays a
+# handful of lock operations per objective evaluation.
+_M_BATCHES = _METRICS.counter(
+    "repro_engine_batches_total", "Engine batches executed"
+)
+_M_JOBS = _METRICS.counter(
+    "repro_engine_jobs_total",
+    "Jobs (circuit executions) charged through the engine",
+)
+_M_SHOTS = _METRICS.counter(
+    "repro_engine_shots_total", "Shots sampled and charged"
+)
+_M_SIMULATIONS = _METRICS.counter(
+    "repro_engine_simulations_total", "Unique PMF simulations run"
+)
+_M_CACHE_HITS = _METRICS.counter(
+    "repro_engine_cache_hits_total", "PMF cache hits"
+)
+_M_COALESCED = _METRICS.counter(
+    "repro_engine_dedup_coalesced_total",
+    "Jobs coalesced onto an identical in-batch submission",
+)
+_M_BATCH_SECONDS = _METRICS.histogram(
+    "repro_engine_batch_seconds", "Wall-clock seconds per engine batch"
+)
 
 #: Auto byte-budget shape: room for this many full-width payloads ...
 _AUTO_PMF_ENTRIES = 32
@@ -102,14 +133,21 @@ class JobHandle:
     """Future-style handle for one submitted spec.
 
     ``result()``/``pmf()`` become available once the owning batch has
-    run; accessing them earlier raises.
+    run; accessing them earlier raises.  After the run, :attr:`source`
+    records where this job's PMF came from — ``"simulated"`` (a fresh
+    simulation), ``"cache"`` (the engine's memoization cache), or
+    ``"dedup"`` (coalesced onto an identical spec earlier in the same
+    batch) — the per-job cache-hit attribution the trace spans
+    aggregate.
     """
 
-    __slots__ = ("spec", "index", "_fingerprint", "_counts", "_pmf")
+    __slots__ = ("spec", "index", "source", "_fingerprint", "_counts",
+                 "_pmf")
 
     def __init__(self, spec, index: int):
         self.spec = spec
         self.index = index
+        self.source: str | None = None
         self._fingerprint = spec.fingerprint()
         self._counts: Counts | None = None
         self._pmf: PMF | None = None
@@ -299,39 +337,75 @@ class ExecutionEngine:
         if not jobs:
             return
         self._batches_run += 1
-        device_fp = device_fingerprint(self.backend)
+        started = time.perf_counter()
+        with _obs_span("engine.batch", jobs=len(jobs)) as batch_span:
+            device_fp = device_fingerprint(self.backend)
 
-        # Phase 1+2: one simulation per unique fingerprint, cache first.
-        futures: dict[tuple, object] = {}
-        resolved: dict[tuple, PMF] = {}
-        for job in jobs:
-            key = (device_fp, job._fingerprint)
-            if key in resolved or key in futures:
-                self._dedup_coalesced += 1
-                continue
-            cached = self._pmf_cache.get(key)
-            if cached is not None:
-                resolved[key] = cached
-            else:
-                futures[key] = self._executor.submit(self._simulate, job.spec)
-                self._simulations += 1
-        for key, future in futures.items():
-            pmf = future.result()
-            resolved[key] = pmf
-            self._pmf_cache.put(key, pmf)
+            # Phase 1: dedup — group by content fingerprint, consult
+            # the memoization cache, submit one simulation per miss.
+            futures: dict[tuple, object] = {}
+            resolved: dict[tuple, PMF] = {}
+            sources: dict[tuple, str] = {}
+            coalesced = 0
+            with _obs_span("engine.dedup"):
+                for job in jobs:
+                    key = (device_fp, job._fingerprint)
+                    if key in resolved or key in futures:
+                        self._dedup_coalesced += 1
+                        coalesced += 1
+                        job.source = "dedup"
+                        continue
+                    cached = self._pmf_cache.get(key)
+                    if cached is not None:
+                        resolved[key] = cached
+                        sources[key] = "cache"
+                    else:
+                        futures[key] = self._executor.submit(
+                            self._simulate, job.spec
+                        )
+                        sources[key] = "simulated"
+                        self._simulations += 1
+                    job.source = sources[key]
+            cache_hits = len(resolved)
 
-        # Phase 3: sample and charge in submission order.
-        shared = self.config.rng_mode == "shared"
-        for job in jobs:
-            pmf = resolved[(device_fp, job._fingerprint)]
-            if shared:
-                rng = self.backend.rng
-            else:
-                rng = np.random.default_rng((self._rng_root, job.index))
-            counts = self.backend.sample(pmf, job.spec.shots, rng)
-            self.backend.charge(job.spec.shots)
-            job._pmf = pmf
-            job._counts = counts
+            # Phase 2: simulate — collect the unique PMFs.
+            with _obs_span("engine.simulate", simulations=len(futures)):
+                for key, future in futures.items():
+                    pmf = future.result()
+                    resolved[key] = pmf
+                    self._pmf_cache.put(key, pmf)
+
+            # Phase 3: sample and charge in submission order.
+            shots_charged = 0
+            shared = self.config.rng_mode == "shared"
+            with _obs_span("engine.sample"):
+                for job in jobs:
+                    pmf = resolved[(device_fp, job._fingerprint)]
+                    if shared:
+                        rng = self.backend.rng
+                    else:
+                        rng = np.random.default_rng(
+                            (self._rng_root, job.index)
+                        )
+                    counts = self.backend.sample(pmf, job.spec.shots, rng)
+                    self.backend.charge(job.spec.shots)
+                    shots_charged += job.spec.shots
+                    job._pmf = pmf
+                    job._counts = counts
+            batch_span.set(
+                cache_hits=cache_hits,
+                coalesced=coalesced,
+                simulations=len(futures),
+                shots=shots_charged,
+            )
+
+        _M_BATCHES.inc()
+        _M_JOBS.inc(len(jobs))
+        _M_SHOTS.inc(shots_charged)
+        _M_SIMULATIONS.inc(len(futures))
+        _M_CACHE_HITS.inc(cache_hits)
+        _M_COALESCED.inc(coalesced)
+        _M_BATCH_SECONDS.observe(time.perf_counter() - started)
 
     # -------------------------------------------------------------- lifecycle
 

@@ -27,9 +27,9 @@ from __future__ import annotations
 import json
 import os
 import threading
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
 
 __all__ = ["Journal", "LoadReport"]
 
@@ -171,6 +171,39 @@ class Journal:
                 os.fsync(handle.fileno())
             self._index[key] = record
         return True
+
+    def append_many(self, items: Iterable[tuple[object, dict]]) -> int:
+        """Append many ``(key, record)`` pairs with a single fsync.
+
+        The batched form of :meth:`append_record` for high-volume
+        writers (the span journal): all new lines are serialized
+        first, written in one ``write`` + flush + fsync under the
+        lock, and indexed together.  Keys already present are skipped,
+        exactly as in the single-record protocol.  Returns the number
+        of records actually written.
+        """
+        with self._lock:
+            fresh: list[tuple[object, dict, str]] = []
+            seen: set = set()
+            for key, record in items:
+                if key in self._index or key in seen:
+                    continue
+                seen.add(key)
+                fresh.append(
+                    (key, record, json.dumps(record, sort_keys=True))
+                )
+            if not fresh:
+                return 0
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    "".join(line + "\n" for _, _, line in fresh)
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            for key, record, _ in fresh:
+                self._index[key] = record
+        return len(fresh)
 
     def merge_from(self, other) -> int:
         """Append every record from ``other`` not already present here.

@@ -1,0 +1,83 @@
+"""``repro.obs`` — tracing spans, metrics, and exporters.
+
+The zero-dependency observability layer the execution engine, the
+sweep runner, and the serve subsystem are instrumented with:
+
+* :mod:`repro.obs.trace` — nested spans (name, attributes, monotonic
+  duration, parent id) behind module-level :func:`span`/:func:`record`
+  helpers that cost ~nothing while tracing is disabled.  Enable with
+  :func:`enable` or ``REPRO_TRACE=<path>``; spans journal to JSONL
+  through :class:`repro.io.Journal`.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms with Prometheus text export (the serve HTTP
+  server's ``GET /metrics``) and flat snapshots for delta arithmetic.
+* :mod:`repro.obs.report` — the offline ``repro trace <file>`` report:
+  span tree, critical path, top spans by self time, per-point and
+  per-tenant breakdowns.
+* :mod:`repro.obs.logs` — one-call stdlib logging setup for the CLI.
+
+Hard invariant: observability never changes results.  Energies,
+ledgers, fingerprints, and golden-pinned catalog output are
+byte-identical with tracing on or off (``tests/obs/test_parity.py``).
+
+Quick taste::
+
+    from repro import obs
+
+    obs.enable("trace.jsonl")
+    ...            # any tuning run / sweep / serve session
+    obs.disable()  # flushes spans; then: repro trace trace.jsonl
+"""
+
+from .logs import LOG_LEVELS, setup_logging
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    snapshot_delta,
+)
+from .report import load_trace, render_trace_report
+from .trace import (
+    TRACE_ENV_VAR,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    _enable_from_env,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    record,
+    span,
+)
+
+__all__ = [
+    "LOG_LEVELS",
+    "setup_logging",
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+    "CallbackGauge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "snapshot_delta",
+    "load_trace",
+    "render_trace_report",
+    "TRACE_ENV_VAR",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "record",
+    "span",
+]
+
+_enable_from_env()

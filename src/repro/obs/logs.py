@@ -1,0 +1,56 @@
+"""One-call stdlib logging setup for the CLI and services.
+
+The library modules follow the standard discipline — each subsystem
+logs to a named logger (``repro.engine``, ``repro.sweeps``,
+``repro.serve``, ``repro.obs``) and never configures handlers — so
+embedding applications keep full control.  The CLI calls
+:func:`setup_logging` exactly once (the ``--log-level`` flag) to
+attach a stderr handler; everything else inherits.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOG_LEVELS", "setup_logging"]
+
+#: Accepted ``--log-level`` values (stdlib level names, lowercased).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def setup_logging(level: str = "warning", stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree once; return its root.
+
+    Attaches a single stream handler (stderr by default) to the
+    ``repro`` logger — never the root logger, so host applications'
+    logging is untouched.  Idempotent: repeated calls re-level the
+    existing handler instead of stacking duplicates.
+    """
+    name = level.strip().lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {LOG_LEVELS}"
+        )
+    numeric = getattr(logging, name.upper())
+    logger = logging.getLogger("repro")
+    logger.setLevel(numeric)
+    handler = next(
+        (
+            h
+            for h in logger.handlers
+            if getattr(h, "_repro_cli_handler", False)
+        ),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(
+            stream if stream is not None else sys.stderr
+        )
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_cli_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    handler.setLevel(numeric)
+    return logger

@@ -1,0 +1,429 @@
+"""A zero-dependency metrics registry with Prometheus text export.
+
+Three instrument kinds, all label-aware and thread-safe:
+
+* :class:`Counter` — monotonically increasing totals (engine batches,
+  simulations, cache hits).
+* :class:`Gauge` — point-in-time levels (queue depth, coalesce ratio).
+* :class:`Histogram` — observations bucketed over *fixed* edges
+  (engine batch seconds, serve queue-wait seconds), rendered with
+  Prometheus cumulative ``_bucket``/``_sum``/``_count`` series.
+
+A :class:`MetricsRegistry` also accepts *callback gauges* — functions
+sampled at render time — which is how the serve subsystem publishes
+live state (queue depth, per-tenant charges, engine cache hit rates)
+without touching a counter on every request.
+
+The module-level :data:`REGISTRY` is the process-wide default the
+execution engine publishes into; :meth:`MetricsRegistry.render`
+produces the Prometheus text-format payload the serve HTTP server's
+``GET /metrics`` endpoint returns, and
+:meth:`MetricsRegistry.snapshot` gives the flat name -> value dict the
+CLI summaries and the benchmark conftest subtract for per-phase
+deltas.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CallbackGauge",
+    "MetricsRegistry",
+    "snapshot_delta",
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+]
+
+LabelDict = dict[str, str]
+#: A callback gauge's return: a bare number, or ``(labels, value)``
+#: sample pairs for labeled families (e.g. per-tenant charges).
+CallbackResult = (
+    float | int | Iterable[tuple[Mapping[str, Any], float]]
+)
+
+#: Default histogram bucket edges (seconds), chosen for the ms-to-
+#: minutes range engine batches and serve requests actually span.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Instrument:
+    """Shared name/help/lock plumbing for the instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def header(self) -> list[str]:
+        """The ``# HELP`` / ``# TYPE`` preamble lines."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+    def render(self) -> list[str]:
+        """Prometheus text lines for this instrument."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``name{labels} -> value`` samples for delta arithmetic."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally labeled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The current total for the labeled series (0 when unseen)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        """Prometheus text lines for this counter."""
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat samples for delta arithmetic."""
+        with self._lock:
+            return {
+                f"{self.name}{_format_labels(key)}": value
+                for key, value in self._values.items()
+            }
+
+
+class Gauge(_Instrument):
+    """A point-in-time level that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labeled series to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Move the labeled series by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The current level for the labeled series (0 when unseen)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        """Prometheus text lines for this gauge."""
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat samples for delta arithmetic."""
+        with self._lock:
+            return {
+                f"{self.name}{_format_labels(key)}": value
+                for key, value in self._values.items()
+            }
+
+
+class Histogram(_Instrument):
+    """Observations over fixed bucket edges (cumulative on render)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        edges = tuple(sorted(float(edge) for edge in buckets))
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        self.edges = edges
+        # Per label set: one count per edge, one overflow, sum, count.
+        self._counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+        self._totals: dict[tuple, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labeled series."""
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.edges) + 1)
+                self._counts[key] = counts
+            slot = len(self.edges)
+            for i, edge in enumerate(self.edges):
+                if value <= edge:
+                    slot = i
+                    break
+            counts[slot] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        """Observations recorded for the labeled series."""
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observed values for the labeled series."""
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        """Prometheus text lines (cumulative buckets, sum, count)."""
+        lines = self.header()
+        with self._lock:
+            keys = sorted(self._counts)
+            for key in keys:
+                counts = self._counts[key]
+                cumulative = 0
+                for edge, bucket in zip(self.edges, counts):
+                    cumulative += bucket
+                    labeled = _format_labels(key + (("le", f"{edge:g}"),))
+                    lines.append(
+                        f"{self.name}_bucket{labeled} {cumulative}"
+                    )
+                cumulative += counts[-1]
+                labeled = _format_labels(key + (("le", "+Inf"),))
+                lines.append(f"{self.name}_bucket{labeled} {cumulative}")
+                lines.append(
+                    f"{self.name}_sum{_format_labels(key)} "
+                    f"{_format_value(self._sums[key])}"
+                )
+                lines.append(
+                    f"{self.name}_count{_format_labels(key)} "
+                    f"{self._totals[key]}"
+                )
+        return lines
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``_sum``/``_count`` samples for delta arithmetic."""
+        with self._lock:
+            out: dict[str, float] = {}
+            for key in self._counts:
+                labels = _format_labels(key)
+                out[f"{self.name}_sum{labels}"] = self._sums[key]
+                out[f"{self.name}_count{labels}"] = float(
+                    self._totals[key]
+                )
+            return out
+
+
+class CallbackGauge(_Instrument):
+    """A gauge sampled from a callable at render/snapshot time.
+
+    The callback returns either a bare number or an iterable of
+    ``(labels, value)`` pairs (labeled families, e.g. one sample per
+    tenant).  Callbacks run outside the registry lock; a raising
+    callback renders no samples rather than failing the whole scrape.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, fn: Callable[[], CallbackResult], help: str = ""
+    ):
+        super().__init__(name, help)
+        self._fn = fn
+
+    def _samples(self) -> list[tuple[tuple, float]]:
+        try:
+            result = self._fn()
+        except Exception:  # noqa: BLE001 - a scrape must not 500
+            return []
+        if isinstance(result, (int, float)):
+            return [((), float(result))]
+        return [
+            (_label_key(labels), float(value)) for labels, value in result
+        ]
+
+    def render(self) -> list[str]:
+        """Prometheus text lines from one callback sample."""
+        lines = self.header()
+        for key, value in sorted(self._samples()):
+            lines.append(
+                f"{self.name}{_format_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat samples from one callback invocation."""
+        return {
+            f"{self.name}{_format_labels(key)}": value
+            for key, value in self._samples()
+        }
+
+
+class MetricsRegistry:
+    """Owns a namespace of instruments and renders them together.
+
+    Instrument constructors are get-or-create: calling
+    ``registry.counter("x")`` twice returns the same object, so
+    modules can declare their instruments at import time without
+    coordination.  Re-registering a name as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Instrument] = {}
+
+    def _get_or_create(
+        self, cls: type, name: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} is already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the :class:`Counter` called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the :class:`Gauge` called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` called ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets)
+
+    def gauge_callback(
+        self, name: str, fn: Callable[[], CallbackResult], help: str = ""
+    ) -> CallbackGauge:
+        """Register ``fn`` as a gauge sampled at render time."""
+        with self._lock:
+            if name in self._metrics:
+                raise ValueError(
+                    f"metric {name!r} is already registered"
+                )
+            metric = CallbackGauge(name, fn, help)
+            self._metrics[name] = metric
+            return metric
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The Prometheus text-format exposition of every instrument."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``name{labels} -> value`` across every instrument.
+
+        Subtract two snapshots (dict-wise, missing keys as 0) for the
+        cost of one phase — the discipline the CLI end-of-run
+        summaries and the benchmark conftest use.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out: dict[str, float] = {}
+        for metric in metrics:
+            out.update(metric.snapshot())
+        return out
+
+
+def snapshot_delta(
+    after: Mapping[str, float], before: Mapping[str, float]
+) -> dict[str, float]:
+    """``after - before`` key-wise, dropping zero deltas."""
+    delta = {}
+    for key, value in after.items():
+        diff = value - before.get(key, 0.0)
+        if diff:
+            delta[key] = diff
+    return delta
+
+
+#: The process-wide default registry (the engine publishes here).
+REGISTRY = MetricsRegistry()

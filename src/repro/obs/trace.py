@@ -1,0 +1,345 @@
+"""Nested tracing spans with a pay-nothing disabled path.
+
+A *span* is one named, timed unit of work: it records a monotonic
+duration (``time.perf_counter`` around the ``with`` block), a start
+offset relative to the tracer's origin, an arbitrary attribute dict,
+and its parent span — parenting follows the per-thread span stack, so
+``engine.batch`` spans opened inside a ``sweep.point`` span nest under
+it automatically.
+
+The module-level :func:`span`/:func:`record` helpers are the
+instrumentation surface the engine, sweep runner, and serve subsystem
+call.  When tracing is disabled (the default) they return a shared
+no-op span without allocating anything, so instrumented hot paths pay
+one attribute lookup and one function call per *phase* (never per job).
+Enable tracing with :func:`enable` (optionally onto a JSONL journal —
+the crash-tolerant :class:`repro.io.Journal` discipline) or by setting
+``REPRO_TRACE=<path>`` in the environment before the first import.
+
+Hard invariant, asserted by ``tests/obs/test_parity.py``: tracing never
+changes a result.  Spans only *observe* — they carry timestamps, but no
+computation reads them back.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+from typing import Any
+
+from ..io import Journal
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "span",
+    "record",
+    "enable",
+    "disable",
+    "enabled",
+    "get_tracer",
+]
+
+#: Schema stamped on every journaled span record.
+TRACE_SCHEMA_VERSION = 1
+
+#: Environment variable enabling tracing at import time.  A path value
+#: journals spans there; ``1``/``true``/``yes`` buffer in memory only.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: Buffered finished spans auto-flush to the journal past this count.
+_FLUSH_THRESHOLD = 4096
+
+_MEMORY_ONLY_VALUES = {"1", "true", "yes"}
+
+
+class _NullSpan:
+    """The shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Ignore attributes (the disabled path)."""
+        return self
+
+
+#: The singleton no-op span; identity-comparable in tests.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span: a context manager that times its ``with`` block."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "ts",
+        "start_s",
+        "duration_s",
+        "_tracer",
+        "_t0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int = 0
+        self.parent_id: int | None = None
+        self.ts: float = 0.0
+        self.start_s: float = 0.0
+        self.duration_s: float = 0.0
+        self._tracer = tracer
+        self._t0: float = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._begin(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        self._tracer._end(self)
+        return False
+
+    def to_record(self) -> dict:
+        """The JSONL journal form of this (finished) span."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "ts": self.ts,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span #{self.span_id} {self.name!r} "
+            f"{self.duration_s * 1e3:.2f}ms>"
+        )
+
+
+class Tracer:
+    """Collects finished spans, optionally journaling them to JSONL.
+
+    Thread-safe: each thread keeps its own span stack (so parenting is
+    correct under the engine's and serve's worker threads), and the
+    finished-span buffer appends under a lock.  With a ``path`` the
+    buffer flushes through a :class:`repro.io.Journal` — one atomic
+    line per span, keyed by span id — either explicitly
+    (:meth:`flush`) or automatically past a buffer threshold.
+    """
+
+    def __init__(self, path: object | None = None):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        self._origin = time.perf_counter()
+        self._finished: list[dict] = []
+        self._flushed = 0
+        self._journal: Journal | None = None
+        if path is not None:
+            self._journal = Journal(
+                path, TRACE_SCHEMA_VERSION, key_field="span_id"
+            )
+
+    @property
+    def path(self):
+        """The journal path (``None`` for a memory-only tracer)."""
+        return self._journal.path if self._journal is not None else None
+
+    # ------------------------------------------------------ span lifecycle
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new (not yet started) span; use as a context manager."""
+        return Span(self, name, attrs)
+
+    def _begin(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.ts = time.time()
+        span.start_s = time.perf_counter() - self._origin
+        stack.append(span)
+
+    def _end(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = span.to_record()
+        with self._lock:
+            self._finished.append(record)
+            overflow = (
+                self._journal is not None
+                and len(self._finished) >= _FLUSH_THRESHOLD
+            )
+        if overflow:
+            self.flush()
+
+    def record(
+        self, name: str, duration_s: float, **attrs: Any
+    ) -> Span:
+        """Log a pre-measured event as a completed span.
+
+        For work timed elsewhere (a process-pool point's wall clock, a
+        serve request's queue-to-resolve latency): the span is parented
+        to the calling thread's current span and finished immediately
+        with the given duration.
+        """
+        span = Span(self, name, attrs)
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.ts = time.time()
+        span.start_s = (
+            time.perf_counter() - self._origin - float(duration_s)
+        )
+        span.duration_s = float(duration_s)
+        record = span.to_record()
+        with self._lock:
+            self._finished.append(record)
+        return span
+
+    # ----------------------------------------------------------- reading
+
+    def spans(self) -> list[dict]:
+        """Finished span records still buffered in memory."""
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._flushed + len(self._finished)
+
+    # ----------------------------------------------------------- writing
+
+    def flush(self) -> int:
+        """Write buffered spans to the journal; return the count written.
+
+        Memory-only tracers keep their buffer (there is nowhere to
+        flush to); journaled tracers drop flushed spans from memory so
+        long runs stay bounded.
+        """
+        if self._journal is None:
+            return 0
+        with self._lock:
+            pending = self._finished
+            self._finished = []
+            self._flushed += len(pending)
+        return self._journal.append_many(
+            (record["span_id"], record) for record in pending
+        )
+
+    def close(self) -> None:
+        """Flush any buffered spans (idempotent)."""
+        self.flush()
+
+
+# --------------------------------------------------------- global tracer
+
+_TRACER: Tracer | None = None
+_STATE_LOCK = threading.Lock()
+
+
+def get_tracer() -> Tracer | None:
+    """The active global tracer (``None`` while tracing is disabled)."""
+    return _TRACER
+
+
+def enabled() -> bool:
+    """Whether tracing is currently enabled."""
+    return _TRACER is not None
+
+
+def enable(path: object | None = None) -> Tracer:
+    """Install (and return) a global tracer, replacing any current one.
+
+    ``path`` journals spans to that JSONL file; ``None`` buffers them
+    in memory (read back with ``get_tracer().spans()``).
+    """
+    global _TRACER
+    with _STATE_LOCK:
+        if _TRACER is not None:
+            _TRACER.close()
+        _TRACER = Tracer(path)
+        return _TRACER
+
+
+def disable() -> None:
+    """Flush and remove the global tracer (no-op when disabled)."""
+    global _TRACER
+    with _STATE_LOCK:
+        if _TRACER is not None:
+            _TRACER.close()
+        _TRACER = None
+
+
+def span(name: str, **attrs: Any):
+    """A span on the global tracer — or the free no-op when disabled."""
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def record(name: str, duration_s: float, **attrs: Any) -> None:
+    """Log a pre-measured event on the global tracer (no-op if disabled)."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.record(name, duration_s, **attrs)
+
+
+def _enable_from_env() -> None:
+    """Honor ``REPRO_TRACE`` at import time (CLI and CI entry points)."""
+    value = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if not value:
+        return
+    if value.lower() in _MEMORY_ONLY_VALUES:
+        enable(None)
+    else:
+        enable(value)
+
+
+def _flush_at_exit() -> None:
+    """Flush a still-active tracer when the interpreter exits.
+
+    The CLI flushes explicitly, but ``REPRO_TRACE`` is also honored by
+    plain scripts (``REPRO_TRACE=t.jsonl python examples/...``) that
+    never call :func:`disable` — without this hook their buffered spans
+    would be lost.
+    """
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.close()
+
+
+atexit.register(_flush_at_exit)

@@ -35,6 +35,7 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from .. import obs
 from .budget import TenantBudget
 from .jobs import JobSpec, execute_job
 from .queue import ResultsDB
@@ -56,6 +57,9 @@ class Request:
     job: JobSpec | None
     fingerprint: str
     future: Future = field(default_factory=Future)
+    #: Monotonic admission time — queue-wait attribution for metrics
+    #: and the ``serve.request`` trace span.
+    submitted_at: float = field(default_factory=time.perf_counter)
 
     def state(self) -> str:
         """``pending`` / ``complete`` / ``failed`` for status output."""
@@ -140,10 +144,25 @@ class Coalescer:
 
     # ----------------------------------------------------------- serving
 
-    def _resolve(self, request: Request, record: dict) -> None:
+    def _resolve(
+        self,
+        request: Request,
+        record: dict,
+        path: str = "executed",
+        queue_wait_s: float = 0.0,
+    ) -> None:
         """Fulfil one request from a result record (dedup accounting)."""
         if request.tenant != record["tenant"]:
             self._cross_tenant += 1
+        obs.record(
+            "serve.request",
+            time.perf_counter() - request.submitted_at,
+            tenant=request.tenant,
+            fingerprint=request.fingerprint,
+            path=path,
+            state="complete",
+            queue_wait_s=queue_wait_s,
+        )
         request.future.set_result(record)
 
     def serve_from_db(self, request: Request) -> bool:
@@ -152,7 +171,7 @@ class Coalescer:
         if record is None:
             return False
         self._served_from_db += 1
-        self._resolve(request, record)
+        self._resolve(request, record, path="db")
         return True
 
     def execute_batch(self, requests: list[Request]) -> int:
@@ -172,45 +191,84 @@ class Coalescer:
             groups.setdefault(request.fingerprint, []).append(request)
 
         executed = 0
-        for fingerprint, group in groups.items():
-            record = self._results.get(fingerprint)
-            if record is not None:
-                self._served_from_db += len(group)
-                for request in group:
-                    self._resolve(request, record)
-                continue
+        batch_started = time.perf_counter()
 
-            leader, followers = group[0], group[1:]
-            start = time.perf_counter()
-            try:
-                # Session construction is inside the try: a job whose
-                # device/backend cannot materialize must fail its own
-                # futures, not escape and kill the batching worker.
-                session = self.session_for(leader.job)
-                before = session.ledger()
-                result = execute_job(leader.job, session, self._workloads)
-            except Exception as exc:  # noqa: BLE001 - isolate bad jobs
-                # A failed job is *not* journaled: the request fails
-                # loudly now and the job re-executes if resubmitted.
-                for request in group:
-                    request.future.set_exception(exc)
-                continue
-            wall = time.perf_counter() - start
-            delta = session.ledger() - before
-            record = self._results.complete(
-                fingerprint,
-                leader.job,
-                leader.tenant,
-                result,
-                {"circuits": delta.circuits, "shots": delta.shots},
-                wall,
-            )
-            self._budget.charge(leader.tenant, delta.circuits, delta.shots)
-            executed += 1
-            self._executed += 1
-            self._coalesced += len(followers)
-            for request in group:
-                self._resolve(request, record)
+        def wait(request: Request) -> float:
+            return batch_started - request.submitted_at
+
+        with obs.span(
+            "serve.batch", requests=len(requests), groups=len(groups)
+        ) as batch_span:
+            for fingerprint, group in groups.items():
+                record = self._results.get(fingerprint)
+                if record is not None:
+                    self._served_from_db += len(group)
+                    for request in group:
+                        self._resolve(
+                            request, record, path="db",
+                            queue_wait_s=wait(request),
+                        )
+                    continue
+
+                leader, followers = group[0], group[1:]
+                start = time.perf_counter()
+                try:
+                    # Session construction is inside the try: a job
+                    # whose device/backend cannot materialize must fail
+                    # its own futures, not escape and kill the batching
+                    # worker.
+                    session = self.session_for(leader.job)
+                    before = session.ledger()
+                    result = execute_job(
+                        leader.job, session, self._workloads
+                    )
+                except Exception as exc:  # noqa: BLE001 - isolate bad jobs
+                    # A failed job is *not* journaled: the request fails
+                    # loudly now and the job re-executes if resubmitted.
+                    for request in group:
+                        obs.record(
+                            "serve.request",
+                            time.perf_counter() - request.submitted_at,
+                            tenant=request.tenant,
+                            fingerprint=request.fingerprint,
+                            path="executed",
+                            state="failed",
+                        )
+                        request.future.set_exception(exc)
+                    continue
+                wall = time.perf_counter() - start
+                obs.record(
+                    "serve.execute",
+                    wall,
+                    fingerprint=fingerprint,
+                    tenant=leader.tenant,
+                    requests=len(group),
+                )
+                delta = session.ledger() - before
+                record = self._results.complete(
+                    fingerprint,
+                    leader.job,
+                    leader.tenant,
+                    result,
+                    {"circuits": delta.circuits, "shots": delta.shots},
+                    wall,
+                )
+                self._budget.charge(
+                    leader.tenant, delta.circuits, delta.shots
+                )
+                executed += 1
+                self._executed += 1
+                self._coalesced += len(followers)
+                self._resolve(
+                    leader, record, path="executed",
+                    queue_wait_s=wait(leader),
+                )
+                for request in followers:
+                    self._resolve(
+                        request, record, path="coalesced",
+                        queue_wait_s=wait(request),
+                    )
+            batch_span.set(executed=executed)
         return executed
 
     # ------------------------------------------------------------- stats

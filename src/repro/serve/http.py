@@ -10,6 +10,9 @@ in-process tests use.  JSON in, JSON out:
   record).  Over-budget tenants get ``429``, malformed jobs ``400``.
 * ``GET  /status`` — the :class:`~repro.serve.ServiceStatus` payload:
   queue depth, dedup counters, engine cache stats, tenant ledgers.
+* ``GET  /metrics`` — Prometheus text exposition: the service's live
+  gauges (queue depth, coalesce ratio, per-tenant charges, cache hit
+  rate) plus the process-wide engine registry.
 * ``GET  /tenants`` — per-tenant charges and quotas.
 * ``GET  /jobs`` — every request (id, tenant, state, fingerprint).
 * ``GET  /jobs/<request id>`` — one request, result included when done.
@@ -25,6 +28,7 @@ import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs import REGISTRY
 from .budget import BudgetExceededError
 from .jobs import JobSpec
 from .service import Service
@@ -67,11 +71,27 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:
-        """Serve /status, /tenants, /jobs, and /jobs/<id>."""
+        """Serve /status, /metrics, /tenants, /jobs, and /jobs/<id>."""
         path = self.path.rstrip("/")
         if path in ("", "/status"):
             self._send_json(200, self.service.status().to_dict())
+        elif path == "/metrics":
+            # Service-local gauges first, then the process-wide
+            # registry the execution engine publishes into.
+            self._send_text(
+                200,
+                self.service.metrics.render() + REGISTRY.render(),
+                "text/plain; version=0.0.4",
+            )
         elif path == "/tenants":
             self._send_json(200, self.service.budget.to_dict())
         elif path == "/jobs":

@@ -27,6 +27,7 @@ queue.  This is the sweeps checkpoint/resume discipline, serverized.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from collections import deque
@@ -34,12 +35,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
+from ..obs import MetricsRegistry
 from .budget import TenantBudget, TenantQuota
 from .coalescer import Coalescer, CoalescerStats, Request
 from .jobs import JobSpec
 from .queue import JobQueue, ResultsDB
 
 __all__ = ["ServiceStatus", "Service"]
+
+logger = logging.getLogger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -117,7 +121,90 @@ class Service:
         self._worker: threading.Thread | None = None
         self._stop = False
         self._recovered_pending = 0
+        self.metrics = MetricsRegistry()
+        self._queue_wait = self.metrics.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Seconds a request waited in the queue before its batch",
+        )
+        self._register_metrics()
         self._recover()
+        if self._recovered_pending:
+            logger.info(
+                "recovered %d requests (%d pending) from %s",
+                len(self.queue), self._recovered_pending, self.root,
+            )
+
+    # ------------------------------------------------------------ metrics
+
+    def _register_metrics(self) -> None:
+        """Publish live service state as callback gauges.
+
+        Sampled at scrape/snapshot time — no per-request counter
+        touches.  Exposed by the HTTP server's ``GET /metrics``
+        alongside the process-wide engine registry.
+        """
+
+        def coalesce_ratio() -> float:
+            stats = self.coalescer.stats
+            served = stats.executed + stats.coalesced
+            return stats.coalesced / served if served else 0.0
+
+        def tenant_samples(key):
+            def fn():
+                return [
+                    ({"tenant": tenant}, charge[key])
+                    for tenant, charge in self.budget.to_dict().items()
+                ]
+
+            return fn
+
+        def cache_hit_rate() -> float:
+            totals = self.coalescer.engine_totals()
+            requests = totals["pmf_cache_requests"]
+            return totals["pmf_cache_hits"] / requests if requests else 0.0
+
+        def engine_totals():
+            return [
+                ({"counter": key}, value)
+                for key, value in self.coalescer.engine_totals().items()
+            ]
+
+        self.metrics.gauge_callback(
+            "repro_serve_queue_depth",
+            lambda: len(self._pending),
+            "Requests admitted but not yet taken into a batch",
+        )
+        self.metrics.gauge_callback(
+            "repro_serve_coalesce_ratio",
+            coalesce_ratio,
+            "Fraction of served requests coalesced onto another's "
+            "execution",
+        )
+        self.metrics.gauge_callback(
+            "repro_serve_tenant_circuits",
+            tenant_samples("circuits"),
+            "Circuits charged to each tenant",
+        )
+        self.metrics.gauge_callback(
+            "repro_serve_tenant_shots",
+            tenant_samples("shots"),
+            "Shots charged to each tenant",
+        )
+        self.metrics.gauge_callback(
+            "repro_serve_tenant_jobs",
+            tenant_samples("jobs"),
+            "Jobs charged to each tenant",
+        )
+        self.metrics.gauge_callback(
+            "repro_serve_cache_hit_rate",
+            cache_hit_rate,
+            "PMF cache hit rate across every shared session",
+        )
+        self.metrics.gauge_callback(
+            "repro_serve_engine_total",
+            engine_totals,
+            "Summed engine/ledger counters across shared sessions",
+        )
 
     # ----------------------------------------------------------- recovery
 
@@ -251,10 +338,14 @@ class Service:
     def _execute(self, batch: list[Request]) -> int:
         """Run one batch; never raise — a bad batch must not kill the
         worker thread (or strand its futures unresolved forever)."""
+        now = time.perf_counter()
+        for request in batch:
+            self._queue_wait.observe(now - request.submitted_at)
         with self._exec_lock:
             try:
                 return self.coalescer.execute_batch(batch)
             except Exception as exc:  # noqa: BLE001 - isolate bad batches
+                logger.exception("batch of %d requests failed", len(batch))
                 for request in batch:
                     if not request.future.done():
                         request.future.set_exception(exc)
@@ -281,6 +372,7 @@ class Service:
                 target=self._worker_loop, name="repro-serve", daemon=True
             )
             self._worker.start()
+            logger.debug("batching worker started")
         return self
 
     # ------------------------------------------------------------- status

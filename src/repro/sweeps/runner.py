@@ -24,6 +24,7 @@ the pool starts, keeping their module-level caches race-free.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -32,6 +33,7 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from .. import obs
 from ..api import Session
 from ..noise import DEVICE_PRESETS, DeviceModel, SimulatorBackend
 from ..optimizers import SPSA
@@ -54,6 +56,8 @@ __all__ = [
 
 #: Pool backends accepted by :func:`run_sweep`.
 EXECUTORS = ("thread", "process")
+
+logger = logging.getLogger("repro.sweeps")
 
 
 def execute_tuning(
@@ -361,6 +365,28 @@ class SweepReport:
         """Grid cells still missing from the store (``limit`` leftovers)."""
         return self.total - len(self.records)
 
+    def executed_totals(self) -> dict:
+        """Summed cost of the points *this run* executed.
+
+        Aggregates the stored records' wall clocks and (where the task
+        records them — tuning points always do) circuit/shot ledgers:
+        the per-run ledger delta the CLI end-of-run summaries print.
+        """
+        totals = {"points": 0, "wall_s": 0.0, "circuits": 0, "shots": 0}
+        for fingerprint in self.executed:
+            record = self.records.get(fingerprint)
+            if record is None:
+                continue
+            totals["points"] += 1
+            totals["wall_s"] += float(record.get("wall_time_s", 0.0))
+            result = record.get("result", {})
+            if isinstance(result, dict):
+                for key in ("circuits", "shots"):
+                    value = result.get(key)
+                    if isinstance(value, (int, float)):
+                        totals[key] += int(value)
+        return totals
+
     def summary(self) -> str:
         """One-line progress summary (the CLI's report line)."""
         return (
@@ -447,12 +473,18 @@ def run_sweep(
         pending = pending[: max(0, limit)]
 
     report = SweepReport(total=len(seen), skipped=skipped)
+    logger.info(
+        "sweep start: %d pending of %d points (%d already complete, "
+        "executor=%s, workers=%d)",
+        len(pending), len(seen), skipped, executor, workers,
+    )
 
     if executor == "process" and workers > 1 and len(pending) > 1:
         executed = _run_process_pool(pending, store, workers, progress)
     else:
         executed = _run_thread_pool(pending, store, workers, progress)
 
+    logger.info("sweep done: executed %d points", len(executed))
     report.executed = [fingerprint for fingerprint, _ in executed]
     report.records = {
         fingerprint: store.get(fingerprint)
@@ -481,7 +513,17 @@ def _run_thread_pool(
     def run_one(item: tuple[Point, str]) -> tuple[str, dict]:
         nonlocal done
         point, fingerprint = item
-        result, wall = execute_point(point, workload_cache)
+        with obs.span(
+            "sweep.point",
+            fingerprint=fingerprint,
+            task=point.task,
+            label=point.label(),
+        ):
+            result, wall = execute_point(point, workload_cache)
+        logger.debug(
+            "point %s (%s) finished in %.3fs",
+            point.label(), fingerprint[:12], wall,
+        )
         record = store.append(
             point, result, wall_time_s=wall, fingerprint=fingerprint
         )
@@ -526,10 +568,21 @@ def _run_process_pool(
             try:
                 fingerprint, result, wall = future.result()
             except Exception as exc:  # noqa: BLE001 - re-raised below
+                logger.warning("process-pool point failed: %s", exc)
                 if first_error is None:
                     first_error = exc
                 continue
             point = by_fingerprint[fingerprint]
+            # Worker processes trace nothing (the tracer lives in the
+            # parent); replay the measured wall clock as a parent span.
+            obs.record(
+                "sweep.point",
+                wall,
+                fingerprint=fingerprint,
+                task=point.task,
+                label=point.label(),
+                executor="process",
+            )
             record = store.append(
                 point, result, wall_time_s=wall, fingerprint=fingerprint
             )

@@ -24,6 +24,7 @@ SCOPED = [
     "repro/backends",
     "repro/engine",
     "repro/io",
+    "repro/obs",
     "repro/serve",
     "repro/sweeps/spec.py",
     "repro/sweeps/catalog.py",

@@ -1,0 +1,165 @@
+"""Snapshot subtraction: CacheStats/EngineStats/LedgerSnapshot deltas.
+
+The serve subsystem charges tenants and the CLI prints end-of-run
+summaries by subtracting snapshots around a phase, so the subtraction
+algebra gets property coverage — and a concurrency test pins that
+per-batch deltas sum to the engine's lifetime totals.
+"""
+
+import threading
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import LedgerSnapshot, Session
+from repro.engine import CacheStats, EngineStats
+
+counts = st.integers(min_value=0, max_value=10**9)
+
+
+def cache_stats(draw=None):
+    return st.builds(
+        CacheStats,
+        hits=counts, misses=counts, evictions=counts,
+        size=counts, maxsize=counts, bytes=counts, max_bytes=counts,
+    )
+
+
+class TestCacheStatsDelta:
+    @given(after=cache_stats(), before=cache_stats())
+    def test_fieldwise_subtraction(self, after, before):
+        delta = after - before
+        assert delta.hits == after.hits - before.hits
+        assert delta.misses == after.misses - before.misses
+        assert delta.evictions == after.evictions - before.evictions
+        assert delta.size == after.size - before.size
+        assert delta.bytes == after.bytes - before.bytes
+        # Capacity is a configuration level, not a counter: preserved.
+        assert delta.maxsize == after.maxsize
+        assert delta.max_bytes == after.max_bytes
+
+    @given(stats=cache_stats())
+    def test_self_subtraction_zeroes_counters(self, stats):
+        delta = stats - stats
+        assert (delta.hits, delta.misses, delta.evictions) == (0, 0, 0)
+        assert delta.requests == 0
+        assert delta.hit_rate == 0.0
+
+    @given(after=cache_stats(), before=cache_stats())
+    def test_requests_decomposes(self, after, before):
+        delta = after - before
+        assert delta.requests == after.requests - before.requests
+
+
+class TestEngineStatsDelta:
+    @given(
+        after=st.builds(
+            EngineStats,
+            jobs_submitted=counts, batches_run=counts,
+            simulations=counts, dedup_coalesced=counts,
+            pmf_cache=cache_stats(), state_cache=cache_stats(),
+        ),
+        before=st.builds(
+            EngineStats,
+            jobs_submitted=counts, batches_run=counts,
+            simulations=counts, dedup_coalesced=counts,
+            pmf_cache=cache_stats(), state_cache=cache_stats(),
+        ),
+    )
+    def test_fieldwise_and_nested(self, after, before):
+        delta = after - before
+        assert delta.jobs_submitted == (
+            after.jobs_submitted - before.jobs_submitted
+        )
+        assert delta.batches_run == after.batches_run - before.batches_run
+        assert delta.simulations == after.simulations - before.simulations
+        assert delta.dedup_coalesced == (
+            after.dedup_coalesced - before.dedup_coalesced
+        )
+        assert delta.pmf_cache == after.pmf_cache - before.pmf_cache
+        assert delta.state_cache == after.state_cache - before.state_cache
+
+
+class TestLedgerSnapshotDelta:
+    @given(
+        after=st.builds(
+            LedgerSnapshot,
+            circuits=counts, shots=counts, simulations=counts,
+            cache_hits=counts, cache_requests=counts,
+        ),
+        before=st.builds(
+            LedgerSnapshot,
+            circuits=counts, shots=counts, simulations=counts,
+            cache_hits=counts, cache_requests=counts,
+        ),
+    )
+    def test_fieldwise_subtraction(self, after, before):
+        delta = after - before
+        assert delta.circuits == after.circuits - before.circuits
+        assert delta.shots == after.shots - before.shots
+        assert delta.simulations == after.simulations - before.simulations
+        assert delta.cache_hits == after.cache_hits - before.cache_hits
+        assert delta.cache_requests == (
+            after.cache_requests - before.cache_requests
+        )
+
+    @given(
+        a=st.builds(
+            LedgerSnapshot,
+            circuits=counts, shots=counts, simulations=counts,
+            cache_hits=counts, cache_requests=counts,
+        ),
+        b=st.builds(
+            LedgerSnapshot,
+            circuits=counts, shots=counts, simulations=counts,
+            cache_hits=counts, cache_requests=counts,
+        ),
+        c=st.builds(
+            LedgerSnapshot,
+            circuits=counts, shots=counts, simulations=counts,
+            cache_hits=counts, cache_requests=counts,
+        ),
+    )
+    def test_deltas_telescope(self, a, b, c):
+        """(c - b) + (b - a) == c - a, field by field."""
+        left = c - b
+        right = b - a
+        total = c - a
+        assert left.circuits + right.circuits == total.circuits
+        assert left.shots + right.shots == total.shots
+        assert left.simulations + right.simulations == total.simulations
+
+
+class TestConcurrentDeltas:
+    def test_per_phase_deltas_sum_to_lifetime_totals(self, h2_workload):
+        """Serialized snapshot windows around concurrent estimator use.
+
+        Four threads share one session; each phase (thread) takes its
+        ledger delta under a lock serializing estimator calls.  The
+        per-phase deltas must sum exactly to the session's lifetime
+        ledger — the property tenant charging relies on.
+        """
+        session = Session("ibmq_mumbai_like", seed=11)
+        estimator = session.estimator("baseline", h2_workload, shots=32)
+        params = np.zeros(h2_workload.ansatz.num_parameters)
+        lock = threading.Lock()
+        deltas = []
+
+        def phase():
+            with lock:
+                before = session.ledger()
+                estimator.evaluate(params)
+                deltas.append(session.ledger() - before)
+
+        threads = [threading.Thread(target=phase) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = session.ledger()
+        assert sum(d.circuits for d in deltas) == total.circuits
+        assert sum(d.shots for d in deltas) == total.shots
+        assert sum(d.simulations for d in deltas) == total.simulations
+        assert all(d.circuits > 0 for d in deltas)
+        session.close()

@@ -1,0 +1,13 @@
+"""Shared fixtures: every obs test leaves global tracing disabled."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Reset the global tracer around each test (it is process state)."""
+    obs.disable()
+    yield
+    obs.disable()

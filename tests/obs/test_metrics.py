@@ -1,0 +1,156 @@
+"""The metrics registry: instruments, Prometheus text, snapshots."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    snapshot_delta,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(tenant="alice")
+        counter.inc(3, tenant="bob")
+        assert counter.value(tenant="alice") == 1
+        assert counter.value(tenant="bob") == 3
+        assert counter.value(tenant="carol") == 0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_render_is_prometheus_text(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "Jobs executed")
+        counter.inc(7, tenant="alice")
+        text = registry.render()
+        assert "# HELP jobs_total Jobs executed" in text
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{tenant="alice"} 7' in text
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3
+
+    def test_unset_series_renders_zero(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth")
+        assert "depth 0" in registry.render()
+
+
+class TestHistogram:
+    def test_cumulative_bucket_render(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert hist.sum() == pytest.approx(6.05)
+
+    def test_observation_on_edge_lands_in_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        hist.observe(1.0)
+        assert 'h_bucket{le="1"} 1' in "\n".join(hist.render())
+
+    def test_needs_at_least_one_edge(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestCallbackGauge:
+    def test_scalar_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge_callback("depth", lambda: 4)
+        assert "depth 4" in registry.render()
+
+    def test_labeled_family_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge_callback(
+            "charges",
+            lambda: [({"tenant": "alice"}, 2.0), ({"tenant": "bob"}, 3.0)],
+        )
+        text = registry.render()
+        assert 'charges{tenant="alice"} 2' in text
+        assert 'charges{tenant="bob"} 3' in text
+
+    def test_raising_callback_renders_no_samples(self):
+        registry = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("scrape must survive")
+
+        registry.gauge_callback("bad", boom)
+        text = registry.render()
+        assert "# TYPE bad gauge" in text
+        assert "\nbad " not in text
+
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge_callback("x", lambda: 0)
+        with pytest.raises(ValueError):
+            registry.gauge_callback("x", lambda: 1)
+
+
+class TestRegistry:
+    def test_instruments_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_flattens_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2, tenant="alice")
+        registry.gauge("g").set(1.5)
+        snap = registry.snapshot()
+        assert snap['c{tenant="alice"}'] == 2
+        assert snap["g"] == 1.5
+
+    def test_histogram_snapshot_exposes_sum_and_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.2)
+        snap = registry.snapshot()
+        assert snap["h_sum"] == pytest.approx(0.2)
+        assert snap["h_count"] == 1
+
+
+class TestSnapshotDelta:
+    def test_subtracts_keywise_and_drops_zeros(self):
+        before = {"a": 1.0, "b": 2.0}
+        after = {"a": 3.0, "b": 2.0, "c": 5.0}
+        assert snapshot_delta(after, before) == {"a": 2.0, "c": 5.0}
+
+    def test_registry_snapshots_delta_one_phase(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(10)
+        before = registry.snapshot()
+        counter.inc(4)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert delta == {"c": 4.0}

@@ -1,0 +1,93 @@
+"""The offline ``repro trace`` report over a synthetic span journal."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import load_trace, render_trace_report
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A small journaled trace with nesting, points, and requests."""
+    path = tmp_path / "trace.jsonl"
+    obs.enable(path)
+    with obs.span("sweep.point", label="pt-slow", task="tuning"):
+        with obs.span("engine.batch", jobs=4):
+            with obs.span("engine.simulate", simulations=3):
+                time.sleep(0.01)  # the dominant phase, unambiguously
+            obs.record("engine.sample", 0.0005)
+    obs.record(
+        "sweep.point", 0.001, label="pt-fast", task="tuning",
+        executor="process",
+    )
+    obs.record(
+        "serve.request", 0.002, tenant="alice", path="executed",
+        queue_wait_s=0.001, state="complete",
+    )
+    obs.record(
+        "serve.request", 0.001, tenant="bob", path="coalesced",
+        queue_wait_s=0.001, state="complete",
+    )
+    obs.disable()
+    return path
+
+
+class TestLoadTrace:
+    def test_records_sorted_by_span_id(self, trace_path):
+        spans = load_trace(trace_path)
+        ids = [record["span_id"] for record in spans]
+        assert ids == sorted(ids)
+        assert len(spans) == 7
+
+    def test_id_order_is_topological(self, trace_path):
+        spans = load_trace(trace_path)
+        seen = set()
+        for record in spans:
+            parent = record["parent_id"]
+            assert parent is None or parent in seen
+            seen.add(record["span_id"])
+
+
+class TestRenderReport:
+    def test_all_sections_present(self, trace_path):
+        report = render_trace_report(trace_path)
+        assert "span tree (aggregated by name):" in report
+        assert "critical path:" in report
+        assert "spans by self time:" in report
+        assert "sweep points (2 spans" in report
+        assert "serve requests by tenant (2 spans):" in report
+
+    def test_tree_nests_engine_phases_under_the_point(self, trace_path):
+        report = render_trace_report(trace_path)
+        tree = report.split("critical path:")[0]
+        assert "engine.batch" in tree
+        assert "engine.simulate" in tree
+
+    def test_critical_path_descends_longest_children(self, trace_path):
+        report = render_trace_report(trace_path)
+        path_line = report.split("critical path:")[1].splitlines()[1]
+        assert path_line.strip().startswith("sweep.point[label=pt-slow]")
+        assert "engine.batch" in path_line
+
+    def test_per_point_lists_slowest_first(self, trace_path):
+        report = render_trace_report(trace_path)
+        section = report.split("sweep points")[1]
+        assert section.index("pt-slow") < section.index("pt-fast")
+
+    def test_per_tenant_counts_paths(self, trace_path):
+        report = render_trace_report(trace_path)
+        section = report.split("serve requests by tenant")[1]
+        assert "alice" in section and "1 executed" in section
+        assert "bob" in section and "1 coalesced" in section
+
+    def test_top_respects_limit(self, trace_path):
+        report = render_trace_report(trace_path, top=1)
+        assert "top 1 spans by self time:" in report
+        assert "... and 1 more" in report  # 2 points, top=1
+
+    def test_empty_journal(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "no spans" in render_trace_report(path)

@@ -1,0 +1,138 @@
+"""Tracer behavior: no-op path, nesting, journaling, thread safety."""
+
+import threading
+
+from repro import obs
+from repro.io import Journal
+from repro.obs.trace import NULL_SPAN, _FLUSH_THRESHOLD
+
+
+class TestDisabledPath:
+    def test_span_returns_the_shared_null_span(self):
+        assert obs.span("anything", key="value") is NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        with obs.span("x") as span:
+            assert span.set(a=1) is span
+
+    def test_record_is_a_no_op(self):
+        obs.record("x", 0.5, tenant="alice")  # must not raise
+
+    def test_enabled_reports_state(self):
+        assert not obs.enabled()
+        obs.enable(None)
+        assert obs.enabled()
+        obs.disable()
+        assert not obs.enabled()
+
+
+class TestMemoryTracer:
+    def test_span_records_name_attrs_duration(self):
+        tracer = obs.enable(None)
+        with obs.span("work", label="w1") as span:
+            span.set(extra=2)
+        (record,) = tracer.spans()
+        assert record["name"] == "work"
+        assert record["attrs"] == {"label": "w1", "extra": 2}
+        assert record["duration_s"] >= 0.0
+        assert record["parent_id"] is None
+
+    def test_nested_spans_parent_on_the_stack(self):
+        tracer = obs.enable(None)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_record_logs_a_pre_measured_event(self):
+        tracer = obs.enable(None)
+        with obs.span("parent"):
+            obs.record("event", 1.25, executor="process")
+        event, parent = tracer.spans()
+        assert event["duration_s"] == 1.25
+        assert event["parent_id"] == parent["span_id"]
+        assert event["attrs"] == {"executor": "process"}
+
+    def test_span_ids_are_unique_across_threads(self):
+        tracer = obs.enable(None)
+
+        def work():
+            for _ in range(50):
+                with obs.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [record["span_id"] for record in tracer.spans()]
+        assert len(ids) == 200
+        assert len(set(ids)) == 200
+
+    def test_parenting_is_per_thread(self):
+        tracer = obs.enable(None)
+        done = threading.Event()
+
+        def other_thread():
+            with obs.span("other"):
+                pass
+            done.set()
+
+        with obs.span("main"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        done.wait()
+        by_name = {r["name"]: r for r in tracer.spans()}
+        # The other thread's span must NOT parent under "main".
+        assert by_name["other"]["parent_id"] is None
+
+
+class TestJournaledTracer:
+    def test_flush_writes_jsonl_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(path)
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        obs.disable()  # flushes
+        journal = Journal(
+            path, obs.TRACE_SCHEMA_VERSION, key_field="span_id"
+        )
+        names = {r["name"] for r in journal.records()}
+        assert names == {"a", "b"}
+
+    def test_buffer_auto_flushes_past_threshold(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable(path)
+        for _ in range(_FLUSH_THRESHOLD + 1):
+            with obs.span("tick"):
+                pass
+        # The journal received spans before any explicit flush.
+        assert path.exists()
+        assert len(path.read_text().splitlines()) >= _FLUSH_THRESHOLD
+
+    def test_len_counts_flushed_and_buffered(self, tmp_path):
+        tracer = obs.enable(tmp_path / "trace.jsonl")
+        for _ in range(5):
+            with obs.span("tick"):
+                pass
+        assert len(tracer) == 5
+        tracer.flush()
+        assert len(tracer) == 5
+        assert tracer.spans() == []  # buffer drained after flush
+
+    def test_enable_replaces_and_flushes_previous_tracer(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        obs.enable(first)
+        with obs.span("early"):
+            pass
+        obs.enable(None)  # replace; the first tracer must flush
+        journal = Journal(
+            first, obs.TRACE_SCHEMA_VERSION, key_field="span_id"
+        )
+        assert [r["name"] for r in journal.records()] == ["early"]

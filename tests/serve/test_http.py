@@ -194,3 +194,55 @@ class TestDedupOverTheWire:
         assert replies[0]["job_fingerprint"] == JobSpec.from_dict(
             job_payload()
         ).fingerprint()
+
+
+class TestMetricsEndpoint:
+    @staticmethod
+    def _scrape(base):
+        import urllib.request
+
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as rsp:
+            return rsp.headers.get("Content-Type"), rsp.read().decode()
+
+    def test_prometheus_exposition(self, server):
+        base, _ = server
+        for tenant in ("alice", "bob"):
+            request_json(
+                base,
+                "/submit",
+                {"tenant": tenant, "job": job_payload(), "wait": True},
+            )
+        content_type, text = self._scrape(base)
+        assert content_type == "text/plain; version=0.0.4"
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 0" in text
+        assert "repro_serve_coalesce_ratio 0" in text
+        # Only alice executed (bob's identical job served from the
+        # results DB), so only alice carries a charge.
+        assert 'repro_serve_tenant_jobs{tenant="alice"} 1' in text
+        assert "repro_serve_cache_hit_rate" in text
+        assert 'repro_serve_engine_total{counter="circuits"}' in text
+        # The process-wide engine registry rides along.
+        assert "# TYPE repro_engine_batches_total counter" in text
+        assert "repro_serve_queue_wait_seconds_bucket" in text
+
+    def test_scrape_of_idle_server_succeeds(self, server):
+        base, _ = server
+        content_type, text = self._scrape(base)
+        assert content_type == "text/plain; version=0.0.4"
+        assert "repro_serve_queue_depth 0" in text
+        assert "repro_serve_coalesce_ratio 0" in text
+
+    def test_in_batch_coalescing_moves_the_ratio(self, tmp_path):
+        from repro.serve import Service
+
+        with Service(tmp_path / "journal") as service:
+            for tenant in ("alice", "bob"):
+                service.submit(tenant, JobSpec.from_dict(job_payload()))
+            service.drain()
+            text = service.metrics.render()
+        # One executed + one coalesced in the same batch -> ratio 0.5,
+        # and the coalesced tenant pays nothing.
+        assert "repro_serve_coalesce_ratio 0.5" in text
+        assert 'repro_serve_tenant_jobs{tenant="alice"} 1' in text
+        assert 'tenant="bob"' not in text  # coalesced: never charged
