@@ -133,6 +133,8 @@ _BENCH_COUNTERS = {
     "simulations": "repro_engine_simulations_total",
     "cache_hits": "repro_engine_cache_hits_total",
     "batches": "repro_engine_batches_total",
+    "plan_cache_hits": "repro_engine_plan_cache_hits_total",
+    "plan_cache_misses": "repro_engine_plan_cache_misses_total",
 }
 
 
@@ -199,6 +201,19 @@ def pytest_sessionfinish(session, exitstatus):
             )
     except OSError:
         pass
+
+
+def record_entry_stat(entry: str, **values) -> None:
+    """Merge extra fields into an entry's ``BENCH_<entry>.json`` payload.
+
+    Bench tests use this for derived quantities the metric counters
+    can't express (e.g. the engine-vs-direct speedup ratio CI gates on).
+    """
+    with _RESULTS_LOCK:
+        stats = _BENCH_STATS.setdefault(
+            entry, {"tests": 0, "wall_s": 0.0}
+        )
+        stats.update(values)
 
 
 def run_once(benchmark, fn):

@@ -64,6 +64,13 @@ FIXED_GATES: dict[str, np.ndarray] = {
     "swap": SWAP,
 }
 
+# gate_matrix() hands these module-level constants out by reference; a
+# writeable view would let one caller's in-place edit corrupt every
+# subsequent simulation process-wide.
+for _matrix in FIXED_GATES.values():
+    _matrix.setflags(write=False)
+del _matrix
+
 #: Single-parameter rotation gates.
 ROTATION_GATES = frozenset({"rx", "ry", "rz", "p"})
 

@@ -10,9 +10,14 @@ VarSaw workflow actually benefits from is small and local:
 * :func:`transpile` — fixed-point iteration of both.
 
 Measurement-basis suffixes appended per group often create exactly these
-patterns (e.g. an ansatz ending in RZ followed by a basis RZ), so the
-passes measurably shrink executed depth while provably preserving the
-unitary (tested against the statevector engine).
+patterns (e.g. an ansatz ending in RZ followed by a basis RZ).  The
+passes preserve the circuit unitary up to global phase — wrapping a
+rotation angle mod 2π negates an SU(2) rotation, which no probability
+or expectation value can observe (pinned by the hypothesis suite in
+``tests/properties``); execution reaches them through plan compilation
+(:mod:`repro.sim.plan` cancels the bit-exact subset of self-inverse
+pairs before precomputing its gate schedule), and callers may also
+apply :func:`transpile` directly ahead of any backend.
 """
 
 from __future__ import annotations
@@ -21,10 +26,22 @@ import math
 
 from .circuit import Circuit, Instruction
 
-__all__ = ["cancel_adjacent", "merge_rotations", "transpile"]
+__all__ = [
+    "cancel_adjacent",
+    "merge_rotations",
+    "transpile",
+    "BITEXACT_SELF_INVERSE",
+]
 
 #: Gates that square to the identity.
 _SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap", "i"}
+
+#: Self-inverse gates whose matrices hold only 0/±1/±i entries, so
+#: applying a pair is *bit-exact* under float arithmetic and dropping
+#: the pair cannot change any downstream probability bit.  H is
+#: excluded: (1/√2)·(1/√2) rounds, so H·H ≠ I bitwise.  The plan
+#: compiler (:mod:`repro.sim.plan`) restricts cancellation to this set.
+BITEXACT_SELF_INVERSE = frozenset({"i", "x", "y", "z", "cx", "cz", "swap"})
 
 #: Rotation gates whose angles add when composed on the same qubit.
 _ADDITIVE = {"rx", "ry", "rz", "p"}
@@ -39,23 +56,35 @@ def _rebuild(circuit: Circuit, instructions: list[Instruction]) -> Circuit:
     return out
 
 
-def cancel_adjacent(circuit: Circuit) -> Circuit:
-    """Remove immediate self-inverse pairs on identical qubit tuples.
+def cancel_adjacent(
+    circuit: Circuit, gates: frozenset[str] | set[str] | None = None
+) -> Circuit:
+    """Remove self-inverse pairs separated only by commuting gates.
 
-    Gates on disjoint qubits commute, so a pair only cancels when no
-    intervening gate touches any of its qubits; a single left-to-right
-    stack pass with that check finds all such pairs.
+    Gates on disjoint qubits commute, so a pair cancels when no
+    intervening gate touches any of its qubits.  For each incoming
+    self-inverse gate the pass scans back through the emitted stack,
+    skipping instructions on disjoint qubits, and cancels on an exact
+    ``(name, qubits)`` match; the first instruction sharing a qubit
+    blocks the search.  ``gates`` restricts which names may cancel
+    (default: every self-inverse gate, including H).
     """
+    cancelable = _SELF_INVERSE if gates is None else gates
     stack: list[Instruction] = []
     for ins in circuit.instructions:
-        if (
-            ins.name in _SELF_INVERSE
-            and stack
-            and stack[-1].name == ins.name
-            and stack[-1].qubits == ins.qubits
-        ):
-            stack.pop()
-            continue
+        if ins.name in cancelable:
+            touched = set(ins.qubits)
+            matched = False
+            for i in range(len(stack) - 1, -1, -1):
+                prev = stack[i]
+                if prev.name == ins.name and prev.qubits == ins.qubits:
+                    del stack[i]
+                    matched = True
+                    break
+                if touched & set(prev.qubits):
+                    break
+            if matched:
+                continue
         stack.append(ins)
     return _rebuild(circuit, stack)
 
@@ -64,7 +93,8 @@ def merge_rotations(circuit: Circuit, atol: float = 1e-12) -> Circuit:
     """Fuse consecutive same-axis rotations on the same qubit.
 
     Only bound (numeric) rotations merge; a symbolic parameter blocks the
-    fusion.  Angles are reduced mod 2π and near-zero results dropped.
+    fusion.  Angles are reduced mod 2π and near-zero results dropped;
+    for rx/ry/rz a 2π wrap flips an unobservable global phase.
     """
     out: list[Instruction] = []
     for ins in circuit.instructions:

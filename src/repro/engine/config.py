@@ -59,6 +59,13 @@ class EngineConfig:
     state_cache_bytes:
         Same, for the statevector cache (``16 * 2**n_qubits`` bytes per
         entry, auto budget of 16 entries, same 16 MiB floor).
+    plan_cache_size:
+        Maximum compiled :class:`~repro.sim.plan.CircuitPlan` entries,
+        keyed by circuit *structure* fingerprint (one plan serves every
+        parameter binding of a structure).  ``0`` disables the plan
+        path entirely — the engine then simulates through the
+        uncompiled backend hooks, which is what the throughput
+        benchmark's "direct" row measures.
     rng_mode:
         ``"shared"`` or ``"per_job"`` — see the module docstring.
     """
@@ -66,6 +73,7 @@ class EngineConfig:
     workers: int = 1
     cache_size: int = 256
     state_cache_size: int = 64
+    plan_cache_size: int = 64
     cache_bytes: int | None = None
     state_cache_bytes: int | None = None
     rng_mode: str = "shared"
@@ -77,6 +85,8 @@ class EngineConfig:
             raise ValueError("cache_size must be >= 0")
         if self.state_cache_size < 0:
             raise ValueError("state_cache_size must be >= 0")
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
         for name in ("cache_bytes", "state_cache_bytes"):
             value = getattr(self, name)
             if value is not None and value < 0:

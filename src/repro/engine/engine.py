@@ -34,9 +34,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..circuits import Circuit
+from ..noise.backend import SimulatorBackend as _DenseBackend
 from ..obs import REGISTRY as _METRICS
 from ..obs import span as _obs_span
-from ..sim import PMF, Counts
+from ..sim import PMF, Counts, probabilities
+from ..sim.plan import CircuitPlan, compile_plan, structure_fingerprint
 from .cache import CacheStats, LRUCache
 from .config import EngineConfig
 from .executor import make_executor
@@ -73,6 +75,14 @@ _M_CACHE_HITS = _METRICS.counter(
 _M_COALESCED = _METRICS.counter(
     "repro_engine_dedup_coalesced_total",
     "Jobs coalesced onto an identical in-batch submission",
+)
+_M_PLAN_HITS = _METRICS.counter(
+    "repro_engine_plan_cache_hits_total",
+    "Compiled-plan cache hits (structure reused)",
+)
+_M_PLAN_MISSES = _METRICS.counter(
+    "repro_engine_plan_cache_misses_total",
+    "Compiled-plan cache misses (plan compiled)",
 )
 _M_BATCH_SECONDS = _METRICS.histogram(
     "repro_engine_batch_seconds", "Wall-clock seconds per engine batch"
@@ -117,6 +127,7 @@ class EngineStats:
     dedup_coalesced: int
     pmf_cache: CacheStats
     state_cache: CacheStats
+    plan_cache: CacheStats
 
     def __sub__(self, other: "EngineStats") -> "EngineStats":
         return EngineStats(
@@ -126,6 +137,7 @@ class EngineStats:
             dedup_coalesced=self.dedup_coalesced - other.dedup_coalesced,
             pmf_cache=self.pmf_cache - other.pmf_cache,
             state_cache=self.state_cache - other.state_cache,
+            plan_cache=self.plan_cache - other.plan_cache,
         )
 
 
@@ -273,6 +285,27 @@ class ExecutionEngine:
                 _AUTO_STATE_ENTRIES,
             ),
         )
+        # Compiled-plan cache, keyed by structure fingerprint.  The
+        # plan path is only taken where it is provably bit-identical:
+        # each capability is gated on the backend *inheriting* the
+        # corresponding dense pipeline (an override — stabilizer
+        # tableaus, density channels, test doubles — computes different
+        # bits, so those hooks keep being called circuit-by-circuit).
+        self._plan_cache = LRUCache(self.config.plan_cache_size)
+        plans_on = self.config.plan_cache_size > 0
+        bcls = type(backend)
+        self._plan_prepare = plans_on and (
+            getattr(bcls, "prepare_state", None)
+            is _DenseBackend.prepare_state
+        )
+        self._plan_batching = plans_on and (
+            getattr(bcls, "supports_plan_batching", None) is not None
+            and backend.supports_plan_batching()
+        )
+        self._suffix_plans = plans_on and (
+            getattr(bcls, "supports_suffix_plans", None) is not None
+            and backend.supports_suffix_plans()
+        )
         self._job_counter = 0
         self._batches_run = 0
         self._simulations = 0
@@ -304,6 +337,18 @@ class ExecutionEngine:
 
     # ------------------------------------------------------ state preparation
 
+    def _plan_for(self, circuit: Circuit) -> CircuitPlan:
+        """The compiled plan for ``circuit``'s structure (plan cache)."""
+        key = structure_fingerprint(circuit)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = compile_plan(circuit)
+            self._plan_cache.put(key, plan)
+            _M_PLAN_MISSES.inc()
+        else:
+            _M_PLAN_HITS.inc()
+        return plan
+
     def prepare_state(self, circuit: Circuit) -> np.ndarray:
         """Memoized ansatz-state preparation (never charged, noise-free).
 
@@ -314,13 +359,70 @@ class ExecutionEngine:
         key = circuit_fingerprint(circuit)
         state = self._state_cache.get(key)
         if state is None:
-            state = self.backend.prepare_state(circuit)
+            if self._plan_prepare:
+                state = self.backend.prepare_state(
+                    circuit, plan=self._plan_for(circuit)
+                )
+            else:
+                state = self.backend.prepare_state(circuit)
             self._state_cache.put(key, state)
         return state
+
+    def prepare_states(self, circuits) -> list[np.ndarray]:
+        """Batched :meth:`prepare_state` over many bound circuits.
+
+        Cache misses that share one structure (SPSA's ``±ck·Δ``
+        perturbation pair, sweep points over one ansatz) advance
+        through a single compiled-plan batch — one broadcast ``matmul``
+        per gate — and land in the state cache.  Every returned state
+        is bit-identical to calling :meth:`prepare_state` one circuit
+        at a time.
+        """
+        results: list[np.ndarray | None] = [None] * len(circuits)
+        misses: list[tuple[int, str, Circuit]] = []
+        for i, circuit in enumerate(circuits):
+            key = circuit_fingerprint(circuit)
+            state = self._state_cache.get(key)
+            if state is None:
+                misses.append((i, key, circuit))
+            else:
+                results[i] = state
+        groups: dict[str, tuple[CircuitPlan, list]] = {}
+        for i, key, circuit in misses:
+            if self._plan_prepare:
+                plan = self._plan_for(circuit)
+                groups.setdefault(plan.structure_key, (plan, []))[
+                    1
+                ].append((i, key, circuit))
+            else:
+                state = self.backend.prepare_state(circuit)
+                self._state_cache.put(key, state)
+                results[i] = state
+        for plan, items in groups.values():
+            if len(items) == 1:
+                i, key, circuit = items[0]
+                state = self.backend.prepare_state(circuit, plan=plan)
+                self._state_cache.put(key, state)
+                results[i] = state
+                continue
+            states = plan.run_batch(
+                [plan.slot_values(circuit) for _, _, circuit in items]
+            )
+            for (i, key, _), row in zip(items, states):
+                state = row.copy()
+                self._state_cache.put(key, state)
+                results[i] = state
+        return results
 
     # -------------------------------------------------------------- execution
 
     def _simulate(self, spec) -> PMF:
+        """Scalar simulation through the backend's planless hooks.
+
+        The fallback for backends that override the dense pipeline
+        (stabilizer tableaus, density channels, test doubles) — and for
+        engines with the plan path disabled.
+        """
         if isinstance(spec, CircuitSpec):
             return self.backend.exact_pmf(
                 spec.circuit, map_to_best=spec.map_to_best
@@ -333,6 +435,60 @@ class ExecutionEngine:
             gate_load=spec.gate_load,
         )
 
+    def _ideal_probs_group(
+        self, plan: CircuitPlan, group: list[tuple[tuple, CircuitSpec]]
+    ) -> list[tuple]:
+        """Ideal probability rows of same-structure circuit specs.
+
+        Runs the whole group through one compiled-plan batch; the noise
+        pipeline is applied later by the backend's vectorized finisher.
+        Gate loads come from each spec's *original* instruction list.
+        """
+        states = plan.run_batch(
+            [plan.slot_values(spec.circuit) for _, spec in group]
+        )
+        rows = []
+        for (key, spec), state in zip(group, states):
+            circuit = spec.circuit
+            g2 = circuit.num_two_qubit_gates
+            g1 = circuit.num_gates - g2
+            rows.append((
+                key,
+                probabilities(state),
+                circuit.n_qubits,
+                tuple(sorted(circuit.measured_qubits)),
+                spec.map_to_best,
+                (g1, g2),
+            ))
+        return rows
+
+    def _ideal_probs_state(
+        self, key: tuple, spec: StateSpec, suffix_plan: CircuitPlan | None
+    ) -> list[tuple]:
+        """Ideal probability row of one prepared-state spec.
+
+        Evolves the state through the cached suffix plan (when there is
+        a suffix) and charges the *combined* original gate load, exactly
+        like the backend's ``_pmf_from_state``.
+        """
+        state = spec.state
+        g1, g2 = spec.gate_load
+        if suffix_plan is not None:
+            state = suffix_plan.run(
+                suffix_plan.slot_values(spec.suffix), initial_state=state
+            )
+            s1, s2 = suffix_plan.gate_load
+            g1, g2 = g1 + s1, g2 + s2
+        n = int(np.log2(state.shape[0]))
+        return [(
+            key,
+            probabilities(state),
+            n,
+            tuple(sorted(int(q) for q in spec.measured_qubits)),
+            spec.map_to_best,
+            (g1, g2),
+        )]
+
     def _execute(self, jobs: list[JobHandle]) -> None:
         if not jobs:
             return
@@ -342,15 +498,15 @@ class ExecutionEngine:
             device_fp = device_fingerprint(self.backend)
 
             # Phase 1: dedup — group by content fingerprint, consult
-            # the memoization cache, submit one simulation per miss.
-            futures: dict[tuple, object] = {}
+            # the memoization cache, collect one simulation per miss.
             resolved: dict[tuple, PMF] = {}
-            sources: dict[tuple, str] = {}
+            scheduled: set[tuple] = set()
+            misses: list[tuple[tuple, object]] = []
             coalesced = 0
             with _obs_span("engine.dedup"):
                 for job in jobs:
                     key = (device_fp, job._fingerprint)
-                    if key in resolved or key in futures:
+                    if key in resolved or key in scheduled:
                         self._dedup_coalesced += 1
                         coalesced += 1
                         job.source = "dedup"
@@ -358,22 +514,73 @@ class ExecutionEngine:
                     cached = self._pmf_cache.get(key)
                     if cached is not None:
                         resolved[key] = cached
-                        sources[key] = "cache"
+                        job.source = "cache"
                     else:
-                        futures[key] = self._executor.submit(
-                            self._simulate, job.spec
-                        )
-                        sources[key] = "simulated"
+                        scheduled.add(key)
+                        misses.append((key, job.spec))
+                        job.source = "simulated"
                         self._simulations += 1
-                    job.source = sources[key]
             cache_hits = len(resolved)
 
-            # Phase 2: simulate — collect the unique PMFs.
-            with _obs_span("engine.simulate", simulations=len(futures)):
+            # Phase 2: simulate.  On plan-capable backends each miss
+            # contributes an *ideal probability row*: full circuits
+            # sharing one structure vectorize into a single
+            # compiled-plan batch (one broadcast matmul per gate),
+            # suffix specs evolve through cached suffix plans.  The
+            # noise pipeline then advances every row at once through
+            # the backend's vectorized finisher.  All of it is
+            # bit-identical to the planless hooks, which keep serving
+            # backends that override them.
+            futures: dict[tuple, object] = {}
+            row_futures: list[object] = []
+            with _obs_span("engine.simulate", simulations=len(misses)):
+                circuit_groups: dict[str, tuple[CircuitPlan, list]] = {}
+                for key, spec in misses:
+                    if isinstance(spec, CircuitSpec) and self._plan_batching:
+                        plan = self._plan_for(spec.circuit)
+                        circuit_groups.setdefault(
+                            plan.structure_key, (plan, [])
+                        )[1].append((key, spec))
+                    elif (
+                        isinstance(spec, StateSpec) and self._suffix_plans
+                    ):
+                        suffix_plan = (
+                            self._plan_for(spec.suffix)
+                            if spec.suffix is not None
+                            else None
+                        )
+                        row_futures.append(
+                            self._executor.submit(
+                                self._ideal_probs_state,
+                                key,
+                                spec,
+                                suffix_plan,
+                            )
+                        )
+                    else:
+                        futures[key] = self._executor.submit(
+                            self._simulate, spec
+                        )
+                for plan, group in circuit_groups.values():
+                    row_futures.append(
+                        self._executor.submit(
+                            self._ideal_probs_group, plan, group
+                        )
+                    )
                 for key, future in futures.items():
                     pmf = future.result()
                     resolved[key] = pmf
                     self._pmf_cache.put(key, pmf)
+                rows: list[tuple] = []
+                for future in row_futures:
+                    rows.extend(future.result())
+                if rows:
+                    pmfs = self.backend.exact_pmfs_from_probs_batch(
+                        [row[1:] for row in rows]
+                    )
+                    for (key, *_), pmf in zip(rows, pmfs):
+                        resolved[key] = pmf
+                        self._pmf_cache.put(key, pmf)
 
             # Phase 3: sample and charge in submission order.
             shots_charged = 0
@@ -395,14 +602,14 @@ class ExecutionEngine:
             batch_span.set(
                 cache_hits=cache_hits,
                 coalesced=coalesced,
-                simulations=len(futures),
+                simulations=len(misses),
                 shots=shots_charged,
             )
 
         _M_BATCHES.inc()
         _M_JOBS.inc(len(jobs))
         _M_SHOTS.inc(shots_charged)
-        _M_SIMULATIONS.inc(len(futures))
+        _M_SIMULATIONS.inc(len(misses))
         _M_CACHE_HITS.inc(cache_hits)
         _M_COALESCED.inc(coalesced)
         _M_BATCH_SECONDS.observe(time.perf_counter() - started)
@@ -419,12 +626,14 @@ class ExecutionEngine:
             dedup_coalesced=self._dedup_coalesced,
             pmf_cache=self._pmf_cache.stats,
             state_cache=self._state_cache.stats,
+            plan_cache=self._plan_cache.stats,
         )
 
     def clear_caches(self) -> None:
-        """Drop every memoized PMF and prepared state."""
+        """Drop every memoized PMF, prepared state, and compiled plan."""
         self._pmf_cache.clear()
         self._state_cache.clear()
+        self._plan_cache.clear()
 
     def close(self) -> None:
         """Shut down the worker pool (caches stay usable)."""

@@ -27,11 +27,11 @@ class SerialExecutor:
 
     workers = 1
 
-    def submit(self, fn, *args) -> Future:
-        """Run ``fn(*args)`` now; return its already-resolved future."""
+    def submit(self, fn, *args, **kwargs) -> Future:
+        """Run ``fn(*args, **kwargs)`` now; return its resolved future."""
         future: Future = Future()
         try:
-            future.set_result(fn(*args))
+            future.set_result(fn(*args, **kwargs))
         except BaseException as exc:  # propagate on .result(), like a pool
             future.set_exception(exc)
         return future
@@ -50,14 +50,14 @@ class PoolExecutor:
         self.workers = int(workers)
         self._pool: ThreadPoolExecutor | None = None
 
-    def submit(self, fn, *args) -> Future:
-        """Queue ``fn(*args)`` on the pool (started on first use)."""
+    def submit(self, fn, *args, **kwargs) -> Future:
+        """Queue ``fn(*args, **kwargs)`` on the pool (started on first use)."""
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix="repro-engine",
             )
-        return self._pool.submit(fn, *args)
+        return self._pool.submit(fn, *args, **kwargs)
 
     def shutdown(self) -> None:
         """Drain and release the pool (restarts lazily if reused)."""

@@ -14,6 +14,8 @@ marginals toward their high-fidelity measurements.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..sim import PMF
@@ -38,6 +40,18 @@ def subset_index_map(n_qubits: int, qubits: tuple[int, ...]) -> np.ndarray:
     return local
 
 
+@lru_cache(maxsize=256)
+def _index_map(n_qubits: int, qubits: tuple[int, ...]) -> np.ndarray:
+    """Memoized, read-only :func:`subset_index_map`.
+
+    Reconstruction recomputes the same handful of maps every evaluation;
+    the public function stays uncached (it hands out writable arrays).
+    """
+    local = subset_index_map(n_qubits, qubits)
+    local.setflags(write=False)
+    return local
+
+
 def bayesian_reconstruct(global_pmf: PMF, local_pmfs) -> PMF:
     """Refine ``global_pmf`` with the evidence in ``local_pmfs``.
 
@@ -56,7 +70,7 @@ def bayesian_reconstruct(global_pmf: PMF, local_pmfs) -> PMF:
             if not 0 <= q < n:
                 raise ValueError(f"local qubit {q} outside register")
         current = probs / probs.sum()
-        index = subset_index_map(n, local.qubits)
+        index = _index_map(n, tuple(local.qubits))
         # Current estimate's marginal on the local's qubits.
         marginal = np.bincount(index, weights=current, minlength=local.probs.size)
         ratio = np.divide(
@@ -73,4 +87,6 @@ def bayesian_reconstruct(global_pmf: PMF, local_pmfs) -> PMF:
     total = probs.sum()
     if total <= 0:
         return global_pmf
-    return PMF(probs, global_pmf.qubits)
+    # probs is a product of nonnegative factors, so the constructor's
+    # validation cannot fire; normalization is bit-identical.
+    return PMF._normalized(probs, global_pmf.qubits)

@@ -21,7 +21,9 @@ import numpy as np
 
 from ..circuits import Circuit
 from ..sim import PMF, Counts, probabilities, run_statevector
+from ..sim.plan import CircuitPlan
 from .device import DeviceModel, ideal_device
+from .readout import ReadoutErrorModel
 
 __all__ = ["SimulatorBackend"]
 
@@ -94,12 +96,19 @@ class SimulatorBackend:
 
     # ------------------------------------------------------------- execution
 
-    def prepare_state(self, circuit: Circuit) -> np.ndarray:
+    def prepare_state(
+        self, circuit: Circuit, plan: CircuitPlan | None = None
+    ) -> np.ndarray:
         """Simulate ``circuit`` (ignoring measurement) to a statevector.
 
         Not charged to the circuit counter: preparation alone is not an
         execution; the charge happens when a measurement run is requested.
+        ``plan`` is an optional precompiled plan for the circuit's
+        structure (the engine passes its cached one); results are
+        bit-identical either way.
         """
+        if plan is not None:
+            return plan.run(plan.slot_values(circuit))
         return run_statevector(circuit)
 
     def run(
@@ -150,29 +159,193 @@ class SimulatorBackend:
 
     # ---------------------------------------------------- exact distributions
 
-    def circuit_probabilities(self, circuit: Circuit) -> np.ndarray:
+    def circuit_probabilities(
+        self, circuit: Circuit, plan: CircuitPlan | None = None
+    ) -> np.ndarray:
         """Ideal (pre-noise) outcome probabilities of a bound circuit.
 
         The simulation hook subclasses override: the dense default runs
         the statevector engine; the ``clifford`` backend substitutes a
         stabilizer-tableau evaluation for Clifford-only circuits.  The
         noise pipeline downstream (:meth:`exact_pmf`) is shared.
+        ``plan`` is an optional precompiled plan for the circuit's
+        structure (bit-identical fast path; overriding backends may
+        ignore it).
         """
+        if plan is not None:
+            return probabilities(plan.run(plan.slot_values(circuit)))
         return probabilities(run_statevector(circuit))
 
-    def exact_pmf(self, circuit: Circuit, map_to_best: bool = False) -> PMF:
-        """The exact (noisy) outcome distribution over measured qubits."""
+    def exact_pmf(
+        self,
+        circuit: Circuit,
+        map_to_best: bool = False,
+        plan: CircuitPlan | None = None,
+    ) -> PMF:
+        """The exact (noisy) outcome distribution over measured qubits.
+
+        Depolarizing weight is charged from the *original* circuit's
+        gate counts, so a fused ``plan`` never changes the noise.
+        """
         if not circuit.measured_qubits:
             raise ValueError("circuit measures no qubits")
         g2 = circuit.num_two_qubit_gates
         g1 = circuit.num_gates - g2
+        if plan is not None:
+            probs = self.circuit_probabilities(circuit, plan=plan)
+        else:
+            # Keyword-free call keeps pre-plan subclass overrides of
+            # circuit_probabilities working unchanged.
+            probs = self.circuit_probabilities(circuit)
         return self._pmf_from_probs(
-            self.circuit_probabilities(circuit),
+            probs,
             circuit.n_qubits,
             sorted(circuit.measured_qubits),
             map_to_best,
             (g1, g2),
         )
+
+    def supports_plan_batching(self) -> bool:
+        """Whether the engine may simulate this backend via plan batches.
+
+        True only when this instance's ideal-probability computation
+        *is* the dense statevector path — a subclass overriding
+        :meth:`circuit_probabilities` or :meth:`exact_pmf` (stabilizer
+        tableaus, density-matrix channels) computes different bits, so
+        the engine must call those hooks circuit-by-circuit instead.
+        The noise pipeline must also be inherited, because the engine
+        finishes plan batches through
+        :meth:`exact_pmfs_from_probs_batch` instead of
+        :meth:`_pmf_from_probs`.
+        """
+        cls = type(self)
+        return (
+            cls.circuit_probabilities
+            is SimulatorBackend.circuit_probabilities
+            and cls.exact_pmf is SimulatorBackend.exact_pmf
+            and cls._pmf_from_probs is SimulatorBackend._pmf_from_probs
+        )
+
+    def supports_suffix_plans(self) -> bool:
+        """Whether the engine may apply basis suffixes via compiled plans.
+
+        The engine evolves a prepared state through a cached suffix plan
+        and finishes the result through the shared noise pipeline with
+        the combined gate load — valid only while this instance inherits
+        the dense state-plus-suffix pipeline.
+        """
+        cls = type(self)
+        return (
+            cls.pmf_from_state is SimulatorBackend.pmf_from_state
+            and cls._pmf_from_state is SimulatorBackend._pmf_from_state
+            and cls._pmf_from_probs is SimulatorBackend._pmf_from_probs
+        )
+
+    def exact_pmfs_from_probs_batch(self, rows) -> list[PMF]:
+        """Vectorized noise pipeline over many ideal probability vectors.
+
+        ``rows`` is a list of ``(probs, n_qubits, measured, map_to_best,
+        gate_load)`` tuples with ``measured`` a sorted tuple; the result
+        is one PMF per row, in order.  Rows sharing ``(n_qubits,
+        measured, map_to_best)`` advance through each pipeline stage —
+        normalize, depolarizing mix, marginal, readout — as single
+        whole-group NumPy calls whose per-row bits equal
+        :meth:`_pmf_from_probs` exactly (elementwise ops broadcast per
+        row; axis reductions use the same pairwise order; the readout
+        matrix product hits the same GEMM kernel, with the
+        one-measured-qubit case looped because alone it would dispatch
+        to GEMV and round differently).
+
+        Only the engine calls this, and only on backends whose
+        capability checks above confirm the dense pipeline is inherited.
+        A device carrying a *subclassed* readout model falls back to the
+        scalar pipeline row by row.
+        """
+        if type(self.device.readout) is not ReadoutErrorModel:
+            return [
+                self._pmf_from_probs(
+                    probs, n, list(measured), map_to_best, gate_load
+                )
+                for probs, n, measured, map_to_best, gate_load in rows
+            ]
+        out: list[PMF | None] = [None] * len(rows)
+        groups: dict[tuple, list[int]] = {}
+        for i, (_, n, measured, map_to_best, _) in enumerate(rows):
+            groups.setdefault((n, measured, map_to_best), []).append(i)
+        for (n, measured, map_to_best), indices in groups.items():
+            pmfs = self._finish_group(
+                [rows[i] for i in indices], n, measured, map_to_best
+            )
+            for i, pmf in zip(indices, pmfs):
+                out[i] = pmf
+        return out  # type: ignore[return-value]
+
+    def _finish_group(
+        self,
+        rows: list,
+        n: int,
+        measured: tuple[int, ...],
+        map_to_best: bool,
+    ) -> list[PMF]:
+        """One same-shape group of :meth:`exact_pmfs_from_probs_batch`."""
+        if not measured:
+            raise ValueError("no measured qubits")
+        batch = len(rows)
+        probs = np.stack([np.asarray(row[0], dtype=float) for row in rows])
+        if probs.min() < -1e-12:
+            raise ValueError("probabilities must be nonnegative")
+        probs = np.clip(probs, 0.0, None)
+        totals = probs.sum(axis=1)
+        if totals.min() <= 0:
+            raise ValueError("probabilities sum to zero")
+        probs = probs / totals[:, None]
+        if self.gate_noise_enabled:
+            lams = np.array(
+                [self._depolarizing_weight(*row[4]) for row in rows]
+            )
+            if np.any(lams > 0):
+                uniform = PMF.uniform(n).probs
+                mixed = (1.0 - lams)[:, None] * probs + lams[:, None] * (
+                    uniform[None, :]
+                )
+                mixed = mixed / mixed.sum(axis=1)[:, None]
+                # Rows with zero depolarizing weight skip the mix (and
+                # its renormalization) entirely, like the scalar path.
+                probs = np.where((lams > 0)[:, None], mixed, probs)
+        drop = tuple(ax for ax in range(n) if ax not in measured)
+        if drop:
+            tensor = probs.reshape((batch,) + (2,) * n)
+            probs = tensor.sum(axis=tuple(d + 1 for d in drop))
+        m = len(measured)
+        probs = probs.reshape(batch, 2**m)
+        probs = probs / probs.sum(axis=1)[:, None]
+        if self.readout_enabled:
+            mapping = self.physical_mapping(list(measured), map_to_best)
+            readout = self.device.readout
+            matrices = [
+                readout.effective_error(
+                    mapping[logical], m
+                ).confusion_matrix()
+                for logical in measured
+            ]
+            if m == 1:
+                matrix = matrices[0]
+                probs = np.stack([
+                    np.tensordot(matrix, probs[i], axes=([1], [0]))
+                    for i in range(batch)
+                ])
+            else:
+                tensor = probs.reshape((batch,) + (2,) * m)
+                for axis, matrix in enumerate(matrices):
+                    tensor = np.moveaxis(
+                        np.tensordot(matrix, tensor, axes=([1], [axis + 1])),
+                        0,
+                        axis + 1,
+                    )
+                probs = tensor.reshape(batch, 2**m)
+            probs = np.clip(probs, 0.0, None)
+            probs = probs / probs.sum(axis=1)[:, None]
+        return [PMF._trusted(probs[i], measured) for i in range(batch)]
 
     def pmf_from_state(
         self,

@@ -24,6 +24,28 @@ PAULI_MATRICES = {
 }
 
 
+_PARITY_SIGNS: dict[tuple, np.ndarray] = {}
+
+
+def _parity_signs(n: int, support: tuple[int, ...]) -> np.ndarray:
+    """``(-1)^parity(outcome restricted to support)``, memoized.
+
+    Every energy assembly re-reads each term's expectation off a group
+    PMF; the sign vector depends only on ``(n, support)``, so it is
+    built once and handed out read-only.
+    """
+    signs = _PARITY_SIGNS.get((n, support))
+    if signs is None:
+        signs = np.ones(2**n)
+        indices = np.arange(2**n)
+        for q in support:
+            bit = (indices >> (n - 1 - q)) & 1
+            signs = signs * (1 - 2 * bit)
+        signs.setflags(write=False)
+        _PARITY_SIGNS[(n, support)] = signs
+    return signs
+
+
 class PauliString:
     """An n-qubit Pauli operator written as a string, e.g. 'ZXIZ'."""
 
@@ -168,12 +190,7 @@ class PauliString:
             raise ValueError("probability vector has wrong length")
         if self.is_identity():
             return 1.0
-        signs = np.ones(2**n)
-        indices = np.arange(2**n)
-        for q in self.support:
-            bit = (indices >> (n - 1 - q)) & 1
-            signs = signs * (1 - 2 * bit)
-        return float(np.dot(signs, probs))
+        return float(np.dot(_parity_signs(n, self.support), probs))
 
     # ----------------------------------------------------------------- matrix
 

@@ -11,6 +11,7 @@ from .density import (
     depolarizing_kraus,
     run_density_matrix,
 )
+from .plan import CircuitPlan, compile_plan, structure_fingerprint
 from .pmf import PMF
 from .statevector import apply_gate, probabilities, run_statevector, zero_state
 
@@ -21,6 +22,9 @@ __all__ = [
     "apply_gate",
     "run_statevector",
     "probabilities",
+    "CircuitPlan",
+    "compile_plan",
+    "structure_fingerprint",
     "DensityMatrix",
     "run_density_matrix",
     "depolarizing_kraus",

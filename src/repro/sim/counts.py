@@ -14,6 +14,19 @@ from .pmf import PMF
 
 __all__ = ["Counts"]
 
+#: Bitstring labels by register width, built once per width.  Sampling
+#: formats every nonzero outcome of every executed circuit; the table
+#: turns that from a ``format`` call into an indexed lookup.
+_LABELS: dict[int, list[str]] = {}
+
+
+def _labels(n: int) -> list[str]:
+    table = _LABELS.get(n)
+    if table is None:
+        table = [format(i, f"0{n}b") for i in range(2**n)]
+        _LABELS[n] = table
+    return table
+
 
 class Counts:
     """Measurement counts over a labeled qubit set.
@@ -45,11 +58,11 @@ class Counts:
     ) -> "Counts":
         """Sample ``shots`` outcomes from ``pmf``."""
         draws = rng.multinomial(shots, pmf.probs)
-        n = pmf.n_qubits
-        data = {
-            format(i, f"0{n}b"): int(c) for i, c in enumerate(draws) if c
-        }
-        return cls(data, pmf.qubits)
+        labels = _labels(pmf.n_qubits)
+        data = {labels[i]: int(c) for i, c in enumerate(draws) if c}
+        # The keys and values are constructed valid here, so the
+        # normalizing constructor would only re-check them.
+        return cls._unchecked(data, pmf.qubits)
 
     @classmethod
     def from_pmf_exact(cls, pmf: PMF, shots: int) -> "Counts":
@@ -77,8 +90,21 @@ class Counts:
         cls, data: dict[str, float], qubits: tuple[int, ...]
     ) -> "Counts":
         """Build float-valued (analytic) counts, bypassing coercion."""
+        return cls._unchecked(
+            {key: value for key, value in data.items() if value}, qubits
+        )
+
+    @classmethod
+    def _unchecked(
+        cls, data: dict[str, int | float], qubits: tuple[int, ...]
+    ) -> "Counts":
+        """Internal: adopt an already-validated counts mapping as-is.
+
+        Callers guarantee clean ``n``-bit keys, no zero values, and a
+        proper label tuple.
+        """
         obj = cls.__new__(cls)
-        obj.data = {key: value for key, value in data.items() if value}
+        obj.data = data
         obj.qubits = qubits
         return obj
 
@@ -98,7 +124,9 @@ class Counts:
         probs = np.zeros(2 ** self.n_qubits)
         for key, value in self.data.items():
             probs[int(key, 2)] = value
-        return PMF(probs, self.qubits)
+        # Counts are validated nonnegative at construction, so the
+        # constructor's checks can't fire; normalization is identical.
+        return PMF._normalized(probs, self.qubits)
 
     def merge(self, other: "Counts") -> "Counts":
         """Combine counts from another run of the same circuit.

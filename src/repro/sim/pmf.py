@@ -63,6 +63,36 @@ class PMF:
     # ------------------------------------------------------------ constructors
 
     @classmethod
+    def _trusted(cls, probs: np.ndarray, qubits: tuple[int, ...]) -> "PMF":
+        """Internal: adopt an already-validated, already-normalized vector.
+
+        Callers guarantee ``probs`` is a 1-D float vector of power-of-two
+        length that a round trip through ``PMF(probs, qubits)`` would
+        return bit-for-bit (nonnegative, summing to one) and that
+        ``qubits`` is a clean label tuple.  Used on hot paths — the
+        engine's vectorized noise pipeline, count conversion — where the
+        constructor's validation is pure overhead.
+        """
+        pmf = cls.__new__(cls)
+        pmf.probs = probs
+        pmf.qubits = qubits
+        return pmf
+
+    @classmethod
+    def _normalized(cls, probs: np.ndarray, qubits: tuple[int, ...]) -> "PMF":
+        """Internal: normalize a trusted nonnegative vector into a PMF.
+
+        Same contract as :meth:`_trusted` except the vector still needs
+        the constructor's ``probs / probs.sum()`` step (which this
+        replicates exactly; clipping a nonnegative vector is the
+        identity, so skipping it leaves the bits unchanged).
+        """
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("probabilities sum to zero")
+        return cls._trusted(probs / total, qubits)
+
+    @classmethod
     def uniform(cls, n_qubits: int, qubits: tuple[int, ...] | None = None) -> "PMF":
         """The maximally mixed distribution on ``n_qubits`` bits."""
         return cls(np.full(2**n_qubits, 1.0 / 2**n_qubits), qubits)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..circuits import Circuit, gate_matrix
+from ..circuits import Circuit
 
 __all__ = ["zero_state", "apply_gate", "run_statevector", "probabilities"]
 
@@ -57,26 +57,20 @@ def run_statevector(
     ``circuit`` must be fully bound (no symbolic parameters).  An optional
     ``initial_state`` lets callers resume from a cached ansatz state when
     only the measurement-basis suffix differs between runs.
+
+    Execution goes through a compiled :class:`~repro.sim.plan.CircuitPlan`
+    (compiled fresh per call — callers with repeated structures hold a
+    plan, or let the engine's plan cache do it); the resulting outcome
+    probabilities are bit-identical to the historical gate-by-gate
+    ``tensordot`` loop.
     """
     if not circuit.is_bound():
         missing = sorted(circuit.parameters)
         raise ValueError(f"circuit has unbound parameters: {missing}")
-    n = circuit.n_qubits
-    if initial_state is None:
-        state = zero_state(n)
-    else:
-        if initial_state.shape != (2**n,):
-            raise ValueError(
-                f"initial state has wrong shape {initial_state.shape} "
-                f"for {n} qubits"
-            )
-        state = initial_state.astype(complex, copy=True)
-    for ins in circuit.instructions:
-        if ins.name == "i":
-            continue
-        matrix = gate_matrix(ins.name, ins.param)
-        state = apply_gate(state, matrix, ins.qubits, n)
-    return state
+    from .plan import compile_plan
+
+    plan = compile_plan(circuit)
+    return plan.run(plan.slot_values(circuit), initial_state=initial_state)
 
 
 def probabilities(state: np.ndarray) -> np.ndarray:

@@ -744,7 +744,12 @@ def _engine_replay(point: Point, workload_cache: dict) -> dict:
     trace_repeats = options.get("trace_repeats", 3)
     config_kwargs = {}
     if not options.get("cache", True):
-        config_kwargs.update(cache_size=0, state_cache_size=0)
+        # The "direct" row: no PMF/state memoization AND no compiled
+        # plans (plan_cache_size=0 disables the plan path entirely), so
+        # the speedup column measures everything the engine adds.
+        config_kwargs.update(
+            cache_size=0, state_cache_size=0, plan_cache_size=0
+        )
     if options.get("workers") is not None:
         config_kwargs.update(workers=options["workers"])
 

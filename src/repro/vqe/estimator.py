@@ -80,6 +80,19 @@ class EstimatorBase:
     def prepare_state(self, params: np.ndarray) -> np.ndarray:
         return self.engine.prepare_state(self.ansatz.bind(params))
 
+    def prepare_states(self, params_list) -> list[np.ndarray]:
+        """Prepare many parameter points at once (one compiled-plan batch).
+
+        All bindings share the ansatz structure, so uncached points
+        advance through a single vectorized plan execution and land in
+        the engine's state cache — bit-identical to preparing each
+        point alone.  SPSA calls this ahead of each ``±ck·Δ``
+        evaluation pair.
+        """
+        return self.engine.prepare_states(
+            [self.ansatz.bind(params) for params in params_list]
+        )
+
     def rotation_for(self, basis: PauliString) -> Circuit:
         return self._rotations[basis]
 

@@ -104,8 +104,22 @@ def run_vqe(
     def callback(iteration: int, params: np.ndarray, value: float) -> None:
         circuit_history.append(spent())
 
+    evaluate = estimator.evaluate
+    prepare_many = getattr(estimator, "prepare_states", None)
+    if prepare_many is None:
+        objective = evaluate
+    else:
+        # Bound methods cannot carry attributes, so wrap the objective
+        # in a function and attach the batched state-preparation hook;
+        # SPSA uses it to warm the engine's state cache for both
+        # perturbation points with one compiled-plan batch.
+        def objective(params):
+            return evaluate(params)
+
+        objective.prepare = prepare_many
+
     result = optimizer.minimize(
-        estimator.evaluate,
+        objective,
         np.asarray(initial_params, dtype=float),
         max_iterations=max_iterations,
         should_stop=should_stop,

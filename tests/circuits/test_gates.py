@@ -49,6 +49,23 @@ class TestFixedGates:
         for name, matrix in FIXED_GATES.items():
             assert matrix.shape == (2 ** GATE_ARITY[name],) * 2
 
+    @pytest.mark.parametrize("name", sorted(FIXED_GATES))
+    def test_fixed_matrices_are_read_only(self, name):
+        # gate_matrix() hands out the module-level constants by
+        # reference; an in-place edit would corrupt every later
+        # simulation process-wide, so writes must raise.
+        matrix = gate_matrix(name)
+        with pytest.raises(ValueError, match="read-only"):
+            matrix[0, 0] = 99.0
+
+    def test_rotation_matrices_are_fresh_and_writable(self):
+        # Rotations are built per call — callers own them.
+        a = rotation_matrix("rx", 0.3)
+        b = rotation_matrix("rx", 0.3)
+        assert a is not b
+        a[0, 0] = 99.0
+        assert b[0, 0] != 99.0
+
 
 class TestRotations:
     @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])

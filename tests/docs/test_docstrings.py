@@ -26,6 +26,7 @@ SCOPED = [
     "repro/io",
     "repro/obs",
     "repro/serve",
+    "repro/sim/plan.py",
     "repro/sweeps/spec.py",
     "repro/sweeps/catalog.py",
     "repro/sweeps/runner.py",

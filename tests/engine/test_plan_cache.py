@@ -1,0 +1,181 @@
+"""Compiled-plan cache behavior and plan-path bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.backends.clifford import CliffordBackend
+from repro.backends.density import DensityBackend
+from repro.engine import EngineConfig
+from repro.engine.engine import ExecutionEngine
+from repro.engine.spec import CircuitSpec
+from repro.circuits import Circuit
+from repro.noise import DeviceModel, ReadoutErrorModel, SimulatorBackend
+
+
+def ansatz(theta, phi=0.25):
+    qc = Circuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.ry(theta, 2)
+    qc.cx(1, 2)
+    qc.rz(phi, 0)
+    qc.measure((0, 1, 2))
+    return qc
+
+
+def run_trace(engine, thetas, shots=128):
+    batch = engine.new_batch()
+    handles = [
+        batch.submit(CircuitSpec(ansatz(t), shots, False)) for t in thetas
+    ]
+    batch.run()
+    return handles
+
+
+class TestPlanCache:
+    def test_one_plan_serves_every_binding(self, backend):
+        engine = ExecutionEngine(backend, EngineConfig())
+        run_trace(engine, [0.1, 0.2, 0.3])
+        stats = engine.stats.plan_cache
+        # One structure: a single compile, reused for the whole batch
+        # (hit counts depend on grouping, misses must stay at one).
+        assert stats.misses == 1
+        run_trace(engine, [0.4, 0.5])
+        after = engine.stats.plan_cache
+        assert after.misses == 1
+        assert after.hits > stats.hits
+        engine.close()
+
+    def test_distinct_structures_compile_separately(self, backend):
+        engine = ExecutionEngine(backend, EngineConfig())
+        other = ansatz(0.1)
+        other.x(2)
+        batch = engine.new_batch()
+        batch.submit(CircuitSpec(ansatz(0.1), 64, False))
+        batch.submit(CircuitSpec(other, 64, False))
+        batch.run()
+        assert engine.stats.plan_cache.misses == 2
+        engine.close()
+
+    def test_clear_caches_drops_plans(self, backend):
+        engine = ExecutionEngine(backend, EngineConfig())
+        run_trace(engine, [0.1])
+        assert engine.stats.plan_cache.size == 1
+        engine.clear_caches()
+        assert engine.stats.plan_cache.size == 0
+        engine.close()
+
+    def test_plan_cache_size_zero_disables_the_plan_path(self, backend):
+        engine = ExecutionEngine(
+            backend, EngineConfig(plan_cache_size=0)
+        )
+        assert not engine._plan_batching
+        assert not engine._plan_prepare
+        assert not engine._suffix_plans
+        run_trace(engine, [0.1, 0.2])
+        stats = engine.stats.plan_cache
+        assert stats.misses == 0 and stats.hits == 0
+        engine.close()
+
+
+class TestPlanPathBitIdentity:
+    def test_plan_path_matches_scalar_path_bitwise(self, noisy_device):
+        thetas = [0.1, 0.7, -1.3, 0.7]
+
+        def run(plan_cache_size):
+            backend = SimulatorBackend(noisy_device, seed=7)
+            engine = ExecutionEngine(
+                backend,
+                EngineConfig(
+                    cache_size=0,
+                    state_cache_size=0,
+                    plan_cache_size=plan_cache_size,
+                ),
+            )
+            handles = run_trace(engine, thetas)
+            engine.close()
+            return handles
+
+        planned = run(64)
+        scalar = run(0)
+        for a, b in zip(planned, scalar):
+            assert np.array_equal(a.pmf().probs, b.pmf().probs)
+            assert a.result().data == b.result().data
+
+    def test_prepare_states_matches_prepare_state_bitwise(
+        self, noisy_device
+    ):
+        circuits = [ansatz(t) for t in (0.3, 0.9, 0.3, -2.0)]
+        batched_engine = ExecutionEngine(
+            SimulatorBackend(noisy_device, seed=7), EngineConfig()
+        )
+        single_engine = ExecutionEngine(
+            SimulatorBackend(noisy_device, seed=7), EngineConfig()
+        )
+        batched = batched_engine.prepare_states(circuits)
+        singles = [single_engine.prepare_state(c) for c in circuits]
+        for a, b in zip(batched, singles):
+            assert np.array_equal(a, b)
+        batched_engine.close()
+        single_engine.close()
+
+
+class TestCapabilityGating:
+    def test_dense_backend_supports_plan_batching(self, backend):
+        assert backend.supports_plan_batching()
+        assert backend.supports_suffix_plans()
+
+    @pytest.mark.parametrize("cls", [CliffordBackend, DensityBackend])
+    def test_overriding_backends_are_excluded(self, cls, noisy_device):
+        backend = cls(noisy_device, seed=7)
+        assert not backend.supports_plan_batching()
+        engine = ExecutionEngine(backend, EngineConfig())
+        assert not engine._plan_batching
+
+    def test_noise_pipeline_override_disables_batching(self, noisy_device):
+        class CustomNoise(SimulatorBackend):
+            def _pmf_from_probs(self, *args, **kwargs):
+                return super()._pmf_from_probs(*args, **kwargs)
+
+        backend = CustomNoise(noisy_device, seed=7)
+        assert not backend.supports_plan_batching()
+        assert not backend.supports_suffix_plans()
+
+
+class TestVectorizedFinisher:
+    def test_batch_rows_match_scalar_pipeline_bitwise(self, backend):
+        rng = np.random.default_rng(11)
+        rows = []
+        for _ in range(6):
+            probs = rng.random(8)
+            rows.append((probs, 3, (0, 2), False, (4, 2)))
+        rows.append((rng.random(8), 3, (0, 1, 2), True, (0, 0)))
+        batch = backend.exact_pmfs_from_probs_batch(rows)
+        for row, pmf in zip(rows, batch):
+            expected = backend._pmf_from_probs(
+                row[0], row[1], list(row[2]), row[3], row[4]
+            )
+            assert pmf.qubits == expected.qubits
+            assert np.array_equal(pmf.probs, expected.probs)
+
+    def test_custom_readout_falls_back_to_scalar_rows(self, noisy_device):
+        class TracingReadout(ReadoutErrorModel):
+            pass
+
+        readout = noisy_device.readout
+        device = DeviceModel(
+            noisy_device.name,
+            TracingReadout(
+                readout.qubit_errors,
+                readout.crosstalk_strength,
+                readout.scale,
+            ),
+            noisy_device.gate_noise,
+            noisy_device.topology,
+        )
+        backend = SimulatorBackend(device, seed=7)
+        probs = np.full(8, 1 / 8)
+        rows = [(probs, 3, (0, 1, 2), False, (2, 1))]
+        batch = backend.exact_pmfs_from_probs_batch(rows)
+        expected = backend._pmf_from_probs(probs, 3, [0, 1, 2], False, (2, 1))
+        assert np.array_equal(batch[0].probs, expected.probs)
