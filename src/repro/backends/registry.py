@@ -47,13 +47,16 @@ _REGISTRY: dict[str, type[BackendSpec]] = {}
 
 #: Canonical listing order for the built-in kinds; out-of-tree kinds
 #: list after these, in registration order.
-_BUILTIN_ORDER = ("dense", "clifford", "density")
+_BUILTIN_ORDER = ("dense", "clifford", "density", "remote")
 
-#: Modules whose import registers the built-in backends.
+#: Modules whose import registers the built-in backends.  The
+#: ``remote`` kind lives in :mod:`repro.dist` (the distributed
+#: execution subsystem) but registers here like any other kind.
 _BUILTIN_MODULES = (
     "repro.backends.dense",
     "repro.backends.clifford",
     "repro.backends.density",
+    "repro.dist.remote",
 )
 
 

@@ -180,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=_int_at_least(0), default=None,
         help="execute at most this many pending points",
     )
+    sweep.add_argument(
+        "--shards", type=_int_at_least(1), default=1,
+        help="partition pending points across this many shard worker "
+        "subprocesses (per-shard JSONL stores, journaled claim queue "
+        "with work-stealing, coordinator merge; records byte-identical "
+        "to a serial run)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -294,8 +301,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute at most this many points across the whole call",
     )
     repro.add_argument(
+        "--shards", type=_int_at_least(1), default=1,
+        help="partition each grid's pending points across this many "
+        "shard worker subprocesses (see 'repro sweep --shards')",
+    )
+    repro.add_argument(
         "--no-tables", action="store_true",
         help="skip printing the regenerated tables",
+    )
+
+    diff = sub.add_parser(
+        "store-diff",
+        help="compare two results stores up to the volatile timing "
+        "fields (exit 1 on any difference)",
+    )
+    diff.add_argument("left", help="first JSONL results store")
+    diff.add_argument("right", help="second JSONL results store")
+
+    worker = sub.add_parser(
+        "dist-worker",
+        help="serve the distributed-execution wire protocol on a TCP "
+        "port (for the remote backend's socket transport)",
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    worker.add_argument(
+        "--port", type=_int_at_least(0), default=7631,
+        help="TCP port to listen on (0 picks a free port)",
     )
 
     trace = sub.add_parser(
@@ -660,10 +694,16 @@ def _cmd_route(args) -> int:
 
 
 def _pool_arguments(args) -> dict:
-    """``run_sweep`` pool kwargs for --workers/--processes flags."""
+    """``run_sweep`` pool kwargs for --workers/--processes/--shards."""
+    shards = getattr(args, "shards", 1)
     if args.processes is not None:
-        return {"workers": args.processes, "executor": "process"}
-    return {"workers": args.workers, "executor": "thread"}
+        return {
+            "workers": args.processes, "executor": "process",
+            "shards": shards,
+        }
+    return {
+        "workers": args.workers, "executor": "thread", "shards": shards,
+    }
 
 
 def _open_store(out, resume: bool):
@@ -690,16 +730,25 @@ def _open_store(out, resume: bool):
     return store
 
 
-def _sweep_progress(done, total, point, record):
+def _sweep_progress(done, total, point, record, state=None):
     result = record["result"]
     energy = result.get("energy")
     detail = (
         f"energy {energy:.4f} " if isinstance(energy, (int, float))
         else ""
     )
+    # Cost-weighted progress: on mixed grids the point count is a poor
+    # completion signal (a quench cell is ~100x a tuning cell), so the
+    # runner's SweepProgress supplies the estimated cost fraction and
+    # a cost-based ETA alongside it.
+    extra = ""
+    if state is not None and total > done:
+        extra = f" {state.cost_fraction:.0%} of est. cost"
+        if state.eta_s is not None:
+            extra += f", eta {state.eta_s:.0f}s"
     print(
         f"  [{done}/{total}] {point.label()}: {detail}"
-        f"({record['wall_time_s']:.2f}s)"
+        f"({record['wall_time_s']:.2f}s){extra}"
     )
 
 
@@ -1091,6 +1140,45 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_store_diff(args) -> int:
+    """Canonical store comparison (the dist byte-identity check)."""
+    import pathlib
+
+    from .dist.diff import canonical_records, diff_stores
+
+    for path in (args.left, args.right):
+        if not pathlib.Path(path).exists():
+            print(f"no results store at {path}", file=sys.stderr)
+            return 2
+    problems = diff_stores(args.left, args.right)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"stores differ: {len(problems)} problems")
+        return 1
+    count = len(canonical_records(args.left))
+    print(f"stores identical: {count} records match")
+    return 0
+
+
+def _cmd_dist_worker(args) -> int:
+    """Run a socket wire-protocol worker until interrupted."""
+    import time as _time
+
+    from .dist.transport import serve_socket_worker
+
+    server, port = serve_socket_worker(args.host, args.port)
+    print(f"dist-worker: serving on {args.host}:{port}")
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("dist-worker: shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "kinds": _cmd_kinds,
@@ -1106,6 +1194,8 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "reproduce": _cmd_reproduce,
+    "store-diff": _cmd_store_diff,
+    "dist-worker": _cmd_dist_worker,
     "trace": _cmd_trace,
 }
 

@@ -1,0 +1,105 @@
+"""``repro.dist`` — distributed execution for backends and sweeps.
+
+Two coordinated layers over the repository's existing seams (see
+``docs/distributed.md`` for the architecture and failure model):
+
+* **The ``remote`` backend** (:mod:`repro.dist.remote`): a registered
+  :class:`~repro.backends.BackendSpec` whose ideal-simulation hooks
+  ship canonical-JSON circuit batches to a worker pool behind a
+  pluggable transport (:mod:`repro.dist.transport` —
+  ``multiprocessing`` pipes or length-prefixed sockets sharing the
+  :mod:`repro.dist.wire` protocol), with bounded retry across worker
+  deaths.  Any estimator kind runs unchanged; results are
+  bit-identical to the worker's backend kind run locally.
+* **Sharded sweeps** (:mod:`repro.dist.shard`): ``run_sweep(...,
+  shards=N)`` / ``repro reproduce --shards N`` fans pending points out
+  to shard worker subprocesses that coordinate through a journaled
+  claim queue (:mod:`repro.dist.claims`) with work-stealing, each
+  appending to its own JSONL store; the coordinator merges via the
+  fingerprint-keyed first-wins journal merge.  Sharded runs produce
+  records byte-identical to serial runs
+  (:mod:`repro.dist.diff` is the checker).
+
+Supporting cast: :mod:`repro.dist.costs` (static point-cost ordering
+and the cost-weighted :class:`~repro.dist.costs.SweepProgress` that
+fixes ETA on mixed grids).
+"""
+
+from __future__ import annotations
+
+from .claims import CLAIM_SCHEMA_VERSION, ClaimQueue
+from .costs import (
+    SweepProgress,
+    estimate_point_cost,
+    order_by_cost,
+    point_qubits,
+)
+from .diff import (
+    VOLATILE_FIELDS,
+    canonical_record,
+    canonical_records,
+    diff_stores,
+    store_digest,
+)
+from .remote import TRANSPORTS, RemoteBackend, RemoteBackendSpec
+from .shard import ShardStats, run_sharded, shard_aux_path
+from .transport import (
+    PipeChannel,
+    RemoteExecutionError,
+    SocketChannel,
+    TransportError,
+    WorkerPool,
+    serve_socket_worker,
+)
+from .wire import (
+    MAX_FRAME_BYTES,
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    circuit_from_wire,
+    circuit_to_wire,
+    decode_message,
+    encode_message,
+    execute_request,
+    read_frame,
+    state_from_wire,
+    state_to_wire,
+    write_frame,
+)
+
+__all__ = [
+    "CLAIM_SCHEMA_VERSION",
+    "MAX_FRAME_BYTES",
+    "TRANSPORTS",
+    "VOLATILE_FIELDS",
+    "WIRE_SCHEMA_VERSION",
+    "ClaimQueue",
+    "PipeChannel",
+    "RemoteBackend",
+    "RemoteBackendSpec",
+    "RemoteExecutionError",
+    "ShardStats",
+    "SocketChannel",
+    "SweepProgress",
+    "TransportError",
+    "WireError",
+    "WorkerPool",
+    "canonical_record",
+    "canonical_records",
+    "circuit_from_wire",
+    "circuit_to_wire",
+    "decode_message",
+    "diff_stores",
+    "encode_message",
+    "estimate_point_cost",
+    "execute_request",
+    "order_by_cost",
+    "point_qubits",
+    "read_frame",
+    "run_sharded",
+    "serve_socket_worker",
+    "shard_aux_path",
+    "state_from_wire",
+    "state_to_wire",
+    "store_digest",
+    "write_frame",
+]

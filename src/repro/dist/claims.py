@@ -1,0 +1,72 @@
+"""The shared journaled claim queue behind sharded work-stealing.
+
+A :class:`ClaimQueue` is a :class:`repro.io.Journal` of tiny claim
+records — ``{fingerprint, shard, claimed_at}`` — that shards append to
+before executing a point.  The coordination rules are deliberately
+weaker than a lock, because the result stores make strong coordination
+unnecessary:
+
+* **Claims are advisory.**  Completion is judged *only* from result
+  stores; a claim (fresh, stale, replayed, or orphaned by a killed
+  shard) can never cause a point to be skipped.
+* **Races are resolved by journal order.**  Two shards may append
+  claims for the same fingerprint concurrently (each process's
+  in-memory index can't see the other's record until reload); after
+  a reload, the journal's first-wins duplicate handling makes every
+  observer agree on one owner.  The loser simply moves on.
+* **Replay is harmless.**  Re-appending an existing claim is a no-op
+  in-process and an ignored duplicate line on disk.
+* **Double execution is harmless.**  If a shard steals a claimed but
+  unfinished point (its owner died, or is a straggler), both may
+  execute it; results are bit-identical by construction and the
+  store merge is fingerprint-keyed first-wins.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ..io import Journal
+
+__all__ = ["CLAIM_SCHEMA_VERSION", "ClaimQueue"]
+
+#: Schema stamp for claim records.
+CLAIM_SCHEMA_VERSION = 1
+
+
+class ClaimQueue(Journal):
+    """Append-only claim journal shared by every shard of one sweep."""
+
+    def __init__(self, path: str | Path):
+        super().__init__(
+            path,
+            CLAIM_SCHEMA_VERSION,
+            key_field="fingerprint",
+            required_fields=("shard",),
+        )
+
+    def claim(self, fingerprint: str, shard: int) -> bool:
+        """Append a claim for ``fingerprint`` by ``shard``.
+
+        Returns ``False`` if this queue instance already knows a claim
+        for the point.  A ``True`` return is *provisional*: reload and
+        check :meth:`owner` to learn who actually won a cross-process
+        race.
+        """
+        return self.append_record(
+            fingerprint,
+            {
+                "schema": CLAIM_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "shard": int(shard),
+                "claimed_at": time.time(),
+            },
+        )
+
+    def owner(self, fingerprint: str) -> int | None:
+        """The winning shard for ``fingerprint`` (``None`` if unclaimed)."""
+        record = self.get(fingerprint)
+        if record is None:
+            return None
+        return int(record["shard"])

@@ -1,0 +1,155 @@
+"""Static point-cost estimates, cost-aware ordering, and sweep progress.
+
+A sweep grid mixes points whose wall-clock costs span orders of
+magnitude — a 2-iteration H2-4 tuning cell is milliseconds, a QAOA or
+Trotter-quench cell is ~100x that.  Two consequences this module
+addresses:
+
+* **Scheduling.**  Draining expensive cells first keeps stragglers off
+  the tail of a sharded run; :func:`order_by_cost` sorts pending
+  points descending by :func:`estimate_point_cost`, stably, so equal
+  cost preserves grid order.
+* **Progress/ETA.**  A point-count ETA is wildly wrong on mixed grids
+  (99 cheap points done of 100 does not mean 99% done when the last
+  one is the quench).  :class:`SweepProgress` tracks the *cost*
+  fraction complete alongside the point count and derives the ETA
+  from cost throughput.
+
+The estimate is deliberately cheap and static — task kind x qubit
+count x iteration count, with the Hamiltonian-size shape from
+:func:`repro.core.cost.pauli_terms` and a ``2^Q`` statevector factor.
+It only needs to rank points, not predict seconds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.cost import pauli_terms
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sweeps.spec import Point
+
+__all__ = [
+    "SweepProgress",
+    "estimate_point_cost",
+    "order_by_cost",
+    "point_qubits",
+]
+
+#: Tasks that run the full VQA tuning loop (``max_iterations`` sweeps
+#: of circuit evaluations); everything else is a one-shot evaluation.
+_ITERATIVE_TASKS = frozenset({"tuning", "zne", "tuner_tuning"})
+
+#: Per-task relative weight for one-shot tasks, on top of the
+#: qubit-derived per-evaluation cost.  Trotter-evolution tasks simulate
+#: many deep circuits per point, so they dominate mixed grids.
+_TASK_WEIGHTS = {
+    "quench": 100.0,
+    "quench_sweep": 400.0,
+    "trotter_error": 10.0,
+    "energy": 3.0,
+    "term_selective": 3.0,
+    "phase_selective": 3.0,
+    "engine_replay": 25.0,
+    "serve_throughput": 50.0,
+    "dist_scaling": 500.0,
+    "mitigation_shootout": 20.0,
+    "mitigation_stacking": 20.0,
+    "backend_matrix": 10.0,
+    "gc_end_to_end": 5.0,
+}
+
+#: Weight multiplier for QAOA workloads (deep entangling ansatz).
+_QAOA_WEIGHT = 25.0
+
+_TRAILING_INT = re.compile(r"(\d+)\s*$")
+
+
+def point_qubits(point: "Point") -> int:
+    """Best static guess at a point's qubit count (default 4).
+
+    Reads ``workload['n_qubits']``, the trailing integer of a molecule
+    key (``"H2O-6" -> 6``), or ``options['n_qubits']``, in that order.
+    """
+    workload = point.workload or {}
+    n = workload.get("n_qubits")
+    if isinstance(n, int) and n > 0:
+        return n
+    key = workload.get("key")
+    if isinstance(key, str):
+        match = _TRAILING_INT.search(key)
+        if match:
+            return max(1, int(match.group(1)))
+    n = (point.options or {}).get("n_qubits")
+    if isinstance(n, int) and n > 0:
+        return n
+    return 4
+
+
+def estimate_point_cost(point: "Point") -> float:
+    """Relative static cost of one sweep point.
+
+    ``weight(task, workload) * iterations * P(Q) * 2^Q`` where ``P``
+    is the paper's Pauli-term shape and ``2^Q`` the dense statevector
+    factor (capped at 2^24 so structure-only wide workloads don't
+    swamp the ordering).  Pinned by the unit tests — change those when
+    changing this.
+    """
+    qubits = point_qubits(point)
+    per_eval = pauli_terms(qubits) * float(2 ** min(qubits, 24))
+    if point.task in _ITERATIVE_TASKS:
+        iterations = max(1, int(point.max_iterations))
+        weight = 1.0
+    else:
+        iterations = 1
+        weight = _TASK_WEIGHTS.get(point.task, 1.0)
+    workload = point.workload or {}
+    if "qaoa" in workload:
+        weight *= _QAOA_WEIGHT
+    return float(weight * iterations * per_eval)
+
+
+def order_by_cost(
+    pending: "list[tuple[Point, str]]",
+) -> "list[tuple[Point, str]]":
+    """``(point, fingerprint)`` pairs, most expensive first, stably."""
+    return sorted(
+        pending, key=lambda item: -estimate_point_cost(item[0])
+    )
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Cost-weighted completion state passed to progress callbacks."""
+
+    #: Points finished / total pending at sweep start.
+    points_done: int
+    points_total: int
+    #: Static cost finished / total (same units as
+    #: :func:`estimate_point_cost`).
+    cost_done: float
+    cost_total: float
+    #: Seconds since the sweep started executing.
+    elapsed_s: float
+
+    @property
+    def cost_fraction(self) -> float:
+        """Estimated fraction of total *work* (not points) complete."""
+        if self.cost_total <= 0:
+            return 1.0 if self.points_done >= self.points_total else 0.0
+        return min(1.0, self.cost_done / self.cost_total)
+
+    @property
+    def eta_s(self) -> float | None:
+        """Remaining seconds at the observed cost throughput.
+
+        ``None`` until at least some cost has completed (no throughput
+        signal yet).
+        """
+        if self.cost_done <= 0 or self.elapsed_s <= 0:
+            return None
+        remaining = max(0.0, self.cost_total - self.cost_done)
+        return self.elapsed_s * remaining / self.cost_done

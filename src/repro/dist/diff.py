@@ -1,0 +1,95 @@
+"""Canonical result-store comparison (the byte-identity checker).
+
+The subsystem's hard invariant — sharded runs produce records
+byte-identical to serial runs — is stated over the *canonical* record:
+every field except the two volatile timing fields every
+:class:`~repro.sweeps.ResultStore` record carries (``wall_time_s``,
+``finished_at``), serialized as canonical JSON.  Those two fields
+record when/how long a point happened to execute, never what it
+computed; masking them is the same discipline the golden tables apply
+to timing cells.  Everything else — the point payload, the full result
+tree, the fingerprint, the schema stamp — must match to the byte
+(Python's JSON float encoding is exact, so numeric drift cannot hide).
+
+:func:`diff_stores` backs the ``repro store-diff`` CLI command and the
+CI ``dist-smoke`` byte-identity gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..sweeps.store import ResultStore
+
+__all__ = [
+    "VOLATILE_FIELDS",
+    "canonical_record",
+    "canonical_records",
+    "diff_stores",
+    "store_digest",
+]
+
+#: Result-record fields excluded from identity: wall-clock facts about
+#: one particular execution, not properties of the computed result.
+VOLATILE_FIELDS = ("wall_time_s", "finished_at")
+
+
+def canonical_record(record: dict) -> str:
+    """Canonical JSON of ``record`` with volatile fields removed."""
+    payload = {
+        key: value
+        for key, value in record.items()
+        if key not in VOLATILE_FIELDS
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_records(store: ResultStore | str | Path) -> dict[str, str]:
+    """``{fingerprint: canonical record}`` for every record in a store.
+
+    Accepts a live store or a path; loading goes through the store's
+    torn-tail-tolerant parser, so a journal with a corrupt final line
+    canonicalizes to its valid prefix.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return {
+        key: canonical_record(record)
+        for key, record in sorted(
+            ((r["fingerprint"], r) for r in store.records()),
+        )
+    }
+
+
+def store_digest(store: ResultStore | str | Path) -> str:
+    """Order-independent blake2b digest of a store's canonical records."""
+    digest = hashlib.blake2b(digest_size=16)
+    for key, canonical in sorted(canonical_records(store).items()):
+        digest.update(key.encode())
+        digest.update(b"\x00")
+        digest.update(canonical.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def diff_stores(
+    left: ResultStore | str | Path, right: ResultStore | str | Path
+) -> list[str]:
+    """Human-readable canonical differences between two stores.
+
+    Empty list means the stores are identical up to the volatile
+    timing fields — the distributed-execution definition of
+    byte-identical.
+    """
+    a, b = canonical_records(left), canonical_records(right)
+    problems: list[str] = []
+    for key in sorted(set(a) - set(b)):
+        problems.append(f"only in left: {key}")
+    for key in sorted(set(b) - set(a)):
+        problems.append(f"only in right: {key}")
+    for key in sorted(set(a) & set(b)):
+        if a[key] != b[key]:
+            problems.append(f"records differ: {key}")
+    return problems

@@ -1,0 +1,168 @@
+"""Shard worker entry point: ``python -m repro.dist.shardworker <payload>``.
+
+One shard of a sharded sweep (see :mod:`repro.dist.shard`).  The
+payload file lists every pending point in cost order plus the paths of
+the shared claim queue, this shard's own result store, and every
+sibling store.  The loop:
+
+1. Reload the claim queue and scan sibling stores for completed work.
+2. Take the first point that is neither completed nor claimed; append
+   a claim, reload, and verify this shard won (journal first-wins
+   resolves cross-process races deterministically) — otherwise leave
+   it to its owner.
+3. When only claimed-but-unfinished points remain, wait a grace
+   period, then *steal*: execute a stalled point regardless of its
+   claim.  Double execution is harmless — records are bit-identical
+   by the determinism discipline and the coordinator merge is
+   first-wins — and without stealing, one dead shard would strand its
+   claims forever.
+4. Execute via the runner's :func:`~repro.sweeps.runner.execute_point`
+   and append to this shard's own store (atomic, fsync'd): finished
+   work is durable the instant it finishes, whatever happens next.
+
+Fault injection: ``REPRO_DIST_KILL_SHARD=<shard>:<n>`` makes shard
+``<shard>`` SIGKILL itself while *holding a fresh claim* after ``<n>``
+executed points — the exact failure work-stealing exists to absorb;
+CI's ``dist-smoke`` job drives it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+from ..sweeps.runner import execute_point
+from ..sweeps.spec import Point
+from ..sweeps.store import ResultStore
+from .claims import ClaimQueue
+
+__all__ = ["main", "run_shard"]
+
+
+def _kill_spec(shard: int) -> int | None:
+    """Executions after which this shard self-SIGKILLs (``None``: never)."""
+    raw = os.environ.get("REPRO_DIST_KILL_SHARD", "")
+    if ":" not in raw:
+        return None
+    target, _, after = raw.partition(":")
+    try:
+        if int(target) == shard:
+            return int(after)
+    except ValueError:
+        return None
+    return None
+
+
+def _completed(paths: list[Path]) -> set[str]:
+    """Fingerprints finished anywhere (sibling stores + coordinator)."""
+    done: set[str] = set()
+    for path in paths:
+        if path.exists():
+            done |= ResultStore(path).keys()
+    return done
+
+
+def run_shard(payload: dict) -> dict:
+    """Run one shard to completion; return its summary dict."""
+    shard = int(payload["shard"])
+    store = ResultStore(payload["store"])
+    claims = ClaimQueue(payload["claims"])
+    steal_timeout = float(payload.get("steal_timeout_s", 5.0))
+    scan_paths = [Path(p) for p in payload["sibling_stores"]]
+    scan_paths.append(Path(payload["coordinator_store"]))
+    items = [
+        (Point.from_dict(entry["point"]), entry["fingerprint"])
+        for entry in payload["points"]
+    ]
+    kill_after = _kill_spec(shard)
+
+    cache: dict = {}
+    executed = stolen = 0
+    attempted: set[str] = set()
+    stall_seen: dict[str, float] = {}
+    started = time.perf_counter()
+
+    while True:
+        completed = _completed(scan_paths)
+        claims.load()
+        target: tuple[Point, str] | None = None
+        steal = False
+        for point, fingerprint in items:
+            if fingerprint in attempted or fingerprint in completed:
+                continue
+            if fingerprint not in claims:
+                target = (point, fingerprint)
+                break
+        if target is None:
+            # Only claimed-but-unfinished points remain: give their
+            # owners a grace period, then steal the first staller.
+            now = time.perf_counter()
+            for point, fingerprint in items:
+                if fingerprint in attempted or fingerprint in completed:
+                    continue
+                first = stall_seen.setdefault(fingerprint, now)
+                if now - first >= steal_timeout:
+                    target = (point, fingerprint)
+                    steal = True
+                    break
+            if target is None:
+                if all(
+                    fingerprint in attempted or fingerprint in completed
+                    for _, fingerprint in items
+                ):
+                    break
+                time.sleep(0.2)
+                continue
+        point, fingerprint = target
+        attempted.add(fingerprint)
+        if not steal:
+            claims.claim(fingerprint, shard)
+            claims.load()
+            if claims.owner(fingerprint) != shard:
+                # Lost a cross-process race; the winner executes it.
+                # Drop it from `attempted` so the steal path can still
+                # recover it if the winner dies.
+                attempted.discard(fingerprint)
+                continue
+        if kill_after is not None and executed >= kill_after:
+            # Die holding a live claim: the failure mode stealing and
+            # the coordinator's inline pass must absorb.
+            os.kill(os.getpid(), signal.SIGKILL)
+        result, wall = execute_point(point, cache)
+        store.append(
+            point, result, wall_time_s=wall, fingerprint=fingerprint
+        )
+        executed += 1
+        if steal:
+            stolen += 1
+
+    summary = {
+        "shard": shard,
+        "executed": executed,
+        "stolen": stolen,
+        "wall_s": time.perf_counter() - started,
+    }
+    Path(payload["summary"]).write_text(json.dumps(summary))
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: read the payload file and run the shard."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.dist.shardworker <payload.json>",
+            file=sys.stderr,
+        )
+        return 2
+    payload = json.loads(Path(argv[0]).read_text())
+    run_shard(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,332 @@
+"""Pluggable transports and the retrying worker pool.
+
+Two channel implementations share the wire protocol in
+:mod:`repro.dist.wire`:
+
+* :class:`PipeChannel` — a forked local worker process behind a
+  ``multiprocessing`` pipe (frames delivered whole via
+  ``send_bytes``/``recv_bytes``).
+* :class:`SocketChannel` — a TCP connection to a remote worker
+  speaking 4-byte length-prefixed frames
+  (:func:`~repro.dist.wire.write_frame`/``read_frame``); pair it with
+  :func:`serve_socket_worker` (the ``repro dist-worker`` command).
+
+:class:`WorkerPool` multiplexes requests over a fixed set of channels
+with bounded retry: a channel that dies mid-request (worker killed,
+connection dropped) is restarted and the request resubmitted to the
+next free channel, up to ``max_retries`` times.  Requests are pure
+(see :mod:`repro.dist.wire`), so a resubmitted request can never lose
+or duplicate observable work — the caller consumes exactly one reply,
+and recomputing an ideal probability row is side-effect-free.
+
+Transport failures raise :class:`TransportError`; deterministic
+worker-side failures (bad circuit, unknown op) raise
+:class:`RemoteExecutionError` and are never retried.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import socket
+import threading
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..obs import REGISTRY, span
+from .wire import (
+    WIRE_SCHEMA_VERSION,
+    decode_message,
+    encode_message,
+    execute_request,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "PipeChannel",
+    "RemoteExecutionError",
+    "SocketChannel",
+    "TransportError",
+    "WorkerPool",
+    "serve_socket_worker",
+]
+
+
+class TransportError(RuntimeError):
+    """A channel died (worker killed, pipe/socket closed) mid-request."""
+
+
+class RemoteExecutionError(RuntimeError):
+    """The worker replied with a deterministic application failure."""
+
+
+_M_REQUESTS = REGISTRY.counter(
+    "repro_dist_requests_total",
+    "Wire requests completed by the worker pool",
+)
+_M_RETRIES = REGISTRY.counter(
+    "repro_dist_retries_total",
+    "Requests resubmitted after a transport failure",
+)
+_M_DEATHS = REGISTRY.counter(
+    "repro_dist_worker_deaths_total",
+    "Worker channels restarted after dying mid-request",
+)
+
+
+# ------------------------------------------------------- pipe channel
+
+
+def _pipe_worker_main(conn) -> None:
+    """Worker loop for a pipe channel: frame in, reply frame out."""
+    name = multiprocessing.current_process().name
+    state: dict[str, Any] = {"worker_id": name}
+    while not state.get("shutdown"):
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        reply = execute_request(decode_message(payload), state)
+        try:
+            conn.send_bytes(encode_message(reply))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class PipeChannel:
+    """A local worker process behind a ``multiprocessing`` pipe."""
+
+    transport = "pipes"
+
+    def __init__(self) -> None:
+        self._conn = None
+        self._process: multiprocessing.Process | None = None
+        self._start()
+
+    def _start(self) -> None:
+        parent, child = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_pipe_worker_main, args=(child,), daemon=True
+        )
+        process.start()
+        child.close()
+        self._conn, self._process = parent, process
+
+    @property
+    def worker_pid(self) -> int | None:
+        """PID of the live worker process (tests kill it by pid)."""
+        return self._process.pid if self._process else None
+
+    def request(self, payload: bytes) -> bytes:
+        """One round trip; :class:`TransportError` if the worker died."""
+        try:
+            self._conn.send_bytes(payload)
+            return self._conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise TransportError(f"pipe worker died: {exc!r}") from exc
+
+    def restart(self) -> None:
+        """Kill any remains of the worker and fork a fresh one."""
+        self.close()
+        self._start()
+
+    def close(self) -> None:
+        """Terminate the worker process and close the pipe."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._process is not None:
+            self._process.terminate()
+            self._process.join(timeout=5)
+            self._process = None
+
+
+# ----------------------------------------------------- socket channel
+
+
+class SocketChannel:
+    """A TCP connection to a worker started lazily on first request."""
+
+    transport = "socket"
+
+    def __init__(self, address: str) -> None:
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"socket address must be 'host:port'; got {address!r}"
+            )
+        self.address = (host, int(port))
+        self._sock: socket.socket | None = None
+        self._stream = None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(self.address, timeout=60)
+        self._sock = sock
+        self._stream = sock.makefile("rwb")
+
+    def request(self, payload: bytes) -> bytes:
+        """One framed round trip; :class:`TransportError` on failure."""
+        try:
+            if self._stream is None:
+                self._connect()
+            write_frame(self._stream, payload)
+            return read_frame(self._stream)
+        except (EOFError, OSError) as exc:
+            raise TransportError(
+                f"socket worker at {self.address} unreachable: {exc!r}"
+            ) from exc
+
+    def restart(self) -> None:
+        """Drop the connection; the next request reconnects."""
+        self.close()
+
+    def close(self) -> None:
+        """Close the stream and socket if connected."""
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+# ------------------------------------------------------- worker pool
+
+
+class WorkerPool:
+    """Fixed channels + free-list dispatch + bounded retry.
+
+    Thread-safe: concurrent callers block until a channel is free, so
+    each channel serves one request at a time and a reply always
+    belongs to the request just sent on that channel.
+    """
+
+    def __init__(self, channels: Sequence[Any], max_retries: int = 2):
+        if not channels:
+            raise ValueError("WorkerPool needs at least one channel")
+        self._channels = list(channels)
+        self._free = list(channels)
+        self._cond = threading.Condition()
+        self._ids = itertools.count()
+        self.max_retries = int(max_retries)
+
+    def _acquire(self):
+        with self._cond:
+            while not self._free:
+                self._cond.wait()
+            return self._free.pop()
+
+    def _release(self, channel) -> None:
+        with self._cond:
+            self._free.append(channel)
+            self._cond.notify()
+
+    def submit(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request, retrying across worker deaths.
+
+        Returns the decoded reply dict (``ok`` already verified).
+        Raises :class:`TransportError` after ``max_retries``
+        resubmissions all die, or :class:`RemoteExecutionError` for a
+        deterministic worker-side failure (not retried).
+        """
+        payload = dict(message)
+        payload.setdefault("schema", WIRE_SCHEMA_VERSION)
+        with self._cond:
+            payload.setdefault("id", next(self._ids))
+        encoded = encode_message(payload)
+        attempts = 0
+        with span("dist.request", op=str(payload.get("op"))):
+            while True:
+                channel = self._acquire()
+                try:
+                    raw = channel.request(encoded)
+                except TransportError:
+                    _M_DEATHS.inc()
+                    try:
+                        channel.restart()
+                    finally:
+                        self._release(channel)
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise
+                    _M_RETRIES.inc()
+                    continue
+                else:
+                    self._release(channel)
+                reply = decode_message(raw)
+                if reply.get("id") != payload["id"]:
+                    raise TransportError(
+                        f"reply id {reply.get('id')!r} does not match "
+                        f"request id {payload['id']!r}"
+                    )
+                if not reply.get("ok"):
+                    raise RemoteExecutionError(
+                        str(reply.get("error", "unknown worker error"))
+                    )
+                _M_REQUESTS.inc()
+                return reply
+
+    def close(self) -> None:
+        """Close every channel (terminating pipe workers)."""
+        for channel in self._channels:
+            channel.close()
+
+
+# ------------------------------------------------------ socket worker
+
+
+def serve_socket_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: threading.Event | None = None,
+) -> tuple[socket.socket, int]:
+    """Accept-loop serving framed wire requests (one thread per client).
+
+    Binds, sets ``ready`` (if given) once listening, and returns the
+    listening socket and bound port from a daemon acceptor thread;
+    closing the returned socket stops the server.  ``repro
+    dist-worker`` wraps this in a blocking CLI command.
+    """
+    server = socket.create_server((host, port))
+    bound_port = server.getsockname()[1]
+
+    def _client(conn: socket.socket) -> None:
+        state: dict[str, Any] = {"worker_id": f"socket:{bound_port}"}
+        stream = conn.makefile("rwb")
+        try:
+            while not state.get("shutdown"):
+                try:
+                    payload = read_frame(stream)
+                except (EOFError, OSError):
+                    break
+                reply = execute_request(decode_message(payload), state)
+                write_frame(stream, encode_message(reply))
+        finally:
+            try:
+                stream.close()
+                conn.close()
+            except OSError:
+                pass
+
+    def _accept() -> None:
+        if ready is not None:
+            ready.set()
+        while True:
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=_client, args=(conn,), daemon=True
+            ).start()
+
+    threading.Thread(target=_accept, daemon=True).start()
+    return server, bound_port

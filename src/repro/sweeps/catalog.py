@@ -129,14 +129,20 @@ def run_entry(
     executor: str = "thread",
     limit: int | None = None,
     progress=None,
+    shards: int = 1,
 ) -> EntryOutcome:
-    """Execute one catalog entry's grid (plus followup) into ``store``."""
+    """Execute one catalog entry's grid (plus followup) into ``store``.
+
+    ``shards > 1`` runs the grid through the sharded executor (see
+    :func:`repro.sweeps.runner.run_sweep`); records are byte-identical
+    either way.
+    """
     if isinstance(entry, str):
         entry = get_entry(entry)
     spec = entry.build()
     report = run_sweep(
         spec, store, workers=workers, progress=progress, limit=limit,
-        executor=executor,
+        executor=executor, shards=shards,
     )
     outcome = EntryOutcome(
         entry=entry,
@@ -155,7 +161,7 @@ def run_entry(
         if extra:
             second = run_sweep(
                 extra, store, workers=workers, progress=progress,
-                limit=remaining, executor=executor,
+                limit=remaining, executor=executor, shards=shards,
             )
             outcome.total += second.total
             outcome.executed += list(second.executed)
@@ -172,6 +178,7 @@ def reproduce(
     executor: str = "thread",
     limit: int | None = None,
     progress=None,
+    shards: int = 1,
 ) -> list[EntryOutcome]:
     """Run a subset of the catalog (default: all) into one shared store.
 
@@ -187,7 +194,7 @@ def reproduce(
     for name in names:
         outcome = run_entry(
             get_entry(name), store, workers=workers, executor=executor,
-            limit=remaining, progress=progress,
+            limit=remaining, progress=progress, shards=shards,
         )
         outcomes.append(outcome)
         if remaining is not None:
@@ -2228,4 +2235,77 @@ _register(CatalogEntry(
     build=_build_ext_serve_throughput,
     tables=_tables_ext_serve_throughput,
     normalize=_normalize_serve,
+))
+
+
+# =================================================== ext_dist_scaling
+
+#: Shard counts for the distributed-sweep scaling bench: a serial
+#: reference vs a four-way sharded run of the same inner grid.
+DIST_SHARD_COUNTS = [1, 4]
+
+
+def _build_ext_dist_scaling() -> SweepSpec:
+    return SweepSpec(
+        name="ext_dist_scaling",
+        base={"task": "dist_scaling"},
+        cells=[
+            {"options": {
+                "shards": s,
+                "tuning_seeds": scaled(2, 4),
+                "tuning_iterations": scaled(3, 25),
+                "trotter_steps": scaled([1, 2], [1, 2, 4, 8]),
+            }}
+            for s in DIST_SHARD_COUNTS
+        ],
+    )
+
+
+def dist_scaling_rows(records: list) -> dict:
+    """Shard count -> task result (shared with the bench shim)."""
+    return {
+        s: _one(records, point__options__shards=s)["result"]
+        for s in DIST_SHARD_COUNTS
+    }
+
+
+def _tables_ext_dist_scaling(records: list) -> list[Table]:
+    by_shards = dist_scaling_rows(records)
+    reference = by_shards[DIST_SHARD_COUNTS[0]]
+    rows = [
+        [
+            s, result["points"], result["records"],
+            result["executions"], result["duplicates"],
+            result["stolen"],
+            "yes" if result["digest"] == reference["digest"] else "NO",
+            fmt(result["seconds"], 3),
+            fmt(reference["seconds"] / result["seconds"], 3),
+        ]
+        for s, result in by_shards.items()
+    ]
+    return [Table(
+        "Extension: sharded sweep scaling "
+        "(mixed H2-4 tuning + Trotter-error grid)",
+        ["shards", "points", "records", "executions", "duplicates",
+         "stolen", "records match", "wall-clock (s)", "speedup"],
+        rows,
+    )]
+
+
+def _normalize_dist(text: str) -> str:
+    """Mask the volatile wall-clock/speedup cells before comparison.
+
+    Record identity, execution counts, and duplicate/steal tallies stay
+    pinned; only the timing columns (the ``#.###`` cells) float.
+    """
+    return _normalize_serve(text)
+
+
+_register(CatalogEntry(
+    name="ext_dist_scaling",
+    figure="Extension (dist)",
+    title="Sharded sweeps with work-stealing: records match serial",
+    build=_build_ext_dist_scaling,
+    tables=_tables_ext_dist_scaling,
+    normalize=_normalize_dist,
 ))

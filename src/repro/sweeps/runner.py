@@ -359,6 +359,10 @@ class SweepReport:
     skipped: int
     executed: list[str] = field(default_factory=list)
     records: dict = field(default_factory=dict)
+    #: Sharded-run statistics (``shards``, ``executions``, ``stolen``,
+    #: ``merged`` ...); empty for unsharded runs.  See
+    #: :class:`repro.dist.shard.ShardStats`.
+    shard_stats: dict = field(default_factory=dict)
 
     @property
     def pending_after(self) -> int:
@@ -398,6 +402,69 @@ class SweepReport:
         )
 
 
+def _accepts_progress_state(progress) -> bool:
+    """Whether ``progress`` can take the fifth (SweepProgress) argument."""
+    import inspect
+
+    try:
+        signature = inspect.signature(progress)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+    return positional >= 5
+
+
+def _cost_progress(progress, pending: list[tuple[Point, str]]):
+    """Wrap a progress callback with cost-weighted completion tracking.
+
+    The wrapper keeps the 4-argument calling convention toward the
+    executors; callbacks that accept a fifth positional argument get a
+    :class:`repro.dist.costs.SweepProgress` snapshot — points done
+    *and* estimated cost fraction complete, plus a cost-based ETA.
+    Point-count ETAs are wildly wrong on mixed grids (a quench cell is
+    ~100x a tuning cell); the cost fraction is the honest signal.
+    """
+    if progress is None:
+        return None
+    from ..dist.costs import SweepProgress, estimate_point_cost
+
+    costs = {
+        fingerprint: estimate_point_cost(point)
+        for point, fingerprint in pending
+    }
+    cost_total = float(sum(costs.values()))
+    wants_state = _accepts_progress_state(progress)
+    lock = threading.Lock()
+    cost_done = 0.0
+    started = time.perf_counter()
+
+    def wrapped(done: int, total: int, point: Point, record: dict) -> None:
+        nonlocal cost_done
+        with lock:
+            cost_done += costs.get(record.get("fingerprint", ""), 0.0)
+            state = SweepProgress(
+                points_done=done,
+                points_total=total,
+                cost_done=cost_done,
+                cost_total=cost_total,
+                elapsed_s=time.perf_counter() - started,
+            )
+        if wants_state:
+            progress(done, total, point, record, state)
+        else:
+            progress(done, total, point, record)
+
+    return wrapped
+
+
 #: Per-worker-process workload/warm-start cache (one per forked worker,
 #: reused across the points that worker executes).
 _PROCESS_CACHE: dict = {}
@@ -420,6 +487,7 @@ def run_sweep(
     progress: Callable[[int, int, Point, dict], None] | None = None,
     limit: int | None = None,
     executor: str = "thread",
+    shards: int = 1,
 ) -> SweepReport:
     """Execute every grid point not already checkpointed in ``store``.
 
@@ -439,6 +507,10 @@ def run_sweep(
         Called as ``progress(done, pending_total, point, record)`` after
         each executed point (from worker threads when ``workers>1`` on
         the thread backend; from the parent on the process backend).
+        A callback accepting a fifth positional argument additionally
+        receives a :class:`repro.dist.costs.SweepProgress` carrying the
+        cost-weighted completion fraction and ETA — the honest signal
+        on mixed grids where point counts mislead.
     limit:
         Execute at most this many pending points this call (useful for
         drip-feeding or deliberately "interrupting" a sweep).
@@ -448,12 +520,22 @@ def run_sweep(
         worker as a picklable payload and checkpoints/notifies in the
         parent as results complete; worker processes keep their own
         workload caches.  Results are bit-identical across backends.
+    shards:
+        ``> 1`` runs the pending points through
+        :func:`repro.dist.shard.run_sharded`: shard worker
+        subprocesses coordinate via a journaled claim queue (with
+        work-stealing), append to per-shard stores, and the
+        coordinator merges — records byte-identical to a serial run
+        up to the volatile timing fields.  ``workers``/``executor``
+        apply within this process only when sharding is off.
 
     Returns a :class:`SweepReport`; ``report.records`` maps fingerprint
     -> record for every grid point present in the store after the run.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     if executor not in EXECUTORS:
         raise ValueError(
             f"unknown executor {executor!r}; choose from {EXECUTORS}"
@@ -475,11 +557,19 @@ def run_sweep(
     report = SweepReport(total=len(seen), skipped=skipped)
     logger.info(
         "sweep start: %d pending of %d points (%d already complete, "
-        "executor=%s, workers=%d)",
-        len(pending), len(seen), skipped, executor, workers,
+        "executor=%s, workers=%d, shards=%d)",
+        len(pending), len(seen), skipped, executor, workers, shards,
     )
 
-    if executor == "process" and workers > 1 and len(pending) > 1:
+    progress = _cost_progress(progress, pending)
+    if shards > 1 and len(pending) > 1:
+        from ..dist.shard import run_sharded
+
+        executed, shard_stats = run_sharded(
+            pending, store, shards=shards, progress=progress
+        )
+        report.shard_stats = dict(shard_stats)
+    elif executor == "process" and workers > 1 and len(pending) > 1:
         executed = _run_process_pool(pending, store, workers, progress)
     else:
         executed = _run_thread_pool(pending, store, workers, progress)

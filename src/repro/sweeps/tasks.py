@@ -943,6 +943,74 @@ def _serve_throughput(point: Point, workload_cache: dict) -> dict:
         shutil.rmtree(root, ignore_errors=True)
 
 
+@task("dist_scaling")
+def _dist_scaling(point: Point, workload_cache: dict) -> dict:
+    """Sharded-sweep scaling probe on a mixed tuning + Trotter grid.
+
+    Runs one inner sweep — ``tuning_seeds`` cheap H2-4 tuning cells
+    plus one ``trotter_error`` cell per entry of ``trotter_steps`` —
+    into a throwaway store, serially when ``shards <= 1`` and through
+    :func:`repro.dist.shard.run_sharded` otherwise.  The returned
+    ``digest`` is the canonical store digest
+    (:func:`repro.dist.diff.store_digest`), so rows with different
+    shard counts pin record identity against each other; ``duplicates``
+    pins that work-stealing never double-*records* a point.  Only the
+    wall clock (``seconds``, masked by the parity suite) varies between
+    runs.
+    """
+    import shutil
+    import tempfile
+
+    from ..dist.diff import store_digest
+    from .runner import run_sweep
+    from .store import ResultStore
+
+    options = dict(point.options)
+    shards = int(options.get("shards", 1))
+    seeds = int(options.get("tuning_seeds", 2))
+    iterations = int(options.get("tuning_iterations", 4))
+    steps = list(options.get("trotter_steps", [1, 2]))
+    inner = [
+        Point(
+            workload={"key": "H2-4"},
+            scheme="baseline",
+            seed=seed,
+            shots=64,
+            max_iterations=iterations,
+        )
+        for seed in range(seeds)
+    ] + [
+        Point(task="trotter_error", options={"steps": int(s)})
+        for s in steps
+    ]
+    root = tempfile.mkdtemp(prefix="repro-dist-bench-")
+    try:
+        store = ResultStore(f"{root}/store.jsonl")
+        start = time.perf_counter()
+        report = run_sweep(inner, store, shards=shards)
+        elapsed = time.perf_counter() - start
+        stats = dict(report.shard_stats)
+        if stats:
+            executions = int(stats.get("executions", 0)) + int(
+                stats.get("inline", 0)
+            )
+        else:
+            executions = len(report.executed)
+        points = len(inner)
+        return {
+            "shards": shards,
+            "points": points,
+            "records": len(store),
+            "executions": executions,
+            "duplicates": max(0, executions - points),
+            "stolen": int(stats.get("stolen", 0)),
+            "digest": store_digest(store),
+            "seconds": float(elapsed),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 @task("term_selective")
 def _term_selective(point: Point, workload_cache: dict) -> dict:
     """Term-selective mitigation trade-off at one mass fraction."""

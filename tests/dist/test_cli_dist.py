@@ -1,0 +1,79 @@
+"""CLI surface of the dist subsystem: store-diff, flags, progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _sweep_progress, main
+from repro.dist.costs import SweepProgress
+from repro.sweeps import ResultStore
+from repro.sweeps.spec import Point
+
+
+def _store(path, values: dict[int, float]) -> ResultStore:
+    store = ResultStore(path)
+    for i, value in values.items():
+        point = Point(task="synthetic", options={"i": i})
+        store.append(point, {"value": value}, wall_time_s=0.01)
+    return store
+
+
+def test_store_diff_identical(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    _store(a, {0: 1.0, 1: 2.0})
+    _store(b, {0: 1.0, 1: 2.0})
+    assert main(["store-diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "stores identical" in out and "2 records" in out
+
+
+def test_store_diff_reports_differences(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    _store(a, {0: 1.0, 1: 2.0})
+    _store(b, {0: 1.0, 1: 2.5, 2: 3.0})
+    assert main(["store-diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "records differ" in out
+    assert "only in right" in out
+
+
+def test_store_diff_missing_file(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    _store(a, {0: 1.0})
+    assert main(["store-diff", str(a), str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_sweep_parser_rejects_zero_shards(tmp_path):
+    grid = tmp_path / "grid.json"
+    grid.write_text("{}")
+    with pytest.raises(SystemExit):
+        main([
+            "sweep", str(grid),
+            "--out", str(tmp_path / "out.jsonl"),
+            "--shards", "0",
+        ])
+
+
+def test_progress_line_shows_cost_fraction_and_eta(capsys):
+    point = Point(task="trotter_error", options={"steps": 1})
+    record = {"result": {"steps": 1}, "wall_time_s": 0.25}
+    state = SweepProgress(
+        points_done=1, points_total=3,
+        cost_done=2.0, cost_total=8.0, elapsed_s=4.0,
+    )
+    _sweep_progress(1, 3, point, record, state)
+    out = capsys.readouterr().out
+    assert "[1/3]" in out
+    assert "25% of est. cost" in out
+    assert "eta 12s" in out
+
+
+def test_progress_line_without_state(capsys):
+    point = Point(task="trotter_error", options={"steps": 1})
+    record = {"result": {"steps": 1}, "wall_time_s": 0.25}
+    _sweep_progress(2, 2, point, record)
+    out = capsys.readouterr().out
+    assert "[2/2]" in out
+    assert "est. cost" not in out

@@ -1,0 +1,92 @@
+"""Pinned tests for static point costs, ordering, and SweepProgress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.costs import (
+    SweepProgress,
+    estimate_point_cost,
+    order_by_cost,
+    point_qubits,
+)
+from repro.sweeps.spec import Point
+
+
+def _tuning(seed: int = 0, iterations: int = 20, **kw) -> Point:
+    kw.setdefault("workload", {"key": "H2-4"})
+    return Point(
+        scheme="baseline", seed=seed, max_iterations=iterations, **kw
+    )
+
+
+def test_point_qubits_resolution_order():
+    assert point_qubits(_tuning(workload={"model": "tfim",
+                                          "n_qubits": 6})) == 6
+    assert point_qubits(_tuning(workload={"key": "H2O-6"})) == 6
+    assert point_qubits(
+        Point(task="quench", options={"n_qubits": 5, "times": [0.1]})
+    ) == 5
+    assert point_qubits(Point(task="trotter_error",
+                              options={"steps": 1})) == 4
+
+
+def test_cost_ordering_is_pinned():
+    # The satellite's pinned ordering: task kind x qubits x iterations.
+    quench = Point(
+        task="quench_sweep", options={"n_qubits": 5, "times": [0.1]}
+    )
+    qaoa = _tuning(
+        workload={"qaoa": "ring", "n_qubits": 4, "reps": 1},
+        iterations=20,
+    )
+    tuning = _tuning(iterations=20)
+    short_tuning = _tuning(iterations=2)
+    trotter = Point(task="trotter_error", options={"steps": 1})
+    costs = [
+        estimate_point_cost(p)
+        for p in (quench, qaoa, tuning, trotter, short_tuning)
+    ]
+    assert costs == sorted(costs, reverse=True)
+    # Iteration count scales iterative tasks linearly.
+    assert estimate_point_cost(tuning) == pytest.approx(
+        10 * estimate_point_cost(short_tuning) / 1
+    )
+    # Wider systems cost more (Pauli terms x statevector factor).
+    assert estimate_point_cost(
+        _tuning(workload={"key": "H2O-6"})
+    ) > estimate_point_cost(tuning)
+
+
+def test_order_by_cost_descends_and_is_stable():
+    cheap_a = (Point(task="trotter_error", options={"steps": 1}), "a")
+    cheap_b = (Point(task="trotter_error", options={"steps": 2}), "b")
+    costly = (
+        Point(task="quench_sweep",
+              options={"n_qubits": 5, "times": [0.1]}),
+        "c",
+    )
+    ordered = order_by_cost([cheap_a, cheap_b, costly])
+    assert [fp for _, fp in ordered] == ["c", "a", "b"]
+    # Equal-cost points keep their submission order (stable sort).
+    assert order_by_cost([cheap_b, cheap_a])[0][1] == "b"
+
+
+def test_sweep_progress_cost_fraction_and_eta():
+    halfway = SweepProgress(
+        points_done=3, points_total=4,
+        cost_done=2.0, cost_total=6.0, elapsed_s=10.0,
+    )
+    assert halfway.cost_fraction == pytest.approx(2.0 / 6.0)
+    # Throughput so far: 2 cost units / 10 s -> 4 remaining take 20 s.
+    assert halfway.eta_s == pytest.approx(20.0)
+
+    fresh = SweepProgress(0, 4, 0.0, 6.0, 0.0)
+    assert fresh.eta_s is None
+    assert fresh.cost_fraction == 0.0
+
+    done = SweepProgress(4, 4, 9.0, 6.0, 1.0)
+    assert done.cost_fraction == 1.0  # clamped
+
+    empty = SweepProgress(0, 0, 0.0, 0.0, 0.0)
+    assert empty.cost_fraction == 1.0

@@ -22,6 +22,7 @@ SRC = pathlib.Path(__file__).resolve().parent.parent.parent / "src"
 SCOPED = [
     "repro/api",
     "repro/backends",
+    "repro/dist",
     "repro/engine",
     "repro/io",
     "repro/obs",

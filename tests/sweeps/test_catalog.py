@@ -21,14 +21,16 @@ EXPECTED_ENTRIES = {
     "ext_api_session",
     "ext_backend_matrix",
     "ext_serve_throughput",
+    "ext_dist_scaling",
 }
 
 
 def test_all_grids_registered():
     # The paper's 27 grids plus the PR 4 inline-estimator-spec entry,
-    # the PR 5 execution-backend matrix, and the PR 6 serve benchmark.
+    # the PR 5 execution-backend matrix, the PR 6 serve benchmark, and
+    # the PR 9 sharded-sweep scaling benchmark.
     assert set(CATALOG) == EXPECTED_ENTRIES
-    assert len(CATALOG) == 30
+    assert len(CATALOG) == 31
 
 
 def test_unknown_entry_raises():
