@@ -1,0 +1,59 @@
+"""Extension: re-calibration policies under calibration drift.
+
+The paper's temporal scheduling assumes piecewise-static noise; this
+frontier models readout/gate rates that *drift mid-run* (a step jump
+after two drift epochs) and compares three re-calibration policies at
+three drift magnitudes: ``static`` (Globals once, never again),
+``oracle`` (re-calibrates exactly when the true noise moved — an
+upper bound no real system has), and ``online`` (the
+``drift_adaptive`` estimator: probe circuits + CUSUM detection, costs
+on the same ledger).
+
+Catalog entry ``ext_drift_frontier``; the zero-drift column doubles as
+a false-alarm check — the online detector must stay silent there.
+"""
+
+from conftest import print_tables
+
+from repro.sweeps import ResultStore, get_entry, run_entry
+
+
+def test_drift_policy_frontier(benchmark, tmp_path):
+    entry = get_entry("ext_drift_frontier")
+    store = ResultStore(tmp_path / "drift.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
+    )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    by = {}
+    for record in outcome.records:
+        options = record["point"]["options"]
+        by[(options["magnitude"], options["policy"])] = record["result"]
+
+    # Detection: the online policy re-calibrates iff there is drift —
+    # no false alarms at zero drift, at least one alarm per step.
+    for policy in ("static", "oracle", "online"):
+        assert by[(0.0, policy)]["recalibrations"] == 0
+    for magnitude in (1.0, 2.0):
+        assert by[(magnitude, "online")]["recalibrations"] > 0
+        # Static scheduling has no detector at all.
+        assert by[(magnitude, "static")]["recalibrations"] == 0
+
+    # Cost ordering at every magnitude: static executes the fewest
+    # circuits, the oracle (fresh Globals every epoch) the most, and
+    # the online policy sits between — probes are cheaper than
+    # paranoid re-calibration.
+    for magnitude in (0.0, 1.0, 2.0):
+        static = by[(magnitude, "static")]["circuits"]
+        online = by[(magnitude, "online")]["circuits"]
+        oracle = by[(magnitude, "oracle")]["circuits"]
+        assert static < online < oracle
+
+    # Drift hurts every policy: heavier drift, larger mean error.
+    for policy in ("static", "oracle", "online"):
+        assert (
+            by[(2.0, policy)]["mean_error"]
+            > by[(0.0, policy)]["mean_error"]
+        )

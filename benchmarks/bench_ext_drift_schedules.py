@@ -1,0 +1,39 @@
+"""Extension: the online re-calibration policy across schedule kinds.
+
+One ``drift_frontier`` cell per drift schedule kind (constant, step,
+linear ramp, sinusoidal, seeded random walk), all running the
+``drift_adaptive`` estimator — does CUSUM detection generalize beyond
+the step jump it is easiest to reason about?
+
+Catalog entry ``ext_drift_schedules``.
+"""
+
+from conftest import print_tables
+
+from repro.sweeps import ResultStore, get_entry, run_entry
+
+
+def test_online_policy_across_schedules(benchmark, tmp_path):
+    entry = get_entry("ext_drift_schedules")
+    store = ResultStore(tmp_path / "schedules.jsonl")
+    outcome = benchmark.pedantic(
+        lambda: run_entry(entry, store), iterations=1, rounds=1
+    )
+    print_tables(outcome.tables())
+    assert run_entry(entry, store).executed == []
+
+    by = {
+        record["point"]["options"]["schedule"]: record["result"]
+        for record in outcome.records
+    }
+    # The zero-drift schedule must not trip the detector; every
+    # drifting kind must.
+    assert by["constant"]["recalibrations"] == 0
+    for label in ("step", "linear", "sine", "random_walk"):
+        assert by[label]["recalibrations"] > 0
+        assert (
+            by[label]["peak_statistic"]
+            > by["constant"]["peak_statistic"]
+        )
+    # Oscillating drift keeps alarming as the rates swing.
+    assert by["sine"]["recalibrations"] >= by["step"]["recalibrations"]

@@ -55,6 +55,7 @@ _BUILTIN_ORDER = (
     "gc",
     "selective",
     "calibration_gated",
+    "drift_adaptive",
 )
 
 #: Modules whose import registers the built-in estimator families.
@@ -64,6 +65,7 @@ _BUILTIN_MODULES = (
     "repro.mitigation.jigsaw",
     "repro.core.varsaw",
     "repro.core.selective",
+    "repro.core.recalibrate",
 )
 
 

@@ -39,7 +39,14 @@ from .api import Session, estimator_kinds, spec_class
 from .backends import backend_class, backend_kinds, make_backend
 from .core import count_jigsaw_subsets, count_varsaw_subsets
 from .hamiltonian import MOLECULES, build_hamiltonian, molecule_keys
-from .noise import DEVICE_PRESETS, SimulatorBackend, characterize_readout
+from .noise import (
+    DEVICE_PRESETS,
+    SCHEDULE_KINDS,
+    DriftingDeviceModel,
+    SimulatorBackend,
+    characterize_readout,
+    make_schedule,
+)
 from .optimizers import SPSA
 from .vqe import run_vqe
 from .workloads import ESTIMATOR_KINDS, make_engine, make_workload
@@ -109,6 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--entanglement", default="full",
         choices=("full", "linear", "circular", "asymmetric"),
     )
+    run.add_argument(
+        "--drift", default=None, choices=sorted(SCHEDULE_KINDS),
+        help="apply a calibration-drift schedule to the device "
+        "(see docs/drift.md; pairs well with --scheme drift_adaptive)",
+    )
+    run.add_argument(
+        "--drift-magnitude", type=float, default=1.0,
+        help="fractional rate change at full drift (random_walk: "
+        "per-epoch step std)",
+    )
+    run.add_argument(
+        "--drift-period", type=_int_at_least(1), default=32,
+        help="circuits per drift epoch (noise is constant within one)",
+    )
+    run.add_argument("--drift-seed", type=int, default=0,
+                     help="random_walk schedule seed")
     _add_scheme_arguments(run)
     _add_engine_arguments(run)
 
@@ -535,6 +558,16 @@ def _cmd_run(args) -> int:
         args.workload, reps=args.reps, entanglement=args.entanglement
     )
     device = workload.device.with_noise_scale(args.noise_scale)
+    if args.drift is not None:
+        device = DriftingDeviceModel(
+            device,
+            make_schedule(
+                args.drift,
+                magnitude=args.drift_magnitude,
+                period=args.drift_period,
+                seed=args.drift_seed,
+            ),
+        )
     try:
         backend = make_backend(args.backend, device, seed=args.seed)
         estimator, session = _make_cli_session(args, workload, backend)
@@ -565,6 +598,17 @@ def _cmd_run(args) -> int:
     fraction = getattr(estimator, "global_fraction", None)
     if fraction is not None:
         print(f"global fraction: {fraction:.3f}")
+    recalibrations = getattr(estimator, "recalibrations", None)
+    if recalibrations is not None:
+        print(
+            f"re-calibrations: {recalibrations} "
+            f"(detector alarms on {estimator.detector.updates} probes)"
+        )
+    if args.drift is not None:
+        print(
+            f"drift: {args.drift} schedule, final epoch "
+            f"{device.epoch} (clock {device.clock})"
+        )
     _print_engine_stats(session)
     return 0
 

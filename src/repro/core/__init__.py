@@ -14,6 +14,12 @@ from .cost import (
     varsaw_cost,
     varsaw_subset_pool,
 )
+from .recalibrate import (
+    DriftAdaptiveSpec,
+    DriftAwareVarSawEstimator,
+    DriftDetector,
+    total_variation,
+)
 from .selective import (
     CalibrationGate,
     CalibrationGatedSpec,
@@ -50,6 +56,10 @@ __all__ = [
     "CalibrationGatedVarSawEstimator",
     "CalibrationGatedSpec",
     "PhasePolicy",
+    "DriftDetector",
+    "DriftAwareVarSawEstimator",
+    "DriftAdaptiveSpec",
+    "total_variation",
     "GlobalScheduler",
     "SubsetPlan",
     "varsaw_subset_plan",

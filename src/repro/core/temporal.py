@@ -64,6 +64,17 @@ class GlobalScheduler:
         if self.mode == "adaptive":
             self._next_due = evaluation_index + self.period
 
+    def trigger(self) -> None:
+        """Force the next evaluation to run fresh Globals.
+
+        The hook online re-calibration policies use: a drift detector
+        that decides the stored prior is stale calls this, and the next
+        :meth:`due` check passes regardless of the current period.
+        No-op outside adaptive mode — the extremes are pinned policies.
+        """
+        if self.mode == "adaptive":
+            self._next_due = 0
+
     def record_evaluation(self) -> None:
         self.evaluations_seen += 1
         self.period_history.append(self.period)

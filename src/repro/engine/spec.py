@@ -84,6 +84,13 @@ def device_fingerprint(backend) -> str:
     extra = getattr(backend, "pmf_fingerprint_extra", None)
     if extra is not None:
         h.update(f"|e:{extra()}".encode())
+    # Drifting devices: fold the schedule + epoch in so two clock
+    # states never share cached PMFs, even if their rates momentarily
+    # coincide (the concrete rates below are hashed too, but equal
+    # rates at different epochs are still distinct calibration states).
+    drift = getattr(device, "drift_state_fingerprint", None)
+    if drift is not None:
+        h.update(f"|t:{drift()}".encode())
     readout = device.readout
     h.update(
         f"|x:{readout.crosstalk_strength.hex()}"

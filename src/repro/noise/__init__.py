@@ -14,6 +14,18 @@ from .device import (
     ibmq_mumbai_like,
     ideal_device,
 )
+from .drift import (
+    SCHEDULE_KINDS,
+    ConstantDrift,
+    DriftingDeviceModel,
+    DriftSchedule,
+    LinearDrift,
+    RandomWalkDrift,
+    SineDrift,
+    StepDrift,
+    make_schedule,
+    schedule_from_dict,
+)
 from .gate_noise import DepolarizingGateNoise
 from .readout import QubitReadoutError, ReadoutErrorModel
 
@@ -28,6 +40,16 @@ __all__ = [
     "DepolarizingGateNoise",
     "QubitReadoutError",
     "ReadoutErrorModel",
+    "DriftSchedule",
+    "ConstantDrift",
+    "StepDrift",
+    "LinearDrift",
+    "SineDrift",
+    "RandomWalkDrift",
+    "DriftingDeviceModel",
+    "SCHEDULE_KINDS",
+    "make_schedule",
+    "schedule_from_dict",
     "CharacterizationReport",
     "QubitCharacterization",
     "characterize_readout",

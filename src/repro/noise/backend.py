@@ -85,6 +85,12 @@ class SimulatorBackend:
     def _charge(self, shots: int) -> None:
         self.circuits_run += 1
         self.shots_run += shots
+        # Drifting devices measure logical time in charged circuits;
+        # the engine charges in submission order after a whole batch's
+        # PMFs are computed, so one batch sees one noise state.
+        advance = getattr(self.device, "advance_clock", None)
+        if advance is not None:
+            advance(1)
 
     def charge(self, shots: int) -> None:
         """Record one executed circuit of ``shots`` shots on the ledger.

@@ -1312,6 +1312,167 @@ _register(CatalogEntry(
 ))
 
 
+# ================================================== ext_drift_frontier
+
+#: Fractional rate increase of the step schedule (0 = no drift).
+DRIFT_MAGNITUDES = [0.0, 1.0, 2.0]
+DRIFT_POLICIES = ["static", "oracle", "online"]
+
+#: The frontier device: lagos-like at 2x noise, drifting in epochs of
+#: 24 circuits (one epoch per-ish objective evaluation) with the step
+#: landing at epoch 2 — mid-trace at every scale.
+_DRIFT_DEVICE = {"preset": "ibm_lagos_like", "scale": 2.0}
+_DRIFT_PERIOD = 24
+
+
+def _drift_payload(magnitude: float) -> dict:
+    if magnitude == 0.0:
+        return {"kind": "constant", "period": _DRIFT_PERIOD}
+    return {
+        "kind": "step",
+        "magnitude": magnitude,
+        "at": 2,
+        "period": _DRIFT_PERIOD,
+    }
+
+
+def _build_ext_drift_frontier() -> SweepSpec:
+    evaluations = scaled(8, 24)
+    return SweepSpec(
+        name="ext_drift_frontier",
+        base={
+            "task": "drift_frontier",
+            "workload": {"key": "H2-4"},
+            "shots": 512,
+            "seed": 11,
+        },
+        cells=[
+            {
+                "device": {**_DRIFT_DEVICE, "drift": _drift_payload(m)},
+                "options": {
+                    "policy": policy,
+                    "magnitude": m,
+                    "evaluations": evaluations,
+                },
+            }
+            for m in DRIFT_MAGNITUDES
+            for policy in DRIFT_POLICIES
+        ],
+    )
+
+
+def _tables_ext_drift_frontier(records: list) -> list[Table]:
+    by = {}
+    for record in records:
+        options = record["point"]["options"]
+        by[(options["magnitude"], options["policy"])] = record["result"]
+    rows = []
+    for magnitude in DRIFT_MAGNITUDES:
+        for policy in DRIFT_POLICIES:
+            result = by[(magnitude, policy)]
+            rows.append([
+                f"{magnitude:g}", policy,
+                fmt(result["mean_error"], 3),
+                fmt(result["final_error"], 3),
+                result["circuits"],
+                result["globals_executed"],
+                result["recalibrations"],
+            ])
+    return [Table(
+        "Extension: re-calibration policies under step calibration "
+        "drift (H2-4, lagos-like x2, fixed parameters)",
+        ["drift magnitude", "policy", "mean |error| (Ha)",
+         "final |error| (Ha)", "circuits", "globals", "re-calibrations"],
+        rows,
+    )]
+
+
+_register(CatalogEntry(
+    name="ext_drift_frontier",
+    figure="Extension (drift)",
+    title="Re-calibration policy cost/accuracy frontier under drift",
+    build=_build_ext_drift_frontier,
+    tables=_tables_ext_drift_frontier,
+))
+
+
+# ================================================= ext_drift_schedules
+
+#: Schedule kinds the online policy is exercised against (label,
+#: schedule payload) — one cell each, magnitudes chosen so every
+#: drifting kind moves the rates well past probe shot noise.
+DRIFT_SCHEDULE_CELLS = [
+    ("constant", {"kind": "constant", "period": _DRIFT_PERIOD}),
+    ("step", {"kind": "step", "magnitude": 2.0, "at": 2,
+              "period": _DRIFT_PERIOD}),
+    ("linear", {"kind": "linear", "magnitude": 2.0, "ramp": 4,
+                "period": _DRIFT_PERIOD}),
+    ("sine", {"kind": "sine", "magnitude": 1.0, "wavelength": 4,
+              "period": _DRIFT_PERIOD}),
+    ("random_walk", {"kind": "random_walk", "step_std": 0.35, "seed": 7,
+                     "period": _DRIFT_PERIOD}),
+]
+
+
+def _build_ext_drift_schedules() -> SweepSpec:
+    evaluations = scaled(8, 24)
+    return SweepSpec(
+        name="ext_drift_schedules",
+        base={
+            "task": "drift_frontier",
+            "workload": {"key": "H2-4"},
+            "shots": 512,
+            "seed": 11,
+        },
+        cells=[
+            {
+                "device": {**_DRIFT_DEVICE, "drift": payload},
+                "options": {
+                    "policy": "online",
+                    "schedule": label,
+                    "evaluations": evaluations,
+                },
+            }
+            for label, payload in DRIFT_SCHEDULE_CELLS
+        ],
+    )
+
+
+def _tables_ext_drift_schedules(records: list) -> list[Table]:
+    by = {
+        record["point"]["options"]["schedule"]: record["result"]
+        for record in records
+    }
+    rows = []
+    for label, _ in DRIFT_SCHEDULE_CELLS:
+        result = by[label]
+        rows.append([
+            label,
+            fmt(result["mean_error"], 3),
+            fmt(result["final_error"], 3),
+            result["circuits"],
+            result["globals_executed"],
+            result["recalibrations"],
+            fmt(result["peak_statistic"], 2),
+        ])
+    return [Table(
+        "Extension: the online policy across drift schedule kinds "
+        "(H2-4, lagos-like x2, fixed parameters)",
+        ["schedule", "mean |error| (Ha)", "final |error| (Ha)",
+         "circuits", "globals", "re-calibrations", "peak CUSUM"],
+        rows,
+    )]
+
+
+_register(CatalogEntry(
+    name="ext_drift_schedules",
+    figure="Extension (drift)",
+    title="Online re-calibration across drift schedule kinds",
+    build=_build_ext_drift_schedules,
+    tables=_tables_ext_drift_schedules,
+))
+
+
 # ================================================ ext_engine_throughput
 
 

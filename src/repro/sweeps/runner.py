@@ -200,17 +200,30 @@ def materialize_workload(description: Mapping) -> Workload:
 
 
 def materialize_device(description: Mapping | None) -> DeviceModel | None:
-    """Build the device a point names (``None`` -> workload default)."""
+    """Build the device a point names (``None`` -> workload default).
+
+    An optional ``"drift"`` key carries a
+    :meth:`~repro.noise.drift.DriftSchedule.to_dict` payload; the
+    preset is then wrapped in a
+    :class:`~repro.noise.DriftingDeviceModel` with a fresh clock, so
+    every point replays the identical noise trajectory.
+    """
     if description is None:
         return None
     description = dict(description)
+    drift = description.pop("drift", None)
     preset = description.pop("preset")
     if preset not in DEVICE_PRESETS:
         raise ValueError(
             f"unknown device preset {preset!r}; "
             f"choose from {sorted(DEVICE_PRESETS)}"
         )
-    return DEVICE_PRESETS[preset](**description)
+    device = DEVICE_PRESETS[preset](**description)
+    if drift is not None:
+        from ..noise import DriftingDeviceModel, schedule_from_dict
+
+        device = DriftingDeviceModel(device, schedule_from_dict(drift))
+    return device
 
 
 def _warm_start_params(

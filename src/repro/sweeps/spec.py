@@ -61,7 +61,14 @@ WORKLOAD_KINDS = ("key", "model", "qaoa", "named")
 #: build only what they need themselves — e.g. a bare Hamiltonian for
 #: a system wider than any device preset.
 WORKLOAD_TASKS = frozenset(
-    {"tuning", "energy", "zne", "term_selective", "phase_selective"}
+    {
+        "tuning",
+        "energy",
+        "zne",
+        "term_selective",
+        "phase_selective",
+        "drift_frontier",
+    }
 )
 
 #: Tasks whose executors honor the point's ``backend`` field.  Every

@@ -326,6 +326,86 @@ def _calibration_gate(point: Point, workload_cache: dict) -> dict:
     }
 
 
+@task("drift_frontier")
+def _drift_frontier(point: Point, workload_cache: dict) -> dict:
+    """Cost/accuracy frontier of re-calibration policies under drift.
+
+    The point's device description carries the drift schedule
+    (``{"preset": ..., "scale": ..., "drift": {...}}``); options pick
+    the policy:
+
+    * ``static`` — ``varsaw_max_sparsity``: Globals once at the start,
+      then reconstruct against the (increasingly stale) prior forever.
+    * ``oracle`` — VarSaw whose scheduler is manually triggered
+      whenever the device's true drift epoch changed: the
+      impossible-in-practice upper bound that re-calibrates exactly
+      when the noise moved and never otherwise.
+    * ``online`` — the ``drift_adaptive`` estimator: probe circuits +
+      CUSUM detector, paying for its probes on the same ledger.
+
+    A fixed parameter vector is evaluated ``evaluations`` times;
+    errors are measured against the noise-free energy at those
+    parameters, so the series isolates mitigation quality under drift
+    from optimizer movement.
+    """
+    from ..api import Session
+    from ..noise import DriftingDeviceModel
+    from .runner import _prepare_point
+
+    options = dict(point.options)
+    policy = options.get("policy", "online")
+    evaluations = int(options.get("evaluations", 8))
+    workload, device, _ = _prepare_point(point, workload_cache)
+    if device is None:
+        device = workload.device
+    params = np.full(workload.ansatz.num_parameters, 0.1)
+    exact = Session().estimator("ideal", workload).evaluate(params)
+
+    session = Session(device, seed=point.seed)
+    if policy == "static":
+        estimator = session.estimator(
+            "varsaw_max_sparsity", workload, shots=point.shots
+        )
+    elif policy == "oracle":
+        estimator = session.estimator(
+            "varsaw", workload, shots=point.shots,
+            initial_period=2**20, max_period=2**20,
+        )
+    elif policy == "online":
+        estimator = session.estimator(
+            "drift_adaptive", workload, shots=point.shots,
+        )
+    else:
+        raise ValueError(
+            f"unknown drift policy {policy!r}; "
+            f"choose from ['online', 'oracle', 'static']"
+        )
+
+    drifting = isinstance(device, DriftingDeviceModel)
+    last_epoch = device.epoch if drifting else 0
+    errors = []
+    for _ in range(evaluations):
+        if policy == "oracle" and drifting and device.epoch != last_epoch:
+            estimator.scheduler.trigger()
+            last_epoch = device.epoch
+        errors.append(abs(estimator.evaluate(params) - exact))
+    ledger = session.ledger()
+    detector = getattr(estimator, "detector", None)
+    return {
+        "policy": policy,
+        "evaluations": evaluations,
+        "mean_error": float(np.mean(errors)),
+        "final_error": float(errors[-1]),
+        "circuits": int(ledger.circuits),
+        "shots": int(ledger.shots),
+        "globals_executed": int(estimator.scheduler.globals_executed),
+        "recalibrations": int(getattr(estimator, "recalibrations", 0)),
+        "peak_statistic": (
+            float(detector.peak_statistic) if detector is not None else 0.0
+        ),
+    }
+
+
 @task("gc_grouping")
 def _gc_grouping(point: Point, workload_cache: dict) -> dict:
     """QWC vs general-commutation grouping structure (§3.1)."""

@@ -29,10 +29,11 @@ ALL_KINDS = (
     "gc",
     "selective",
     "calibration_gated",
+    "drift_adaptive",
 )
 
 
-def test_all_nine_kinds_are_covered():
+def test_all_ten_kinds_are_covered():
     assert set(ALL_KINDS) == set(estimator_kinds())
 
 

@@ -1,0 +1,203 @@
+"""Adversarial workload fuzzer: invariants every estimator must keep.
+
+Hypothesis drives random Hamiltonians, ansatz shapes, device presets,
+and drift schedules through *every* registered estimator kind and pins
+the contracts the rest of the repository builds on:
+
+* the estimated energy is finite and inside the Hamiltonian's L1
+  spectral envelope (Pauli expectations live in ``[-1, 1]``, so no
+  mitigation step may push the energy outside
+  ``identity ± sum |coeffs|``);
+* the session ledger balances — cache hits never exceed requests,
+  nothing runs with fewer than one shot per circuit, and a drifting
+  device's logical clock advances by exactly the charged circuits;
+* same-seed runs are bit-identical, drift schedules included;
+* exact PMFs stay normalized at every drift epoch.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import EfficientSU2
+from repro.api import Session, estimator_kinds
+from repro.hamiltonian import Hamiltonian
+from repro.noise import (
+    ConstantDrift,
+    DriftingDeviceModel,
+    LinearDrift,
+    RandomWalkDrift,
+    SineDrift,
+    StepDrift,
+    ibm_lagos_like,
+    ibmq_mumbai_like,
+)
+from repro.workloads import Workload
+
+ALL_KINDS = estimator_kinds()
+
+coeffs = st.floats(
+    -2.0, 2.0, allow_nan=False, allow_infinity=False
+).filter(lambda c: abs(c) > 1e-6)
+
+
+@st.composite
+def hamiltonians(draw):
+    n_qubits = draw(st.integers(2, 3))
+    n_terms = draw(st.integers(1, 4))
+    labels = st.text(alphabet="IXYZ", min_size=n_qubits,
+                     max_size=n_qubits)
+    terms = [
+        (draw(coeffs), draw(labels)) for _ in range(n_terms)
+    ]
+    return Hamiltonian(terms, name="fuzz")
+
+
+@st.composite
+def drift_schedules(draw):
+    period = draw(st.integers(1, 8))
+    kind = draw(st.sampled_from(
+        ["none", "constant", "step", "linear", "sine", "random_walk"]
+    ))
+    if kind == "none":
+        return None
+    if kind == "constant":
+        return ConstantDrift(period=period)
+    if kind == "step":
+        return StepDrift(period=period,
+                         magnitude=draw(st.floats(0.0, 3.0)),
+                         at=draw(st.integers(0, 4)))
+    if kind == "linear":
+        return LinearDrift(period=period,
+                           magnitude=draw(st.floats(0.0, 3.0)),
+                           ramp=draw(st.integers(1, 4)))
+    if kind == "sine":
+        return SineDrift(period=period,
+                         magnitude=draw(st.floats(0.0, 2.0)),
+                         wavelength=draw(st.integers(1, 6)))
+    return RandomWalkDrift(period=period,
+                           step_std=draw(st.floats(0.0, 0.5)),
+                           seed=draw(st.integers(0, 999)))
+
+
+@st.composite
+def scenarios(draw):
+    hamiltonian = draw(hamiltonians())
+    ansatz = EfficientSU2(
+        hamiltonian.n_qubits,
+        reps=draw(st.integers(1, 2)),
+        entanglement=draw(st.sampled_from(["full", "linear"])),
+    )
+    preset = draw(st.sampled_from([ibm_lagos_like, ibmq_mumbai_like]))
+    scale = draw(st.sampled_from([0.5, 1.0, 2.0]))
+    schedule = draw(drift_schedules())
+    seed = draw(st.integers(0, 2**16))
+    params = draw(
+        st.lists(
+            st.floats(-math.pi, math.pi, allow_nan=False),
+            min_size=ansatz.num_parameters,
+            max_size=ansatz.num_parameters,
+        )
+    )
+    return hamiltonian, ansatz, preset, scale, schedule, seed, params
+
+
+def build(hamiltonian, ansatz, preset, scale, schedule):
+    device = preset(scale=scale)
+    if schedule is not None:
+        device = DriftingDeviceModel(device, schedule)
+    workload = Workload(
+        key="fuzz", hamiltonian=hamiltonian, ansatz=ansatz,
+        device=device, ideal_energy=0.0,
+    )
+    return device, workload
+
+
+def envelope(hamiltonian):
+    """``(identity coefficient, L1 radius)`` of the spectral envelope."""
+    identity = hamiltonian.identity_coefficient
+    radius = sum(
+        abs(c) for c, _ in hamiltonian.non_identity_terms()
+    )
+    return identity, radius
+
+
+class TestEstimatorInvariants:
+    @given(scenarios())
+    @settings(max_examples=12, deadline=None)
+    def test_all_kinds_keep_the_contract(self, scenario):
+        hamiltonian, ansatz, preset, scale, schedule, seed, params = (
+            scenario
+        )
+        identity, radius = envelope(hamiltonian)
+        for kind in ALL_KINDS:
+            device, workload = build(
+                hamiltonian, ansatz, preset, scale, schedule
+            )
+            session = Session(device, seed=seed)
+            before = session.ledger()
+            estimator = session.estimator(kind, workload, shots=16)
+            energy = estimator.evaluate(np.asarray(params))
+            delta = session.ledger() - before
+
+            assert math.isfinite(energy), (kind, energy)
+            assert abs(energy - identity) <= radius + 1e-6, (
+                kind, energy, identity, radius,
+            )
+            # The ledger balances: every charged circuit carried at
+            # least one shot, and the cache never over-reports.
+            assert delta.circuits >= 0 and delta.shots >= 0, kind
+            assert delta.shots >= delta.circuits, kind
+            assert delta.cache_hits <= delta.cache_requests, kind
+            # A pure-identity Hamiltonian needs no measurements; any
+            # other one must charge the ledger (except `ideal`, which
+            # diagonalizes instead of sampling).
+            if kind != "ideal" and hamiltonian.non_identity_terms():
+                assert delta.circuits > 0, kind
+            # Logical time is charged circuits, exactly.
+            if schedule is not None:
+                assert device.clock == delta.circuits, kind
+
+    @given(scenarios(), st.sampled_from(ALL_KINDS))
+    @settings(max_examples=16, deadline=None)
+    def test_same_seed_runs_are_bit_identical(self, scenario, kind):
+        hamiltonian, ansatz, preset, scale, schedule, seed, params = (
+            scenario
+        )
+
+        def run():
+            device, workload = build(
+                hamiltonian, ansatz, preset, scale, schedule
+            )
+            session = Session(device, seed=seed)
+            estimator = session.estimator(kind, workload, shots=16)
+            energies = [
+                estimator.evaluate(np.asarray(params))
+                for _ in range(2)
+            ]
+            ledger = session.ledger()
+            return energies, (ledger.circuits, ledger.shots)
+
+        assert run() == run()
+
+    @given(scenarios(), st.integers(0, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_pmfs_stay_normalized_under_drift(
+        self, scenario, clock
+    ):
+        hamiltonian, ansatz, preset, scale, schedule, seed, params = (
+            scenario
+        )
+        device, workload = build(
+            hamiltonian, ansatz, preset, scale, schedule
+        )
+        if schedule is not None:
+            device.advance_clock(clock)
+        session = Session(device, seed=seed)
+        circuit = ansatz.bind(params)
+        circuit.measure_all()
+        pmf = session.backend.exact_pmf(circuit)
+        assert np.all(pmf.probs >= -1e-12)
+        assert np.isclose(pmf.probs.sum(), 1.0, atol=1e-9)

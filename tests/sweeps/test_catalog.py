@@ -22,15 +22,18 @@ EXPECTED_ENTRIES = {
     "ext_backend_matrix",
     "ext_serve_throughput",
     "ext_dist_scaling",
+    "ext_drift_frontier",
+    "ext_drift_schedules",
 }
 
 
 def test_all_grids_registered():
     # The paper's 27 grids plus the PR 4 inline-estimator-spec entry,
-    # the PR 5 execution-backend matrix, the PR 6 serve benchmark, and
-    # the PR 9 sharded-sweep scaling benchmark.
+    # the PR 5 execution-backend matrix, the PR 6 serve benchmark, the
+    # PR 9 sharded-sweep scaling benchmark, and the PR 10 calibration
+    # drift frontier + schedule sweep.
     assert set(CATALOG) == EXPECTED_ENTRIES
-    assert len(CATALOG) == 31
+    assert len(CATALOG) == 33
 
 
 def test_unknown_entry_raises():

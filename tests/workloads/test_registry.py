@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import (
     CalibrationGatedVarSawEstimator,
+    DriftAwareVarSawEstimator,
     SelectiveVarSawEstimator,
     VarSawEstimator,
 )
@@ -61,6 +62,7 @@ class TestMakeEstimator:
             "gc": GeneralCommutationEstimator,
             "selective": SelectiveVarSawEstimator,
             "calibration_gated": CalibrationGatedVarSawEstimator,
+            "drift_adaptive": DriftAwareVarSawEstimator,
         }
         assert set(ESTIMATOR_KINDS) == set(expected_types)
         assert len(ESTIMATOR_KINDS) >= 9
